@@ -1,0 +1,71 @@
+// Command headsim reproduces the end-to-end evaluation of the HEAD paper:
+// Table I (baselines IDM-LC, ACC-LC, DRL-SC, TP-BTS vs HEAD) and, with
+// -ablation, Table II (the HEAD-variant ablation study).
+//
+// Usage:
+//
+//	headsim [-scale quick|record|paper] [-ablation] [-episodes N] [-train N] [-seed N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"head/internal/experiments"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("headsim: ")
+	var (
+		scaleName = flag.String("scale", "quick", "experiment scale: quick, record or paper")
+		ablation  = flag.Bool("ablation", false, "run the Table II ablation study instead of Table I")
+		episodes  = flag.Int("episodes", 0, "override the number of test episodes")
+		train     = flag.Int("train", 0, "override the number of training episodes")
+		seed      = flag.Int64("seed", 0, "override the random seed")
+	)
+	flag.Parse()
+
+	s, err := scaleByName(*scaleName)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *episodes > 0 {
+		s.TestEpisodes = *episodes
+	}
+	if *train > 0 {
+		s.TrainEpisodes = *train
+	}
+	if *seed != 0 {
+		s.Seed = *seed
+	}
+
+	if *ablation {
+		rows, err := experiments.TableII(s)
+		if err != nil {
+			log.Fatal(err)
+		}
+		experiments.PrintEndToEnd(os.Stdout, "Table II — Ablation Study of HEAD-Variants and HEAD", rows)
+		return
+	}
+	rows, err := experiments.TableI(s)
+	if err != nil {
+		log.Fatal(err)
+	}
+	experiments.PrintEndToEnd(os.Stdout, "Table I — End-to-End Performance of Baselines and HEAD", rows)
+}
+
+func scaleByName(name string) (experiments.Scale, error) {
+	switch name {
+	case "quick":
+		return experiments.Quick(), nil
+	case "record":
+		return experiments.Record(), nil
+	case "paper":
+		return experiments.Paper(), nil
+	default:
+		return experiments.Scale{}, fmt.Errorf("unknown scale %q (want quick, record or paper)", name)
+	}
+}

@@ -1,0 +1,157 @@
+// Command headtrain trains the two HEAD models — the LST-GAT perception
+// model and the BP-DQN decision agent — and checkpoints them to disk, so
+// later runs (or other tools) can reload the trained weights instead of
+// retraining.
+//
+// Usage:
+//
+//	headtrain -out dir [-scale quick|record|paper] [-seed N]   # train + save
+//	headtrain -load dir [-episodes N]                           # load + evaluate
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"os"
+	"path/filepath"
+
+	"head/internal/eval"
+	"head/internal/experiments"
+	"head/internal/head"
+	"head/internal/nn"
+	"head/internal/predict"
+	"head/internal/rl"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("headtrain: ")
+	var (
+		out       = flag.String("out", "", "directory to save checkpoints into (training mode)")
+		load      = flag.String("load", "", "directory to load checkpoints from (evaluation mode)")
+		scaleName = flag.String("scale", "quick", "experiment scale: quick, record or paper")
+		episodes  = flag.Int("episodes", 0, "override the number of test episodes")
+		seed      = flag.Int64("seed", 0, "override the random seed")
+	)
+	flag.Parse()
+
+	var s experiments.Scale
+	switch *scaleName {
+	case "quick":
+		s = experiments.Quick()
+	case "record":
+		s = experiments.Record()
+	case "paper":
+		s = experiments.Paper()
+	default:
+		log.Fatalf("unknown scale %q (want quick, record or paper)", *scaleName)
+	}
+	if *seed != 0 {
+		s.Seed = *seed
+	}
+	if *episodes > 0 {
+		s.TestEpisodes = *episodes
+	}
+
+	switch {
+	case *out != "":
+		if err := train(s, *out); err != nil {
+			log.Fatal(err)
+		}
+	case *load != "":
+		if err := evaluate(s, *load); err != nil {
+			log.Fatal(err)
+		}
+	default:
+		log.Fatal("pass -out dir to train or -load dir to evaluate")
+	}
+}
+
+// modelConfigs derives the architectures from the scale so save and load
+// construct identical networks.
+func modelConfigs(s experiments.Scale) (predict.LSTGATConfig, rl.PDQNConfig) {
+	pc := predict.DefaultLSTGATConfig()
+	pc.AttnDim, pc.GATOut, pc.HiddenDim = s.PredHidden, s.PredGATOut, s.PredHidden
+	pc.LR = s.PredLR
+	rc := rl.DefaultPDQNConfig()
+	rc.Warmup = s.RLWarmup
+	rc.Eps.DecaySteps = s.EpsDecay
+	return pc, rc
+}
+
+func envConfig(s experiments.Scale) head.EnvConfig {
+	cfg := head.DefaultEnvConfig()
+	cfg.Traffic.World.RoadLength = s.RoadLength
+	cfg.Traffic.Density = s.Density
+	cfg.MaxSteps = s.MaxSteps
+	return cfg
+}
+
+func train(s experiments.Scale, dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	rng := rand.New(rand.NewSource(s.Seed))
+	fmt.Println("training LST-GAT perception model...")
+	predictor, err := experiments.TrainedPredictor(s, rng)
+	if err != nil {
+		return err
+	}
+	if err := saveModule(filepath.Join(dir, "lstgat.ckpt"), predictor); err != nil {
+		return err
+	}
+
+	fmt.Printf("training BP-DQN decision agent (%d episodes)...\n", s.TrainEpisodes)
+	_, rc := modelConfigs(s)
+	env := head.NewEnv(envConfig(s), predictor, rng)
+	agent := rl.NewBPDQN(rc, env.Spec(), env.AMax(), s.RLHidden, rng)
+	res := rl.Train(agent, env, s.TrainEpisodes, s.MaxSteps)
+	fmt.Printf("trained in %v\n", res.TCT.Round(1e9))
+	if err := saveModule(filepath.Join(dir, "bpdqn.ckpt"), agent); err != nil {
+		return err
+	}
+	fmt.Println("checkpoints written to", dir)
+	return nil
+}
+
+func evaluate(s experiments.Scale, dir string) error {
+	pc, rc := modelConfigs(s)
+	rng := rand.New(rand.NewSource(s.Seed))
+	predictor := predict.NewLSTGAT(pc, rng)
+	if err := loadModule(filepath.Join(dir, "lstgat.ckpt"), predictor); err != nil {
+		return err
+	}
+	env := head.NewEnv(envConfig(s), predictor, rand.New(rand.NewSource(s.Seed+1000)))
+	agent := rl.NewBPDQN(rc, env.Spec(), env.AMax(), s.RLHidden, rng)
+	if err := loadModule(filepath.Join(dir, "bpdqn.ckpt"), agent); err != nil {
+		return err
+	}
+	ctrl := &head.AgentController{ControllerName: "HEAD", Agent: agent}
+	m := eval.RunEpisodes(ctrl, env, s.TestEpisodes)
+	fmt.Printf("HEAD over %d episodes: AvgDT-A %.1fs  AvgV-A %.2fm/s  AvgJ-A %.2f  Avg#-CA %.1f  MinTTC-A %.2fs  collisions %d\n",
+		m.Episodes, m.AvgDTA, m.AvgVA, m.AvgJA, m.AvgCA, m.MinTTCA, m.Collisions)
+	return nil
+}
+
+func saveModule(path string, m nn.Module) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := nn.Save(f, m); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func loadModule(path string, m nn.Module) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return nn.Load(f, m)
+}

@@ -1,0 +1,53 @@
+// Command predictbench reproduces the break-down evaluation of the
+// enhanced perception module: Table III (MAE/MSE/RMSE of LSTM-MLP,
+// ED-LSTM, GAS-LED and LST-GAT on the REAL substitute) and Table IV (their
+// training convergence time and average inference time).
+//
+// Usage:
+//
+//	predictbench [-scale quick|record|paper] [-epochs N] [-seed N]
+package main
+
+import (
+	"flag"
+	"log"
+	"os"
+
+	"head/internal/experiments"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("predictbench: ")
+	var (
+		scaleName = flag.String("scale", "quick", "experiment scale: quick, record or paper")
+		epochs    = flag.Int("epochs", 0, "override the number of training epochs")
+		seed      = flag.Int64("seed", 0, "override the random seed")
+	)
+	flag.Parse()
+
+	var s experiments.Scale
+	switch *scaleName {
+	case "quick":
+		s = experiments.Quick()
+	case "record":
+		s = experiments.Record()
+	case "paper":
+		s = experiments.Paper()
+	default:
+		log.Fatalf("unknown scale %q (want quick, record or paper)", *scaleName)
+	}
+	if *epochs > 0 {
+		s.PredEpochs = *epochs
+	}
+	if *seed != 0 {
+		s.Seed = *seed
+	}
+
+	rows, err := experiments.TableIIIIV(s)
+	if err != nil {
+		log.Fatal(err)
+	}
+	os.Stdout.WriteString("Tables III & IV — Accuracy and Efficiency of State Predictors on REAL\n")
+	experiments.PrintPredRows(os.Stdout, rows)
+}

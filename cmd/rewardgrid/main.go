@@ -1,0 +1,55 @@
+// Command rewardgrid reproduces Table VII: the grid search over the hybrid
+// reward function's coefficients (w1 safety, w2 efficiency, w3 comfort,
+// w4 impact). Each axis is swept with the others held at the base vector;
+// a candidate is scored by the average greedy test reward of a BP-DQN
+// agent trained under it.
+//
+// Usage:
+//
+//	rewardgrid [-scale quick|record|paper] [-train N] [-seed N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"head/internal/experiments"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("rewardgrid: ")
+	var (
+		scaleName = flag.String("scale", "quick", "experiment scale: quick, record or paper")
+		train     = flag.Int("train", 0, "override the number of training episodes per grid point")
+		seed      = flag.Int64("seed", 0, "override the random seed")
+	)
+	flag.Parse()
+
+	var s experiments.Scale
+	switch *scaleName {
+	case "quick":
+		s = experiments.Quick()
+	case "record":
+		s = experiments.Record()
+	case "paper":
+		s = experiments.Paper()
+	default:
+		log.Fatalf("unknown scale %q (want quick, record or paper)", *scaleName)
+	}
+	if *train > 0 {
+		s.TrainEpisodes = *train
+	}
+	if *seed != 0 {
+		s.Seed = *seed
+	}
+
+	rows, err := experiments.TableVII(s)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("Table VII — Effect of Coefficients in the Hybrid Reward Function")
+	experiments.PrintAxisResults(os.Stdout, rows)
+}

@@ -1,0 +1,57 @@
+// Command rlbench reproduces the break-down evaluation of the maneuver
+// decision module: Table V (MinR/MaxR/AvgR of P-QP, P-DDPG, P-DQN and
+// BP-DQN in the simulated environment) and Table VI (their training
+// convergence time and average inference time).
+//
+// Usage:
+//
+//	rlbench [-scale quick|record|paper] [-train N] [-episodes N] [-seed N]
+package main
+
+import (
+	"flag"
+	"log"
+	"os"
+
+	"head/internal/experiments"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("rlbench: ")
+	var (
+		scaleName = flag.String("scale", "quick", "experiment scale: quick, record or paper")
+		train     = flag.Int("train", 0, "override the number of training episodes")
+		episodes  = flag.Int("episodes", 0, "override the number of test episodes")
+		seed      = flag.Int64("seed", 0, "override the random seed")
+	)
+	flag.Parse()
+
+	var s experiments.Scale
+	switch *scaleName {
+	case "quick":
+		s = experiments.Quick()
+	case "record":
+		s = experiments.Record()
+	case "paper":
+		s = experiments.Paper()
+	default:
+		log.Fatalf("unknown scale %q (want quick, record or paper)", *scaleName)
+	}
+	if *train > 0 {
+		s.TrainEpisodes = *train
+	}
+	if *episodes > 0 {
+		s.TestEpisodes = *episodes
+	}
+	if *seed != 0 {
+		s.Seed = *seed
+	}
+
+	rows, err := experiments.TableVVI(s)
+	if err != nil {
+		log.Fatal(err)
+	}
+	os.Stdout.WriteString("Tables V & VI — Effectiveness and Efficiency of PAMDP Solvers in the Simulated Environment\n")
+	experiments.PrintRLRows(os.Stdout, rows)
+}

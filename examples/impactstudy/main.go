@@ -1,0 +1,92 @@
+// Impactstudy: demonstrates the impact reward value (Equation (30)), the
+// paper's core contribution over prior safety/efficiency/comfort rewards.
+//
+// A deterministic scenario is played twice: the autonomous vehicle merges
+// in front of a fast-approaching vehicle either aggressively (cutting in
+// with a tiny gap, forcing the follower to brake hard) or politely
+// (accelerating first and merging with a comfortable gap). The program
+// prints, step by step, the follower's forced deceleration and the hybrid
+// reward with and without the impact term — showing that only the
+// impact-aware reward distinguishes the two maneuvers' effect on traffic.
+package main
+
+import (
+	"fmt"
+	"math/rand"
+
+	"head/internal/head"
+	"head/internal/traffic"
+	"head/internal/world"
+)
+
+func main() {
+	for _, aggressive := range []bool{true, false} {
+		name := "POLITE merge (speed up first, merge with a safe gap)"
+		if aggressive {
+			name = "AGGRESSIVE merge (cut in directly in front of the follower)"
+		}
+		fmt.Printf("=== %s ===\n", name)
+		run(aggressive)
+		fmt.Println()
+	}
+	fmt.Println("the safety/efficiency/comfort terms barely distinguish the two merges —")
+	fmt.Println("the forced braking happens behind the autonomous vehicle. Only the")
+	fmt.Println("impact term r4 (Equation (30)) penalizes the aggressive cut-in, which is")
+	fmt.Println("how HEAD learns maneuvers with minimal impact on surrounding traffic.")
+}
+
+// run plays the merge scenario and prints the per-step reward breakdown.
+func run(aggressive bool) {
+	cfg := head.DefaultEnvConfig()
+	cfg.Traffic.World.RoadLength = 2000
+	cfg.Traffic.Density = 0 // we place vehicles by hand
+	cfg.MaxSteps = 40
+	env := head.NewEnv(cfg, nil, rand.New(rand.NewSource(1)))
+	env.Reset()
+	sim := env.Sim()
+	w := cfg.Traffic.World
+
+	// Scene: the AV cruises in lane 3 at 16 m/s; a follower approaches
+	// fast in lane 2, currently 18 m behind the AV's position.
+	sim.AV.State = world.State{Lat: 3, Lon: 400, V: 16}
+	follower := &traffic.Vehicle{
+		ID:    9001,
+		State: world.State{Lat: 2, Lon: 374, V: 23},
+		Params: traffic.DriverParams{
+			DesiredV: 25, TimeHeadway: 1.2, MinGap: 2, MaxAccel: 2,
+			ComfortDecel: 2, SafeDecel: w.AMax,
+		},
+		ExitStep: -1,
+	}
+	sim.Vehicles = append(sim.Vehicles[:0], follower)
+
+	rewardCfg := cfg.Reward
+
+	fmt.Printf("%4s %22s %10s %12s %12s\n", "t", "AV maneuver", "rear Δv", "r (full)", "r (w/o IMP)")
+	totalFull, totalNoImp, brakes := 0.0, 0.0, 0
+	for step := 0; step < 12 && !env.Done(); step++ {
+		var m world.Maneuver
+		switch {
+		case aggressive && step == 2:
+			m = world.Maneuver{B: world.LaneLeft, A: 0} // cut straight in
+		case !aggressive && step < 4:
+			m = world.Maneuver{B: world.LaneKeep, A: w.AMax} // speed up first
+		case !aggressive && step == 4:
+			m = world.Maneuver{B: world.LaneLeft, A: 1} // merge with margin
+		default:
+			m = world.Maneuver{B: world.LaneKeep, A: 0}
+		}
+		out := env.StepManeuver(m)
+		// Re-score the same step without the impact weight.
+		rNoImp := out.Reward - rewardCfg.Weights.Impact*out.Terms.Impact
+		totalFull += out.Reward
+		totalNoImp += rNoImp
+		if out.RearDecel > rewardCfg.VThr {
+			brakes++
+		}
+		fmt.Printf("%3.1fs %22s %7.2fm/s %12.3f %12.3f\n",
+			float64(step+1)*w.Dt, m.String(), -out.RearDecel, out.Reward, rNoImp)
+	}
+	fmt.Printf("forced rear brakings (Δv > %.1f m/s): %d;  return full %.2f vs w/o impact %.2f\n",
+		rewardCfg.VThr, brakes, totalFull, totalNoImp)
+}

@@ -1,0 +1,88 @@
+// Occlusion: a crafted scene demonstrating the sensor limitations and the
+// phantom vehicle construction strategy of Section III-B. A front vehicle
+// hides a second one; the sensor misses it, and the phantom builder fills
+// the blind spot with a preset state (the occlusion-missing case of
+// Equation (6)). Range-missing and inherent-missing phantoms appear too.
+package main
+
+import (
+	"fmt"
+
+	"head/internal/phantom"
+	"head/internal/sensor"
+	"head/internal/traffic"
+	"head/internal/world"
+)
+
+func main() {
+	w := world.DefaultConfig()
+	sens := sensor.New(sensor.DefaultConfig(), w.LaneWidth)
+	builder := phantom.NewBuilder(phantom.Config{
+		Lanes: w.Lanes, LaneWidth: w.LaneWidth, R: sens.Cfg.R, Dt: w.Dt,
+	})
+
+	// The scene: the AV in lane 3 at 500 m; a truck 40 m ahead in the same
+	// lane; a hidden car 80 m ahead (shadowed by the truck); a visible car
+	// in lane 2; and a distant vehicle 150 m ahead (out of range).
+	av := world.State{Lat: 3, Lon: 500, V: 20}
+	vehicles := []*traffic.Vehicle{
+		{ID: 1, State: world.State{Lat: 3, Lon: 540, V: 18}}, // truck
+		{ID: 2, State: world.State{Lat: 3, Lon: 580, V: 17}}, // hidden behind the truck
+		{ID: 3, State: world.State{Lat: 2, Lon: 530, V: 22}}, // visible, adjacent lane
+		{ID: 4, State: world.State{Lat: 3, Lon: 660, V: 20}}, // out of range
+	}
+
+	fmt.Println("scene (ground truth):")
+	for _, v := range vehicles {
+		fmt.Printf("  vehicle %d: lane %d, lon %.0f m, v %.0f m/s\n",
+			v.ID, v.State.Lat, v.State.Lon, v.State.V)
+	}
+
+	// Accumulate z sensor frames with everything moving at constant speed.
+	for step := 0; step < sens.Cfg.Z; step++ {
+		obs := sens.Observe(av, vehicles)
+		if step == sens.Cfg.Z-1 {
+			fmt.Printf("\nsensor sees %d of %d vehicles:\n", len(obs.Observed), len(vehicles))
+			for _, v := range vehicles {
+				_, seen := obs.Observed[v.ID]
+				status := "VISIBLE"
+				if !seen {
+					if !sens.InRange(av, v.State) {
+						status = "missing (out of range)"
+					} else {
+						status = "missing (occluded)"
+					}
+				}
+				fmt.Printf("  vehicle %d: %s\n", v.ID, status)
+			}
+			break
+		}
+		av.Lon += av.V * w.Dt
+		for _, v := range vehicles {
+			v.State.Lon += v.State.V * w.Dt
+		}
+	}
+
+	// Phantom construction completes the picture.
+	g := builder.Build(sens.History())
+	fmt.Println("\nphantom construction (six target slots around the AV):")
+	names := []string{"front-left", "front", "front-right", "rear-left", "rear", "rear-right"}
+	for i := phantom.Slot(0); i < phantom.NumSlots; i++ {
+		info := g.Info[i]
+		switch info.Kind {
+		case phantom.NotMissing:
+			fmt.Printf("  %-11s observed vehicle %d at lon %.0f m\n", names[i], info.ID, info.Current.Lon)
+		default:
+			fmt.Printf("  %-11s PHANTOM (%s missing) preset at lane %d, lon %.0f m, v %.0f m/s\n",
+				names[i], info.Kind, info.Current.Lat, info.Current.Lon, info.Current.V)
+		}
+	}
+
+	// The hidden vehicle's slot: the front target's own front area gets an
+	// occlusion phantom per Equation (6).
+	f := g.Steps[len(g.Steps)-1][phantom.SurrounderNode(phantom.Front, phantom.Front)]
+	fmt.Printf("\nocclusion phantom for the hidden car (relative to AV): d_lat=%.1f m, d_lon=%.1f m, v_rel=%.1f m/s, IF=%.0f\n",
+		f[0], f[1], f[2], f[3])
+	fmt.Printf("ground truth for the hidden car:                      d_lat=%.1f m, d_lon=%.1f m, v_rel=%.1f m/s\n",
+		0.0, vehicles[1].State.Lon-av.Lon, vehicles[1].State.V-av.V)
+}

@@ -1,0 +1,114 @@
+// Trafficwave: reproduces the paper's introduction motivation — the
+// "domino effect" by which one vehicle's poor driving behavior (a hard
+// brake) propagates backward through dense traffic as a stop-and-go wave.
+// It runs the microscopic simulator twice — once with the externally
+// controlled vehicle driving smoothly, once with it hard-braking — and
+// reports the macroscopic traffic state (density, flow, mean speed, speed
+// variance) upstream of the disturbance, using both the deterministic IDM
+// drivers and SUMO's stochastic Krauss drivers.
+package main
+
+import (
+	"fmt"
+	"math/rand"
+
+	"head/internal/traffic"
+	"head/internal/world"
+)
+
+func main() {
+	for _, model := range []traffic.CarFollowing{traffic.IDM, traffic.Krauss} {
+		fmt.Printf("=== %s car following ===\n", model)
+		smooth := run(model, false)
+		braking := run(model, true)
+		fmt.Printf("%-26s %12s %12s\n", "upstream metric", "smooth AV", "braking AV")
+		fmt.Printf("%-26s %9.1f km/h %9.1f km/h\n", "mean speed", smooth.MeanSpeed*3.6, braking.MeanSpeed*3.6)
+		fmt.Printf("%-26s %12.2f %12.2f\n", "forced brakings per step", smooth.BrakeEvents, braking.BrakeEvents)
+		fmt.Printf("%-26s %12.1f %12.1f\n", "speed variance (m²/s²)", smooth.Variance, braking.Variance)
+		fmt.Println()
+	}
+	fmt.Println("one hard-braking vehicle forces the queue behind it to brake and raises")
+	fmt.Println("its speed variance (the stop-and-go signature) — the impact the hybrid")
+	fmt.Println("reward's fourth term teaches the autonomous vehicle to avoid. Note how")
+	fmt.Println("lane changing drains the disturbed lane, so mean speed alone hides the")
+	fmt.Println("damage — which is why the paper counts forced decelerations (Avg#-CA).")
+}
+
+// result aggregates the upstream traffic state over the measurement phase.
+type result struct {
+	MeanSpeed   float64
+	BrakeEvents float64 // same-lane upstream decelerations > 0.5 m/s per step
+	Variance    float64
+}
+
+// run simulates dense traffic with a controlled vehicle placed mid-road.
+// When brake is true the vehicle periodically slams the brakes; otherwise
+// it cruises at the traffic pace.
+func run(model traffic.CarFollowing, brake bool) result {
+	cfg := traffic.DefaultConfig()
+	cfg.World.RoadLength = 1500
+	cfg.Density = 220
+	cfg.CarFollowing = model
+	cfg.Krauss = traffic.KraussParams{Sigma: 0.5}
+	sim, err := traffic.New(cfg, rand.New(rand.NewSource(3)))
+	if err != nil {
+		panic(err)
+	}
+	// Place the controlled vehicle mid-road in lane 3.
+	sim.AV.State = world.State{Lat: 3, Lon: 900, V: 15}
+
+	var agg result
+	samples := 0
+	prevV := map[int]float64{}
+	for step := 0; step < 240; step++ {
+		m := world.Maneuver{B: world.LaneKeep}
+		switch {
+		case brake && step%40 < 6:
+			m.A = -cfg.World.AMax // hard brake
+		case brake && step%40 < 14:
+			m.A = cfg.World.AMax // then speed back up
+		default:
+			// Cruise: hold near the local pace.
+			if sim.AV.State.V < 15 {
+				m.A = 1
+			}
+		}
+		sim.Step(m)
+		if step >= 80 {
+			// Measure the vehicles in the AV's own lane up to 300 m
+			// behind it — the queue the disturbance acts on directly
+			// (adjacent lanes absorb part of the wave via lane changes).
+			from := sim.AV.State.Lon - 300
+			to := sim.AV.State.Lon - 1
+			count, sumV, sumVV, brakes := 0, 0.0, 0.0, 0
+			for _, v := range sim.Vehicles {
+				if v.State.Lat != sim.AV.State.Lat || v.State.Lon < from || v.State.Lon >= to {
+					continue
+				}
+				count++
+				sumV += v.State.V
+				sumVV += v.State.V * v.State.V
+				if pv, ok := prevV[v.ID]; ok && pv-v.State.V > 0.5 {
+					brakes++
+				}
+			}
+			if count > 0 {
+				mean := sumV / float64(count)
+				agg.MeanSpeed += mean
+				agg.BrakeEvents += float64(brakes)
+				agg.Variance += sumVV/float64(count) - mean*mean
+				samples++
+			}
+			prevV = map[int]float64{}
+			for _, v := range sim.Vehicles {
+				prevV[v.ID] = v.State.V
+			}
+		}
+	}
+	if samples > 0 {
+		agg.MeanSpeed /= float64(samples)
+		agg.BrakeEvents /= float64(samples)
+		agg.Variance /= float64(samples)
+	}
+	return agg
+}

@@ -1,0 +1,3 @@
+module head
+
+go 1.22

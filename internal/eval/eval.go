@@ -1,0 +1,140 @@
+// Package eval is the end-to-end evaluation harness: it rolls controllers
+// through HEAD environments and computes the macroscopic and microscopic
+// metrics of Tables I and II (AvgDT-A, AvgDT-C, Avg#-CA, MinTTC-A, AvgV-A,
+// AvgJ-A, AvgD-CA), the reward statistics of Table V, and the reward
+// coefficient search of Table VII.
+package eval
+
+import (
+	"math"
+
+	"head/internal/head"
+)
+
+// Metrics aggregates the Table I / Table II measurements over a set of
+// test episodes.
+type Metrics struct {
+	Method string
+
+	// Macroscopic.
+	AvgDTA float64 // average AV driving time through the road, s
+	AvgDTC float64 // average driving time of trailing conventional vehicles, s
+	AvgCA  float64 // average number of times the AV forces its rear vehicle to decelerate > v_thr
+
+	// Microscopic.
+	MinTTCA float64 // average per-episode minimum TTC, s
+	AvgVA   float64 // average AV velocity, m/s
+	AvgJA   float64 // average |Δa| per step, m/s²
+	AvgDCA  float64 // average rear-vehicle deceleration per step, m/s
+
+	Episodes, Finished, Collisions int
+}
+
+// followRadius is how far behind the AV a conventional vehicle must be to
+// count toward AvgDT-C (the paper uses 100 m).
+const followRadius = 100.0
+
+// RunEpisodes evaluates a controller over the given number of test
+// episodes on env (which is Reset per episode).
+func RunEpisodes(ctrl head.Controller, env *head.Env, episodes int) Metrics {
+	m := Metrics{Method: ctrl.Name()}
+	w := env.Cfg.Traffic.World
+	sumDTA, nDTA := 0.0, 0
+	sumDTC, nDTC := 0.0, 0
+	sumMinTTC, nMinTTC := 0.0, 0
+	sumV, nV := 0.0, 0
+	sumJ, nJ := 0.0, 0
+	sumD, nD := 0.0, 0
+	sumCA := 0.0
+	for ep := 0; ep < episodes; ep++ {
+		env.Reset()
+		ctrl.Reset()
+		m.Episodes++
+		minTTC := math.Inf(1)
+		ca := 0
+		// Per-vehicle mean velocity of trailing conventional vehicles.
+		followV := map[int]*[2]float64{} // id → {sumV, count}
+		for !env.Done() {
+			man := ctrl.Decide(env)
+			out := env.StepManeuver(man)
+			av := env.Sim().AV.State
+			sumV += av.V
+			nV++
+			sumJ += out.Jerk
+			nJ++
+			if out.TTCValid {
+				minTTC = math.Min(minTTC, out.TTC)
+			}
+			if out.RearExists {
+				sumD += out.RearDecel
+				nD++
+				if out.RearDecel > env.Cfg.Reward.VThr {
+					ca++
+				}
+			}
+			for _, v := range env.Sim().Vehicles {
+				d := av.Lon - v.State.Lon
+				if d > 0 && d <= followRadius {
+					acc, ok := followV[v.ID]
+					if !ok {
+						acc = &[2]float64{}
+						followV[v.ID] = acc
+					}
+					acc[0] += v.State.V
+					acc[1]++
+				}
+			}
+			if out.Collision {
+				m.Collisions++
+			}
+			if out.Finished {
+				m.Finished++
+				sumDTA += float64(env.Steps()) * w.Dt
+				nDTA++
+			}
+		}
+		if !math.IsInf(minTTC, 1) {
+			sumMinTTC += minTTC
+			nMinTTC++
+		}
+		sumCA += float64(ca)
+		for _, acc := range followV {
+			if acc[1] == 0 {
+				continue
+			}
+			avgV := acc[0] / acc[1]
+			if avgV > 0 {
+				// Effective end-to-end driving time at the vehicle's
+				// observed pace (the spawned vehicles do not physically
+				// traverse the whole road, so extrapolate).
+				sumDTC += w.RoadLength / avgV
+				nDTC++
+			}
+		}
+	}
+	if nDTA > 0 {
+		m.AvgDTA = sumDTA / float64(nDTA)
+	} else if nV > 0 && sumV > 0 {
+		// No episode finished within budget: extrapolate from pace.
+		m.AvgDTA = w.RoadLength / (sumV / float64(nV))
+	}
+	if nDTC > 0 {
+		m.AvgDTC = sumDTC / float64(nDTC)
+	}
+	if m.Episodes > 0 {
+		m.AvgCA = sumCA / float64(m.Episodes)
+	}
+	if nMinTTC > 0 {
+		m.MinTTCA = sumMinTTC / float64(nMinTTC)
+	}
+	if nV > 0 {
+		m.AvgVA = sumV / float64(nV)
+	}
+	if nJ > 0 {
+		m.AvgJA = sumJ / float64(nJ)
+	}
+	if nD > 0 {
+		m.AvgDCA = sumD / float64(nD)
+	}
+	return m
+}

@@ -1,0 +1,318 @@
+// Package head wires the HEAD framework together (Figure 1): the enhanced
+// perception module (sensor → phantom vehicle construction → LST-GAT state
+// prediction) feeds augmented states into the maneuver decision module
+// (BP-DQN over the PAMDP with the hybrid reward function). The package
+// exposes the pipeline as an rl.Env so any PAMDP solver can drive the
+// autonomous vehicle, plus ablation switches for the HEAD-variants of the
+// paper's Table II.
+package head
+
+import (
+	"math"
+	"math/rand"
+
+	"head/internal/phantom"
+	"head/internal/predict"
+	"head/internal/reward"
+	"head/internal/rl"
+	"head/internal/sensor"
+	"head/internal/traffic"
+	"head/internal/world"
+)
+
+// EnvConfig configures a HEAD environment.
+type EnvConfig struct {
+	Traffic traffic.Config
+	Sensor  sensor.Config
+	Reward  reward.Config
+	// MaxSteps bounds an episode (a safety net on top of reaching the
+	// destination or colliding).
+	MaxSteps int
+	// UsePhantom toggles the phantom vehicle construction strategy; when
+	// false (HEAD-w/o-PVC) the states of unobservable vehicles are filled
+	// with zeros instead of the presets of Equations (4)–(6).
+	UsePhantom bool
+	// UsePrediction toggles the LST-GAT future states; when false
+	// (HEAD-w/o-LST-GAT) the augmented state carries zero future states
+	// and decisions rely on current observations only.
+	UsePrediction bool
+}
+
+// DefaultEnvConfig returns the paper's simulated environment settings.
+func DefaultEnvConfig() EnvConfig {
+	return EnvConfig{
+		Traffic:       traffic.DefaultConfig(),
+		Sensor:        sensor.DefaultConfig(),
+		Reward:        reward.DefaultConfig(),
+		MaxSteps:      1200,
+		UsePhantom:    true,
+		UsePrediction: true,
+	}
+}
+
+// scale mirrors the predictor's feature normalization so decision networks
+// see O(1) inputs.
+const (
+	latScale  = 16.0
+	lonScale  = 100.0
+	vScale    = 25.0
+	laneScale = 6.0
+	roadScale = 1000.0
+)
+
+// Env is one HEAD episode environment over the traffic simulator. It
+// implements rl.Env.
+type Env struct {
+	Cfg       EnvConfig
+	Predictor predict.Model // nil disables prediction (w/o-LST-GAT)
+
+	sim       *traffic.Sim
+	sens      *sensor.Sensor
+	builder   *phantom.Builder
+	rng       *rand.Rand
+	graph     *phantom.Graph
+	pred      predict.Prediction
+	prevAccel float64
+	steps     int
+	done      bool
+}
+
+// NewEnv builds an environment. The predictor may be nil, in which case
+// future states are zeros regardless of UsePrediction.
+func NewEnv(cfg EnvConfig, predictor predict.Model, rng *rand.Rand) *Env {
+	return &Env{
+		Cfg:       cfg,
+		Predictor: predictor,
+		sens:      sensor.New(cfg.Sensor, cfg.Traffic.World.LaneWidth),
+		builder: phantom.NewBuilder(phantom.Config{
+			Lanes:     cfg.Traffic.World.Lanes,
+			LaneWidth: cfg.Traffic.World.LaneWidth,
+			R:         cfg.Sensor.R,
+			Dt:        cfg.Traffic.World.Dt,
+		}),
+		rng: rng,
+	}
+}
+
+// Spec implements rl.Env.
+func (e *Env) Spec() rl.StateSpec { return rl.DefaultStateSpec() }
+
+// AMax implements rl.Env.
+func (e *Env) AMax() float64 { return e.Cfg.Traffic.World.AMax }
+
+// Sim exposes the underlying traffic simulation (for rule-based baselines
+// and metric collection).
+func (e *Env) Sim() *traffic.Sim { return e.sim }
+
+// Graph returns the latest spatial-temporal graph (after Reset or Step).
+func (e *Env) Graph() *phantom.Graph { return e.graph }
+
+// Prediction returns the latest one-step future-state prediction.
+func (e *Env) Prediction() predict.Prediction { return e.pred }
+
+// Done reports whether the current episode has terminated.
+func (e *Env) Done() bool { return e.done }
+
+// Steps returns the number of decision steps taken this episode.
+func (e *Env) Steps() int { return e.steps }
+
+// Reset implements rl.Env: it builds a fresh traffic scene, warms the
+// sensor history with z internally controlled steps, and returns the
+// initial augmented state.
+func (e *Env) Reset() []float64 {
+	sim, err := traffic.New(e.Cfg.Traffic, e.rng)
+	if err != nil {
+		// Config was validated by the caller; a failure here is a bug.
+		panic("head: traffic.New: " + err.Error())
+	}
+	e.sim = sim
+	e.sens.Reset()
+	e.prevAccel = 0
+	e.steps = 0
+	e.done = false
+	// Warm up the sensor history: the AV holds its lane with a mild IDM
+	// controller while the first z frames accumulate.
+	params := traffic.DriverParams{
+		DesiredV: e.Cfg.Traffic.World.VMax, TimeHeadway: 1.5, MinGap: 2,
+		MaxAccel: 1.5, ComfortDecel: 2,
+	}
+	for i := 0; i < e.Cfg.Sensor.Z; i++ {
+		e.sens.Observe(e.sim.AV.State, e.sim.Vehicles)
+		leader := e.sim.Leader(e.sim.AV.State.Lat, e.sim.AV.State.Lon, e.sim.AV)
+		gap, dv := math.Inf(1), 0.0
+		if leader != nil {
+			gap = leader.State.Lon - e.sim.AV.State.Lon - e.Cfg.Traffic.World.VehicleLen
+			dv = e.sim.AV.State.V - leader.State.V
+		}
+		a := e.Cfg.Traffic.World.ClampAccel(traffic.IDMAccel(params, e.sim.AV.State.V, gap, dv))
+		if i == e.Cfg.Sensor.Z-1 {
+			// The last warm-up frame is the decision state at t; do not
+			// advance past it.
+			break
+		}
+		e.sim.Step(world.Maneuver{B: world.LaneKeep, A: a})
+		e.prevAccel = a
+	}
+	e.refreshPerception()
+	return e.State()
+}
+
+// refreshPerception rebuilds the spatial-temporal graph and the future
+// state prediction from the current sensor history.
+func (e *Env) refreshPerception() {
+	e.graph = e.builder.Build(e.sens.History())
+	if e.graph != nil && !e.Cfg.UsePhantom {
+		zeroPhantoms(e.graph)
+	}
+	if e.graph != nil && e.Cfg.UsePrediction && e.Predictor != nil {
+		e.pred = e.Predictor.Predict(e.graph)
+	} else {
+		e.pred = predict.Prediction{}
+	}
+}
+
+// zeroPhantoms implements the w/o-PVC ablation: every constructed phantom
+// node's features are replaced by zero states.
+func zeroPhantoms(g *phantom.Graph) {
+	for t := range g.Steps {
+		for n := range g.Steps[t] {
+			if g.Steps[t][n][3] == 1 {
+				g.Steps[t][n] = phantom.Feature{}
+			}
+		}
+	}
+}
+
+// State implements the augmented state s₊ = [hᵗ, f̂ᵗ⁺¹] of Equations
+// (15)–(16), flattened row-major and normalized.
+func (e *Env) State() []float64 {
+	spec := e.Spec()
+	out := make([]float64, spec.Dim())
+	av := e.sim.AV.State
+	// h row 0: the AV's raw state.
+	out[0] = float64(av.Lat) / laneScale
+	out[1] = av.Lon / roadScale
+	out[2] = av.V / vScale
+	out[3] = 0
+	if e.graph == nil {
+		return out
+	}
+	last := e.graph.Steps[len(e.graph.Steps)-1]
+	for i := 0; i < phantom.NumSlots; i++ {
+		f := last[phantom.TargetNode(phantom.Slot(i))]
+		base := (1 + i) * spec.FeatDim
+		out[base+0] = f[0] / latScale
+		out[base+1] = f[1] / lonScale
+		out[base+2] = f[2] / vScale
+		out[base+3] = f[3]
+	}
+	// f̂ rows: predicted relative future states with the IF flags.
+	fBase := spec.HLen()
+	for i := 0; i < phantom.NumSlots; i++ {
+		base := fBase + i*spec.FeatDim
+		out[base+0] = e.pred[i][0] / latScale
+		out[base+1] = e.pred[i][1] / lonScale
+		out[base+2] = e.pred[i][2] / vScale
+		if e.graph.Info[i].Kind != phantom.NotMissing {
+			out[base+3] = 1
+		}
+	}
+	return out
+}
+
+// StepOutcome carries the rich per-step information metric collectors
+// need beyond the reward scalar.
+type StepOutcome struct {
+	Reward    float64
+	Terms     reward.Terms
+	Collision bool
+	Finished  bool
+	Done      bool
+	// TTC after the action (valid only when TTCValid).
+	TTC      float64
+	TTCValid bool
+	// RearExists reports whether a conventional vehicle was directly
+	// behind the AV before the step; RearDecel is its velocity drop
+	// across the step (0 when absent or accelerating).
+	RearExists bool
+	RearDecel  float64
+	// Jerk is |a_t − a_{t−1}|.
+	Jerk float64
+}
+
+// Step implements rl.Env.
+func (e *Env) Step(b int, a float64) ([]float64, float64, bool) {
+	out := e.StepManeuver(world.Maneuver{B: world.Behavior(b), A: a})
+	return e.State(), out.Reward, out.Done
+}
+
+// StepManeuver advances the environment by one maneuver and evaluates the
+// hybrid reward. It is the richer form of Step used by rule-based
+// controllers and the metric harness.
+func (e *Env) StepManeuver(m world.Maneuver) StepOutcome {
+	if e.done {
+		return StepOutcome{Done: true}
+	}
+	w := e.Cfg.Traffic.World
+	m.A = w.ClampAccel(m.A)
+
+	// Pre-step ground truth about the rear conventional vehicle.
+	rearBefore := e.sim.Follower(e.sim.AV.State.Lat, e.sim.AV.State.Lon, e.sim.AV)
+	var rearID int = -1
+	var rearVNow float64
+	if rearBefore != nil {
+		rearID = rearBefore.ID
+		rearVNow = rearBefore.State.V
+	}
+	frontPhantom := e.graph != nil && e.graph.Info[phantom.Front].Kind != phantom.NotMissing
+	rearPhantom := e.graph != nil && e.graph.Info[phantom.Rear].Kind != phantom.NotMissing
+
+	res := e.sim.Step(m)
+	e.steps++
+
+	var out StepOutcome
+	out.Collision = res.AVCollision
+	out.Finished = res.AVFinished
+	out.Jerk = math.Abs(m.A - e.prevAccel)
+
+	// Post-step reward inputs.
+	in := reward.Inputs{
+		Collision:      out.Collision,
+		V:              e.sim.AV.State.V,
+		Accel:          m.A,
+		PrevAccel:      e.prevAccel,
+		FrontIsPhantom: frontPhantom,
+		RearIsPhantom:  rearPhantom,
+	}
+	if front := e.sim.Leader(e.sim.AV.State.Lat, e.sim.AV.State.Lon, e.sim.AV); front != nil {
+		if ttc, ok := world.TTC(e.sim.AV.State, front.State, w.VehicleLen); ok {
+			in.TTC, in.TTCValid = ttc, true
+			out.TTC, out.TTCValid = ttc, true
+		}
+	}
+	if rearID >= 0 {
+		for _, v := range e.sim.Vehicles {
+			if v.ID == rearID {
+				in.RearExists = true
+				out.RearExists = true
+				in.RearVNow = rearVNow
+				in.RearVNext = v.State.V
+				if d := rearVNow - v.State.V; d > 0 {
+					out.RearDecel = d
+				}
+				break
+			}
+		}
+	}
+	out.Reward, out.Terms = e.Cfg.Reward.Evaluate(in)
+	e.prevAccel = m.A
+
+	if out.Collision || out.Finished || e.steps >= e.Cfg.MaxSteps {
+		e.done = true
+	} else {
+		e.sens.Observe(e.sim.AV.State, e.sim.Vehicles)
+		e.refreshPerception()
+	}
+	out.Done = e.done
+	return out
+}

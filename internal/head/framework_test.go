@@ -1,0 +1,89 @@
+package head
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"head/internal/ngsim"
+	"head/internal/predict"
+	"head/internal/rl"
+)
+
+func tinyFrameworkConfig() FrameworkConfig {
+	cfg := DefaultFrameworkConfig()
+	cfg.Env = tinyEnvConfig()
+	cfg.Env.MaxSteps = 50
+	cfg.Predict = predict.LSTGATConfig{AttnDim: 8, GATOut: 8, HiddenDim: 8, Z: 5, LR: 0.01}
+	cfg.RL = rl.DefaultPDQNConfig()
+	cfg.RL.Warmup = 30
+	cfg.RL.BatchSize = 8
+	cfg.Hidden = 8
+	return cfg
+}
+
+func tinyDataset(t *testing.T) *ngsim.Dataset {
+	t.Helper()
+	dcfg := ngsim.DefaultConfig()
+	dcfg.Traffic.World.RoadLength = 400
+	dcfg.Rollouts = 1
+	dcfg.StepsPerRollout = 8
+	dcfg.WarmupSteps = 5
+	ds, err := ngsim.Generate(dcfg, rand.New(rand.NewSource(50)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds
+}
+
+func TestFrameworkEndToEnd(t *testing.T) {
+	fw := NewFramework(tinyFrameworkConfig(), rand.New(rand.NewSource(51)))
+	res := fw.TrainPerception(tinyDataset(t), predict.TrainConfig{Epochs: 1, BatchSize: 16},
+		rand.New(rand.NewSource(52)))
+	if len(res.EpochLosses) != 1 {
+		t.Fatalf("perception training: %+v", res)
+	}
+	rlRes := fw.TrainDecision(2, rand.New(rand.NewSource(53)))
+	if len(rlRes.EpisodeRewards) != 2 {
+		t.Fatalf("decision training: %+v", rlRes)
+	}
+	env := fw.NewEnv(rand.New(rand.NewSource(54)))
+	env.Reset()
+	m := fw.Controller().Decide(env)
+	if a := m.A; a < -env.AMax() || a > env.AMax() {
+		t.Errorf("controller accel %g out of bounds", a)
+	}
+}
+
+func TestFrameworkSaveLoadRoundTrip(t *testing.T) {
+	src := NewFramework(tinyFrameworkConfig(), rand.New(rand.NewSource(55)))
+	var buf bytes.Buffer
+	if err := src.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	dst := NewFramework(tinyFrameworkConfig(), rand.New(rand.NewSource(56)))
+	if err := dst.Load(&buf); err != nil {
+		t.Fatal(err)
+	}
+	env := src.NewEnv(rand.New(rand.NewSource(57)))
+	state := env.Reset()
+	a := src.Agent.Act(state, false)
+	b := dst.Agent.Act(state, false)
+	if a.B != b.B || a.A != b.A {
+		t.Error("restored framework acts differently")
+	}
+}
+
+func TestFrameworkLoadRejectsMismatch(t *testing.T) {
+	src := NewFramework(tinyFrameworkConfig(), rand.New(rand.NewSource(58)))
+	var buf bytes.Buffer
+	if err := src.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	other := tinyFrameworkConfig()
+	other.Hidden = 16
+	dst := NewFramework(other, rand.New(rand.NewSource(59)))
+	if err := dst.Load(&buf); err == nil {
+		t.Error("expected architecture mismatch error")
+	}
+}

@@ -1,0 +1,100 @@
+package head
+
+import (
+	"math/rand"
+
+	"head/internal/rl"
+	"head/internal/world"
+)
+
+// Controller is a maneuver decision policy evaluated in the end-to-end
+// harness: given the environment's current perception it returns the
+// maneuver the autonomous vehicle performs this step.
+type Controller interface {
+	// Name identifies the controller in reports (e.g. "HEAD", "IDM-LC").
+	Name() string
+	// Decide returns the maneuver for the current step.
+	Decide(env *Env) world.Maneuver
+	// Reset clears per-episode state.
+	Reset()
+}
+
+// AgentController adapts a (typically trained) rl.Agent into a greedy
+// Controller. With a BP-DQN agent and full perception this is the complete
+// HEAD framework.
+type AgentController struct {
+	ControllerName string
+	Agent          rl.Agent
+}
+
+// Name implements Controller.
+func (c *AgentController) Name() string { return c.ControllerName }
+
+// Reset implements Controller.
+func (c *AgentController) Reset() {}
+
+// Decide implements Controller.
+func (c *AgentController) Decide(env *Env) world.Maneuver {
+	act := c.Agent.Act(env.State(), false)
+	return world.Maneuver{B: world.Behavior(act.B), A: act.A}
+}
+
+// Variant selects a HEAD ablation of Table II.
+type Variant int
+
+// The framework variants evaluated in the ablation study.
+const (
+	// Full is the complete HEAD framework.
+	Full Variant = iota
+	// WithoutPVC removes the phantom vehicle construction strategy
+	// (unobservable vehicles are zero-filled).
+	WithoutPVC
+	// WithoutLSTGAT removes the state prediction model (decisions use
+	// current observable states only).
+	WithoutLSTGAT
+	// WithoutBPDQN replaces BP-DQN with vanilla P-DQN.
+	WithoutBPDQN
+	// WithoutImpact removes the impact reward value (w4 = 0).
+	WithoutImpact
+)
+
+// String implements fmt.Stringer using the paper's variant names.
+func (v Variant) String() string {
+	switch v {
+	case Full:
+		return "HEAD"
+	case WithoutPVC:
+		return "HEAD-w/o-PVC"
+	case WithoutLSTGAT:
+		return "HEAD-w/o-LST-GAT"
+	case WithoutBPDQN:
+		return "HEAD-w/o-BP-DQN"
+	case WithoutImpact:
+		return "HEAD-w/o-IMP"
+	default:
+		return "HEAD-variant?"
+	}
+}
+
+// ApplyVariant adjusts an EnvConfig for the ablation.
+func ApplyVariant(cfg EnvConfig, v Variant) EnvConfig {
+	switch v {
+	case WithoutPVC:
+		cfg.UsePhantom = false
+	case WithoutLSTGAT:
+		cfg.UsePrediction = false
+	case WithoutImpact:
+		cfg.Reward.Weights.Impact = 0
+	}
+	return cfg
+}
+
+// NewVariantAgent constructs the decision agent matching the variant:
+// BP-DQN for every variant except WithoutBPDQN, which uses vanilla P-DQN.
+// hidden is the per-branch (or per-layer) hidden width.
+func NewVariantAgent(v Variant, cfg rl.PDQNConfig, spec rl.StateSpec, aMax float64, hidden int, rng *rand.Rand) rl.Agent {
+	if v == WithoutBPDQN {
+		return rl.NewVanillaPDQN(cfg, spec, aMax, hidden, rng)
+	}
+	return rl.NewBPDQN(cfg, spec, aMax, hidden, rng)
+}

@@ -1,0 +1,187 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+
+	"head/internal/tensor"
+)
+
+// LSTM is a standard long short-term memory recurrent layer (Hochreiter &
+// Schmidhuber) processing a sequence of batch matrices. Gate weights are
+// packed input/forget/cell/output side by side in 4H-wide matrices. The
+// initial hidden and cell states are zero, matching Equation (12)'s
+// convention that h defaults to zeros at τ = t−z+1.
+type LSTM struct {
+	In, Hidden int
+	Wx         *Param // In×4H input weights
+	Wh         *Param // H×4H recurrent weights
+	B          *Param // 1×4H bias
+
+	// forward caches, one entry per time step
+	xs, hs, cs             []*tensor.Matrix
+	ig, fg, gg, og, tanhCs []*tensor.Matrix
+}
+
+// NewLSTM returns a Xavier-initialized LSTM with the given input and hidden
+// sizes. The forget-gate bias is initialized to 1, the common trick that
+// stabilizes early training.
+func NewLSTM(name string, in, hidden int, rng *rand.Rand) *LSTM {
+	l := &LSTM{
+		In:     in,
+		Hidden: hidden,
+		Wx:     NewParam(name+".Wx", in, 4*hidden),
+		Wh:     NewParam(name+".Wh", hidden, 4*hidden),
+		B:      NewParam(name+".b", 1, 4*hidden),
+	}
+	xavier(l.Wx, rng, in, hidden)
+	xavier(l.Wh, rng, hidden, hidden)
+	for j := hidden; j < 2*hidden; j++ {
+		l.B.W.Data[j] = 1 // forget gate bias
+	}
+	return l
+}
+
+// Params implements Module.
+func (l *LSTM) Params() []*Param { return []*Param{l.Wx, l.Wh, l.B} }
+
+// Share returns a new LSTM that shares l's parameters but has independent
+// forward caches, so the same recurrent weights can encode several
+// sequences within one backward pass.
+func (l *LSTM) Share() *LSTM {
+	return &LSTM{In: l.In, Hidden: l.Hidden, Wx: l.Wx, Wh: l.Wh, B: l.B}
+}
+
+func sigmoid(x float64) float64 { return 1 / (1 + math.Exp(-x)) }
+
+// Forward runs the LSTM over seq (each element a batch×In matrix for one
+// time step) and returns the hidden state batch×Hidden at every step. All
+// target vehicles are processed in parallel as rows of the batch, which is
+// the batched-sequence parallelism the paper relies on for efficiency.
+func (l *LSTM) Forward(seq []*tensor.Matrix) []*tensor.Matrix {
+	n := len(seq)
+	l.xs = append(l.xs[:0], seq...)
+	l.hs = make([]*tensor.Matrix, n)
+	l.cs = make([]*tensor.Matrix, n)
+	l.ig = make([]*tensor.Matrix, n)
+	l.fg = make([]*tensor.Matrix, n)
+	l.gg = make([]*tensor.Matrix, n)
+	l.og = make([]*tensor.Matrix, n)
+	l.tanhCs = make([]*tensor.Matrix, n)
+	if n == 0 {
+		return nil
+	}
+	batch := seq[0].Rows
+	H := l.Hidden
+	hPrev := tensor.New(batch, H)
+	cPrev := tensor.New(batch, H)
+	out := make([]*tensor.Matrix, n)
+	for t, x := range seq {
+		z := tensor.MatMul(x, l.Wx.W)
+		tensor.AddInPlace(z, tensor.MatMul(hPrev, l.Wh.W))
+		for r := 0; r < batch; r++ {
+			row := z.Row(r)
+			for j, b := range l.B.W.Data {
+				row[j] += b
+			}
+		}
+		i := tensor.New(batch, H)
+		f := tensor.New(batch, H)
+		g := tensor.New(batch, H)
+		o := tensor.New(batch, H)
+		c := tensor.New(batch, H)
+		tc := tensor.New(batch, H)
+		h := tensor.New(batch, H)
+		for r := 0; r < batch; r++ {
+			zr := z.Row(r)
+			for j := 0; j < H; j++ {
+				iv := sigmoid(zr[j])
+				fv := sigmoid(zr[H+j])
+				gv := math.Tanh(zr[2*H+j])
+				ov := sigmoid(zr[3*H+j])
+				cv := fv*cPrev.At(r, j) + iv*gv
+				tcv := math.Tanh(cv)
+				i.Set(r, j, iv)
+				f.Set(r, j, fv)
+				g.Set(r, j, gv)
+				o.Set(r, j, ov)
+				c.Set(r, j, cv)
+				tc.Set(r, j, tcv)
+				h.Set(r, j, ov*tcv)
+			}
+		}
+		l.ig[t], l.fg[t], l.gg[t], l.og[t] = i, f, g, o
+		l.cs[t], l.tanhCs[t], l.hs[t] = c, tc, h
+		out[t] = h
+		hPrev, cPrev = h, c
+	}
+	return out
+}
+
+// Backward runs backpropagation through time. dHidden holds the loss
+// gradient with respect to the hidden state at each step; nil entries are
+// treated as zero (e.g. when the loss only touches the final step).
+// Parameter gradients accumulate; the returned slice is the gradient with
+// respect to each input step.
+func (l *LSTM) Backward(dHidden []*tensor.Matrix) []*tensor.Matrix {
+	n := len(l.xs)
+	if n == 0 {
+		return nil
+	}
+	batch := l.hs[0].Rows
+	H := l.Hidden
+	dxs := make([]*tensor.Matrix, n)
+	dhNext := tensor.New(batch, H)
+	dcNext := tensor.New(batch, H)
+	for t := n - 1; t >= 0; t-- {
+		dh := dhNext
+		if t < len(dHidden) && dHidden[t] != nil {
+			dh = tensor.Add(dh, dHidden[t])
+		}
+		i, f, g, o := l.ig[t], l.fg[t], l.gg[t], l.og[t]
+		tc := l.tanhCs[t]
+		var cPrev *tensor.Matrix
+		if t > 0 {
+			cPrev = l.cs[t-1]
+		} else {
+			cPrev = tensor.New(batch, H)
+		}
+		dz := tensor.New(batch, 4*H)
+		dcPrev := tensor.New(batch, H)
+		for r := 0; r < batch; r++ {
+			for j := 0; j < H; j++ {
+				dhv := dh.At(r, j)
+				ov, tcv := o.At(r, j), tc.At(r, j)
+				dc := dcNext.At(r, j) + dhv*ov*(1-tcv*tcv)
+				do := dhv * tcv
+				iv, fv, gv := i.At(r, j), f.At(r, j), g.At(r, j)
+				di := dc * gv
+				df := dc * cPrev.At(r, j)
+				dg := dc * iv
+				dcPrev.Set(r, j, dc*fv)
+				dz.Set(r, j, di*iv*(1-iv))
+				dz.Set(r, H+j, df*fv*(1-fv))
+				dz.Set(r, 2*H+j, dg*(1-gv*gv))
+				dz.Set(r, 3*H+j, do*ov*(1-ov))
+			}
+		}
+		tensor.AddInPlace(l.Wx.Grad, tensor.MatMul(tensor.Transpose(l.xs[t]), dz))
+		var hPrev *tensor.Matrix
+		if t > 0 {
+			hPrev = l.hs[t-1]
+		} else {
+			hPrev = tensor.New(batch, H)
+		}
+		tensor.AddInPlace(l.Wh.Grad, tensor.MatMul(tensor.Transpose(hPrev), dz))
+		for r := 0; r < batch; r++ {
+			row := dz.Row(r)
+			for j, gv := range row {
+				l.B.Grad.Data[j] += gv
+			}
+		}
+		dxs[t] = tensor.MatMul(dz, tensor.Transpose(l.Wx.W))
+		dhNext = tensor.MatMul(dz, tensor.Transpose(l.Wh.W))
+		dcNext = dcPrev
+	}
+	return dxs
+}

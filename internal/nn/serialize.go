@@ -1,0 +1,59 @@
+package nn
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+)
+
+// paramBlob is the wire format of one parameter.
+type paramBlob struct {
+	Name       string
+	Rows, Cols int
+	Data       []float64
+}
+
+// Save writes every parameter of m to w in a stable, self-describing
+// format. Use Load with an identically constructed module to restore.
+func Save(w io.Writer, m Module) error {
+	params := m.Params()
+	blobs := make([]paramBlob, len(params))
+	for i, p := range params {
+		blobs[i] = paramBlob{Name: p.Name, Rows: p.W.Rows, Cols: p.W.Cols, Data: p.W.Data}
+	}
+	if err := gob.NewEncoder(w).Encode(blobs); err != nil {
+		return fmt.Errorf("nn: save: %w", err)
+	}
+	return nil
+}
+
+// Load restores parameters previously written by Save into m. The module
+// must have the same architecture (same parameter names and shapes in the
+// same order) as the one that was saved.
+func Load(r io.Reader, m Module) error {
+	var blobs []paramBlob
+	if err := gob.NewDecoder(r).Decode(&blobs); err != nil {
+		return fmt.Errorf("nn: load: %w", err)
+	}
+	params := m.Params()
+	if len(blobs) != len(params) {
+		return fmt.Errorf("nn: load: parameter count mismatch: saved %d, module has %d",
+			len(blobs), len(params))
+	}
+	for i, p := range params {
+		b := blobs[i]
+		if b.Name != p.Name {
+			return fmt.Errorf("nn: load: parameter %d name mismatch: saved %q, module has %q",
+				i, b.Name, p.Name)
+		}
+		if b.Rows != p.W.Rows || b.Cols != p.W.Cols {
+			return fmt.Errorf("nn: load: parameter %q shape mismatch: saved %dx%d, module has %dx%d",
+				b.Name, b.Rows, b.Cols, p.W.Rows, p.W.Cols)
+		}
+		if len(b.Data) != len(p.W.Data) {
+			return fmt.Errorf("nn: load: parameter %q data length mismatch", b.Name)
+		}
+		copy(p.W.Data, b.Data)
+	}
+	return nil
+}

@@ -1,0 +1,298 @@
+package phantom
+
+import (
+	"math"
+	"testing"
+
+	"head/internal/sensor"
+	"head/internal/world"
+)
+
+func testBuilder() *Builder {
+	return NewBuilder(Config{Lanes: 6, LaneWidth: 3.2, R: 100, Dt: 0.5})
+}
+
+// frameSeq builds z identical frames with the AV cruising and the given
+// observed vehicles moving at constant velocity.
+func frameSeq(z int, av world.State, observed map[int]world.State) []sensor.Frame {
+	frames := make([]sensor.Frame, z)
+	for t := 0; t < z; t++ {
+		back := float64(z - 1 - t)
+		f := sensor.Frame{
+			AV:       world.State{Lat: av.Lat, Lon: av.Lon - av.V*0.5*back, V: av.V},
+			Observed: make(map[int]world.State, len(observed)),
+		}
+		for id, st := range observed {
+			f.Observed[id] = world.State{Lat: st.Lat, Lon: st.Lon - st.V*0.5*back, V: st.V}
+		}
+		frames[t] = f
+	}
+	return frames
+}
+
+func TestSlotHelpers(t *testing.T) {
+	if FrontLeft.laneOffset() != -1 || Front.laneOffset() != 0 || RearRight.laneOffset() != 1 {
+		t.Error("laneOffset mismatch")
+	}
+	if !Front.isFront() || Rear.isFront() {
+		t.Error("isFront mismatch")
+	}
+	// Footnote mapping: A is C1.6, C2.5, C3.4, C4.3, C5.2, C6.1.
+	want := map[Slot]Slot{FrontLeft: RearRight, Front: Rear, FrontRight: RearLeft,
+		RearLeft: FrontRight, Rear: Front, RearRight: FrontLeft}
+	for i, w := range want {
+		if got := avSlot(i); got != w {
+			t.Errorf("avSlot(%d) = %d, want %d", i, got, w)
+		}
+	}
+}
+
+func TestNodeIndexing(t *testing.T) {
+	if NumNodes != 42 {
+		t.Fatalf("NumNodes = %d, want 42", NumNodes)
+	}
+	seen := map[int]bool{}
+	for i := Slot(0); i < NumSlots; i++ {
+		seen[TargetNode(i)] = true
+		for j := Slot(0); j < NumSlots; j++ {
+			n := SurrounderNode(i, j)
+			if seen[n] {
+				t.Fatalf("node %d assigned twice", n)
+			}
+			seen[n] = true
+		}
+	}
+	if len(seen) != NumNodes {
+		t.Fatalf("indexing covers %d nodes, want %d", len(seen), NumNodes)
+	}
+}
+
+func TestBuildEmptyHistory(t *testing.T) {
+	if g := testBuilder().Build(nil); g != nil {
+		t.Error("Build(nil) should return nil")
+	}
+}
+
+func TestBuildGraphShape(t *testing.T) {
+	b := testBuilder()
+	av := world.State{Lat: 3, Lon: 500, V: 20}
+	frames := frameSeq(5, av, map[int]world.State{
+		1: {Lat: 3, Lon: 540, V: 18},
+	})
+	g := b.Build(frames)
+	if len(g.Steps) != 5 {
+		t.Fatalf("z = %d, want 5", len(g.Steps))
+	}
+	for t_, step := range g.Steps {
+		if len(step) != NumNodes {
+			t.Fatalf("step %d has %d nodes", t_, len(step))
+		}
+	}
+	if len(g.Targets) != 6 || len(g.Neighbors) != 6 {
+		t.Fatalf("targets/neighbors: %d/%d", len(g.Targets), len(g.Neighbors))
+	}
+	for i, nbrs := range g.Neighbors {
+		if len(nbrs) != 7 {
+			t.Errorf("target %d has %d neighbors, want 7 (6 surrounders + self)", i, len(nbrs))
+		}
+		if nbrs[len(nbrs)-1] != TargetNode(Slot(i)) {
+			t.Errorf("target %d missing self-loop", i)
+		}
+	}
+}
+
+func TestBuildSelectsObservedTargets(t *testing.T) {
+	b := testBuilder()
+	av := world.State{Lat: 3, Lon: 500, V: 20}
+	obs := map[int]world.State{
+		1: {Lat: 2, Lon: 540, V: 18}, // front left
+		2: {Lat: 3, Lon: 530, V: 19}, // front
+		3: {Lat: 4, Lon: 520, V: 17}, // front right
+		4: {Lat: 2, Lon: 460, V: 21}, // rear left
+		5: {Lat: 3, Lon: 470, V: 22}, // rear
+		6: {Lat: 4, Lon: 480, V: 20}, // rear right
+	}
+	g := b.Build(frameSeq(5, av, obs))
+	for i := Slot(0); i < NumSlots; i++ {
+		info := g.Info[i]
+		if info.Kind != NotMissing {
+			t.Errorf("slot %d: kind %v, want observed", i, info.Kind)
+		}
+		if info.ID != int(i)+1 {
+			t.Errorf("slot %d: ID %d, want %d", i, info.ID, int(i)+1)
+		}
+	}
+	// Front target feature check at the last step: d_lat=0, d_lon=30, v=-1.
+	f := g.Steps[4][TargetNode(Front)]
+	if f[0] != 0 || math.Abs(f[1]-30) > 1e-9 || math.Abs(f[2]-(-1)) > 1e-9 || f[3] != 0 {
+		t.Errorf("front target feature = %v", f)
+	}
+}
+
+func TestBuildNearestWins(t *testing.T) {
+	b := testBuilder()
+	av := world.State{Lat: 3, Lon: 500, V: 20}
+	obs := map[int]world.State{
+		1: {Lat: 3, Lon: 560, V: 18},
+		2: {Lat: 3, Lon: 530, V: 19}, // nearer: should be the Front target
+	}
+	g := b.Build(frameSeq(5, av, obs))
+	if g.Info[Front].ID != 2 {
+		t.Errorf("front target ID = %d, want 2 (nearest)", g.Info[Front].ID)
+	}
+}
+
+func TestBuildRangeMissingTargets(t *testing.T) {
+	b := testBuilder()
+	av := world.State{Lat: 3, Lon: 500, V: 20}
+	g := b.Build(frameSeq(5, av, nil)) // nothing observed
+	// Lanes 2,3,4 all exist, so every slot is range missing.
+	for i := Slot(0); i < NumSlots; i++ {
+		if g.Info[i].Kind != RangeMissing {
+			t.Errorf("slot %d kind = %v, want range", i, g.Info[i].Kind)
+		}
+	}
+	// Eq (4): front phantom at A.lon + R with A's velocity.
+	cur := g.Info[Front].Current
+	if cur.Lat != 3 || math.Abs(cur.Lon-600) > 1e-9 || cur.V != 20 {
+		t.Errorf("front range phantom = %+v, want lane 3, lon 600, v 20", cur)
+	}
+	rl := g.Info[RearLeft].Current
+	if rl.Lat != 2 || math.Abs(rl.Lon-400) > 1e-9 {
+		t.Errorf("rear-left range phantom = %+v, want lane 2, lon 400", rl)
+	}
+	// Feature IF flag must be 1 for phantoms.
+	if f := g.Steps[4][TargetNode(Front)]; f[3] != 1 {
+		t.Errorf("phantom IF flag = %g, want 1", f[3])
+	}
+}
+
+func TestBuildInherentMissing(t *testing.T) {
+	b := testBuilder()
+	av := world.State{Lat: 1, Lon: 500, V: 20} // leftmost lane
+	g := b.Build(frameSeq(5, av, nil))
+	for _, i := range []Slot{FrontLeft, RearLeft} {
+		info := g.Info[i]
+		if info.Kind != InherentMissing {
+			t.Errorf("slot %d kind = %v, want inherent", i, info.Kind)
+		}
+		// Eq (5): lat = 0, lon = A.lon, v = A.v — a moving road boundary.
+		if info.Current.Lat != 0 || info.Current.Lon != 500 || info.Current.V != 20 {
+			t.Errorf("slot %d phantom = %+v", i, info.Current)
+		}
+	}
+	// Rightmost-lane case.
+	av = world.State{Lat: 6, Lon: 500, V: 20}
+	g = b.Build(frameSeq(5, av, nil))
+	for _, i := range []Slot{FrontRight, RearRight} {
+		if g.Info[i].Kind != InherentMissing || g.Info[i].Current.Lat != 7 {
+			t.Errorf("slot %d = %+v, want inherent at lane 7", i, g.Info[i])
+		}
+	}
+}
+
+func TestBuildOcclusionMissingSurrounder(t *testing.T) {
+	b := testBuilder()
+	av := world.State{Lat: 3, Lon: 500, V: 20}
+	// One observed front vehicle 40 m ahead; its own front area (slot
+	// Front, the diagonal (2,2) case) is empty, so an occlusion phantom is
+	// placed 40 m beyond it per Eq (6).
+	obs := map[int]world.State{1: {Lat: 3, Lon: 540, V: 18}}
+	g := b.Build(frameSeq(5, av, obs))
+	node := SurrounderNode(Front, Front)
+	f := g.Steps[4][node]
+	// Relative to AV: d_lat = 0, d_lon = (540 + 40) - 500 = 80, v = -2, IF = 1.
+	if f[0] != 0 || math.Abs(f[1]-80) > 1e-9 || math.Abs(f[2]-(-2)) > 1e-9 || f[3] != 1 {
+		t.Errorf("occlusion phantom feature = %v, want [0, 80, -2, 1]", f)
+	}
+}
+
+func TestBuildAVSlotUsesRawState(t *testing.T) {
+	b := testBuilder()
+	av := world.State{Lat: 3, Lon: 500, V: 20}
+	obs := map[int]world.State{1: {Lat: 3, Lon: 540, V: 18}}
+	g := b.Build(frameSeq(5, av, obs))
+	// A is C2.5 (the rear surrounder of the front target).
+	f := g.Steps[4][SurrounderNode(Front, Rear)]
+	if f[0] != 3 || f[1] != 500 || f[2] != 20 || f[3] != 0 {
+		t.Errorf("AV slot feature = %v, want raw [3, 500, 20, 0]", f)
+	}
+}
+
+func TestBuildPhantomTargetSurroundersZeroPadded(t *testing.T) {
+	b := testBuilder()
+	av := world.State{Lat: 3, Lon: 500, V: 20}
+	g := b.Build(frameSeq(5, av, nil))
+	// All targets are phantoms; their non-AV surrounders must be zero.
+	for i := Slot(0); i < NumSlots; i++ {
+		for j := Slot(0); j < NumSlots; j++ {
+			if j == avSlot(i) {
+				continue
+			}
+			f := g.Steps[4][SurrounderNode(i, j)]
+			if f != (Feature{}) {
+				t.Errorf("surrounder (%d,%d) of phantom target = %v, want zeros", i, j, f)
+			}
+		}
+	}
+}
+
+func TestBuildObservedSurrounder(t *testing.T) {
+	b := testBuilder()
+	av := world.State{Lat: 3, Lon: 500, V: 20}
+	obs := map[int]world.State{
+		1: {Lat: 3, Lon: 540, V: 18}, // front target
+		2: {Lat: 2, Lon: 560, V: 19}, // front-left of the front target
+	}
+	g := b.Build(frameSeq(5, av, obs))
+	f := g.Steps[4][SurrounderNode(Front, FrontLeft)]
+	if math.Abs(f[0]-(-3.2)) > 1e-9 || math.Abs(f[1]-60) > 1e-9 || f[3] != 0 {
+		t.Errorf("observed surrounder feature = %v, want d_lat=-3.2 d_lon=60 IF=0", f)
+	}
+}
+
+func TestFillHistoryExtrapolates(t *testing.T) {
+	av := world.State{Lat: 3, Lon: 500, V: 20}
+	frames := frameSeq(5, av, map[int]world.State{1: {Lat: 3, Lon: 540, V: 18}})
+	// Erase the vehicle from the two oldest frames (occluded then).
+	delete(frames[0].Observed, 1)
+	delete(frames[1].Observed, 1)
+	traj := fillHistory(frames, 1, 0.5)
+	// Frame 2 is observed at lon 540 - 18*0.5*2 = 522; frames 1 and 0
+	// extrapolate backwards at constant velocity.
+	if math.Abs(traj[2].Lon-522) > 1e-9 {
+		t.Fatalf("observed frame lon = %g, want 522", traj[2].Lon)
+	}
+	if math.Abs(traj[1].Lon-(522-9)) > 1e-9 || math.Abs(traj[0].Lon-(522-18)) > 1e-9 {
+		t.Errorf("extrapolated lons = %g, %g", traj[0].Lon, traj[1].Lon)
+	}
+	if traj[0].Lat != 3 || traj[0].V != 18 {
+		t.Errorf("extrapolation changed lane/velocity: %+v", traj[0])
+	}
+}
+
+func TestBuildTemporalConsistency(t *testing.T) {
+	// Relative features should evolve smoothly across steps for constant
+	// velocities: d_lon changes by (v_c - v_a)·Δt each step.
+	b := testBuilder()
+	av := world.State{Lat: 3, Lon: 500, V: 20}
+	obs := map[int]world.State{1: {Lat: 3, Lon: 540, V: 18}}
+	g := b.Build(frameSeq(5, av, obs))
+	for t_ := 1; t_ < 5; t_++ {
+		prev := g.Steps[t_-1][TargetNode(Front)]
+		cur := g.Steps[t_][TargetNode(Front)]
+		if math.Abs((cur[1]-prev[1])-(-1)) > 1e-9 { // (18-20)*0.5 = -1
+			t.Errorf("step %d: Δd_lon = %g, want -1", t_, cur[1]-prev[1])
+		}
+	}
+}
+
+func TestMissingKindString(t *testing.T) {
+	if NotMissing.String() != "observed" || RangeMissing.String() != "range" ||
+		OcclusionMissing.String() != "occlusion" || InherentMissing.String() != "inherent" {
+		t.Error("MissingKind.String mismatch")
+	}
+	if MissingKind(99).String() != "unknown" {
+		t.Error("unknown kind")
+	}
+}

@@ -1,0 +1,126 @@
+package policy
+
+import (
+	"math/rand"
+
+	"head/internal/head"
+	"head/internal/nn"
+	"head/internal/rl"
+	"head/internal/tensor"
+	"head/internal/world"
+)
+
+// accelLevels are DRL-SC's discretized longitudinal actions.
+var accelLevels = []float64{-1, 0, 1} // scaled by a′ at use
+
+// DRLSC is the deep-reinforcement-learning-with-safety-check baseline
+// (Nageshrao et al.): a plain DQN over the discretized maneuver set
+// {ll, lr, lk} × {brake, hold, accelerate}, with a rule-based safety layer
+// that vetoes unsafe selections. It learns on the same augmented state as
+// HEAD but without continuous acceleration control.
+type DRLSC struct {
+	cfg     rl.PDQNConfig
+	spec    rl.StateSpec
+	aMax    float64
+	qn, qt  *nn.Sequential
+	opt     *nn.Adam
+	buf     *rl.Replay
+	rng     *rand.Rand
+	steps   int
+	actions int
+}
+
+// NewDRLSC builds the DRL-SC baseline with hidden width h.
+func NewDRLSC(cfg rl.PDQNConfig, spec rl.StateSpec, aMax float64, h int, rng *rand.Rand) *DRLSC {
+	actions := rl.NumBehaviors * len(accelLevels)
+	mk := func(name string) *nn.Sequential {
+		return nn.NewSequential(
+			nn.NewLinear(name+".l1", spec.Dim(), h, rng),
+			&nn.ReLU{},
+			nn.NewLinear(name+".l2", h, h, rng),
+			&nn.ReLU{},
+			nn.NewLinear(name+".l3", h, actions, rng),
+		)
+	}
+	d := &DRLSC{
+		cfg:     cfg,
+		spec:    spec,
+		aMax:    aMax,
+		qn:      mk("drlsc.q"),
+		qt:      mk("drlsc.qt"),
+		opt:     nn.NewAdam(cfg.LR),
+		buf:     rl.NewReplay(cfg.ReplayCap),
+		rng:     rng,
+		actions: actions,
+	}
+	nn.CopyParams(d.qt, d.qn)
+	return d
+}
+
+// Name implements rl.Agent and head.Controller.
+func (d *DRLSC) Name() string { return "DRL-SC" }
+
+// Params implements nn.Module over the online and target Q networks, so a
+// trained agent can be checkpointed with nn.Save.
+func (d *DRLSC) Params() []*nn.Param {
+	return append(d.qn.Params(), d.qt.Params()...)
+}
+
+// Reset implements head.Controller.
+func (d *DRLSC) Reset() {}
+
+// decode maps a flat action index to (behavior, acceleration).
+func (d *DRLSC) decode(idx int) (int, float64) {
+	return idx / len(accelLevels), accelLevels[idx%len(accelLevels)] * d.aMax
+}
+
+// Act implements rl.Agent. The Raw vector stores the flat action index so
+// replay can reconstruct it.
+func (d *DRLSC) Act(state []float64, explore bool) rl.Action {
+	idx := 0
+	if explore && d.rng.Float64() < d.cfg.Eps.At(d.steps) {
+		idx = d.rng.Intn(d.actions)
+	} else {
+		q := d.qn.Forward(tensor.FromSlice(1, len(state), state))
+		idx = q.ArgmaxRow(0)
+	}
+	b, a := d.decode(idx)
+	return rl.Action{B: b, A: a, Raw: []float64{float64(idx)}}
+}
+
+// Observe implements rl.Agent with standard DQN updates.
+func (d *DRLSC) Observe(tr rl.Transition) {
+	d.buf.Push(tr)
+	d.steps++
+	if d.steps < d.cfg.Warmup || d.buf.Len() < d.cfg.BatchSize {
+		return
+	}
+	batch := d.buf.Sample(d.cfg.BatchSize, d.rng)
+	nn.ZeroGrads(d.qn)
+	for _, t := range batch {
+		y := t.Reward
+		if !t.Done {
+			qn := d.qt.Forward(tensor.FromSlice(1, len(t.Next), t.Next))
+			y += d.cfg.Gamma * qn.At(0, qn.ArgmaxRow(0))
+		}
+		idx := int(t.Action.Raw[0])
+		q := d.qn.Forward(tensor.FromSlice(1, len(t.State), t.State))
+		g := tensor.New(1, d.actions)
+		g.Set(0, idx, (q.At(0, idx)-y)/float64(len(batch)))
+		d.qn.Backward(g)
+	}
+	nn.ClipGradNorm(d.qn, d.cfg.ClipNorm)
+	d.opt.Step(d.qn)
+	nn.SoftUpdate(d.qt, d.qn, d.cfg.Tau)
+}
+
+// Decide implements head.Controller: greedy DQN action filtered through
+// the safety check.
+func (d *DRLSC) Decide(env *head.Env) world.Maneuver {
+	act := d.Act(env.State(), false)
+	m := world.Maneuver{B: world.Behavior(act.B), A: act.A}
+	return safetyCheck(env, m)
+}
+
+var _ rl.Agent = (*DRLSC)(nil)
+var _ head.Controller = (*DRLSC)(nil)

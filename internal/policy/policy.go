@@ -1,0 +1,136 @@
+// Package policy implements the baseline decision-making methods HEAD is
+// compared against in Table I: the traditional rule-based IDM-LC and
+// ACC-LC controllers, the deep-reinforcement-learning-with-safety-check
+// DRL-SC, and the prediction-and-search TP-BTS. All baselines implement
+// head.Controller so the evaluation harness can run them interchangeably.
+package policy
+
+import (
+	"math"
+
+	"head/internal/head"
+	"head/internal/traffic"
+	"head/internal/world"
+)
+
+// IDMLC is the traditional intelligent driver model with a MOBIL-style
+// lane-changing model (Treiber et al. + Erdmann's LC model family).
+type IDMLC struct {
+	Params traffic.DriverParams
+}
+
+// NewIDMLC returns the IDM-LC baseline with moderately assertive defaults.
+func NewIDMLC(w world.Config) *IDMLC {
+	return &IDMLC{Params: traffic.DriverParams{
+		DesiredV:     w.VMax,
+		TimeHeadway:  1.2,
+		MinGap:       2,
+		MaxAccel:     2,
+		ComfortDecel: 2,
+		Politeness:   0.3,
+		LCThreshold:  0.2,
+		SafeDecel:    w.AMax,
+	}}
+}
+
+// Name implements head.Controller.
+func (c *IDMLC) Name() string { return "IDM-LC" }
+
+// Reset implements head.Controller.
+func (c *IDMLC) Reset() {}
+
+// Decide implements head.Controller.
+func (c *IDMLC) Decide(env *head.Env) world.Maneuver {
+	sim := env.Sim()
+	av := sim.AV
+	saved := av.Params
+	av.Params = c.Params
+	defer func() { av.Params = saved }()
+	b := world.LaneKeep
+	if sim.LaneChangeOK(av, av.State.Lat-1) {
+		b = world.LaneLeft
+	} else if sim.LaneChangeOK(av, av.State.Lat+1) {
+		b = world.LaneRight
+	}
+	a := sim.AccelToward(av, av.State.Lat+b.LaneDelta())
+	return world.Maneuver{B: b, A: env.Cfg.Traffic.World.ClampAccel(a)}
+}
+
+// ACCLC is the traditional adaptive cruise control with the same
+// lane-changing model: a constant-time-gap linear feedback controller
+// (Milanés & Shladover) instead of IDM car following.
+type ACCLC struct {
+	// TimeGap is the desired time gap to the leader in seconds.
+	TimeGap float64
+	// K1 and K2 are the gap-error and speed-error feedback gains.
+	K1, K2 float64
+	// StandstillGap is the desired gap at zero speed, meters.
+	StandstillGap float64
+	lc            *IDMLC
+}
+
+// NewACCLC returns the ACC-LC baseline with gains from the CACC
+// literature (k1 = 0.23 s⁻², k2 = 0.07 s⁻¹ scaled for Δt = 0.5 s).
+func NewACCLC(w world.Config) *ACCLC {
+	return &ACCLC{TimeGap: 1.1, K1: 0.23, K2: 0.4, StandstillGap: 3, lc: NewIDMLC(w)}
+}
+
+// Name implements head.Controller.
+func (c *ACCLC) Name() string { return "ACC-LC" }
+
+// Reset implements head.Controller.
+func (c *ACCLC) Reset() {}
+
+// Decide implements head.Controller.
+func (c *ACCLC) Decide(env *head.Env) world.Maneuver {
+	sim := env.Sim()
+	w := env.Cfg.Traffic.World
+	av := sim.AV
+	// Lane choice reuses the shared lane-changing model.
+	b := c.lc.Decide(env).B
+	lane := av.State.Lat + b.LaneDelta()
+	leader := sim.Leader(lane, av.State.Lon, av)
+	var a float64
+	if leader == nil {
+		// Speed control mode: close the gap to the speed limit.
+		a = c.K2 * (w.VMax - av.State.V) / w.Dt * 0.5
+	} else {
+		gap := leader.State.Lon - av.State.Lon - w.VehicleLen
+		desired := c.StandstillGap + c.TimeGap*av.State.V
+		a = c.K1*(gap-desired) + c.K2*(leader.State.V-av.State.V)
+	}
+	return world.Maneuver{B: b, A: w.ClampAccel(a)}
+}
+
+// safetyCheck clamps an intended maneuver to a safe one using ground-truth
+// gaps: unsafe lane changes degrade to lane keeping and dangerously small
+// front gaps force braking. This is the "safety check" layer of DRL-SC.
+func safetyCheck(env *head.Env, m world.Maneuver) world.Maneuver {
+	sim := env.Sim()
+	w := env.Cfg.Traffic.World
+	av := sim.AV
+	if m.B != world.LaneKeep {
+		lane := av.State.Lat + m.B.LaneDelta()
+		if lane < 1 || lane > w.Lanes {
+			m.B = world.LaneKeep
+		} else {
+			for _, v := range sim.Vehicles {
+				if v.State.Lat == lane && math.Abs(v.State.Lon-av.State.Lon) < w.VehicleLen+2 {
+					m.B = world.LaneKeep
+					break
+				}
+			}
+		}
+	}
+	lane := av.State.Lat + m.B.LaneDelta()
+	if leader := sim.Leader(lane, av.State.Lon, av); leader != nil {
+		if ttc, ok := world.TTC(av.State, leader.State, w.VehicleLen); ok && ttc < 2 {
+			m.A = -w.AMax
+		}
+		gap := leader.State.Lon - av.State.Lon - w.VehicleLen
+		if gap < av.State.V*0.5 {
+			m.A = math.Min(m.A, -0.5*w.AMax)
+		}
+	}
+	return m
+}

@@ -1,0 +1,206 @@
+package policy
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"head/internal/head"
+	"head/internal/rl"
+	"head/internal/traffic"
+	"head/internal/world"
+)
+
+func tinyEnv(seed int64) *head.Env {
+	cfg := head.DefaultEnvConfig()
+	cfg.Traffic.World.RoadLength = 400
+	cfg.Traffic.Density = 100
+	cfg.MaxSteps = 120
+	return head.NewEnv(cfg, nil, rand.New(rand.NewSource(seed)))
+}
+
+func TestControllerNames(t *testing.T) {
+	w := world.DefaultConfig()
+	rng := rand.New(rand.NewSource(1))
+	cases := map[string]head.Controller{
+		"IDM-LC": NewIDMLC(w),
+		"ACC-LC": NewACCLC(w),
+		"DRL-SC": NewDRLSC(rl.DefaultPDQNConfig(), rl.DefaultStateSpec(), w.AMax, 8, rng),
+		"TP-BTS": NewTPBTS(),
+	}
+	for want, c := range cases {
+		if c.Name() != want {
+			t.Errorf("Name = %q, want %q", c.Name(), want)
+		}
+		c.Reset() // must not panic
+	}
+}
+
+func runEpisode(t *testing.T, ctrl head.Controller, env *head.Env) (collided, finished bool) {
+	t.Helper()
+	env.Reset()
+	ctrl.Reset()
+	w := env.Cfg.Traffic.World
+	for !env.Done() {
+		m := ctrl.Decide(env)
+		if math.Abs(m.A) > w.AMax+1e-9 {
+			t.Fatalf("%s produced out-of-bounds accel %g", ctrl.Name(), m.A)
+		}
+		out := env.StepManeuver(m)
+		collided = collided || out.Collision
+		finished = finished || out.Finished
+	}
+	return collided, finished
+}
+
+func TestIDMLCDrivesSafely(t *testing.T) {
+	collisions := 0
+	for seed := int64(0); seed < 4; seed++ {
+		env := tinyEnv(seed)
+		ctrl := NewIDMLC(env.Cfg.Traffic.World)
+		collided, _ := runEpisode(t, ctrl, env)
+		if collided {
+			collisions++
+		}
+	}
+	if collisions > 0 {
+		t.Errorf("IDM-LC collided in %d/4 episodes", collisions)
+	}
+}
+
+func TestACCLCDrivesSafely(t *testing.T) {
+	collisions := 0
+	for seed := int64(10); seed < 14; seed++ {
+		env := tinyEnv(seed)
+		ctrl := NewACCLC(env.Cfg.Traffic.World)
+		collided, _ := runEpisode(t, ctrl, env)
+		if collided {
+			collisions++
+		}
+	}
+	if collisions > 1 {
+		t.Errorf("ACC-LC collided in %d/4 episodes", collisions)
+	}
+}
+
+func TestTPBTSDrivesSafely(t *testing.T) {
+	collisions := 0
+	for seed := int64(20); seed < 24; seed++ {
+		env := tinyEnv(seed)
+		ctrl := NewTPBTS()
+		collided, _ := runEpisode(t, ctrl, env)
+		if collided {
+			collisions++
+		}
+	}
+	if collisions > 0 {
+		t.Errorf("TP-BTS collided in %d/4 episodes", collisions)
+	}
+}
+
+func TestDRLSCUntrainedStillSafeEnough(t *testing.T) {
+	// Even untrained, the safety check should prevent most collisions.
+	env := tinyEnv(30)
+	rng := rand.New(rand.NewSource(31))
+	ctrl := NewDRLSC(rl.DefaultPDQNConfig(), env.Spec(), env.AMax(), 8, rng)
+	collisions := 0
+	for ep := 0; ep < 3; ep++ {
+		if collided, _ := runEpisode(t, ctrl, env); collided {
+			collisions++
+		}
+	}
+	if collisions == 3 {
+		t.Error("DRL-SC collided in every episode despite safety check")
+	}
+}
+
+func TestDRLSCActsAndLearns(t *testing.T) {
+	env := tinyEnv(40)
+	rng := rand.New(rand.NewSource(41))
+	cfg := rl.DefaultPDQNConfig()
+	cfg.Warmup = 20
+	cfg.BatchSize = 8
+	agent := NewDRLSC(cfg, env.Spec(), env.AMax(), 8, rng)
+	state := env.Reset()
+	for i := 0; i < 60; i++ {
+		act := agent.Act(state, true)
+		if act.B < 0 || act.B >= rl.NumBehaviors {
+			t.Fatalf("behavior %d out of range", act.B)
+		}
+		if math.Abs(act.A) > env.AMax()+1e-9 {
+			t.Fatalf("accel %g out of range", act.A)
+		}
+		next, r, done := env.Step(act.B, act.A)
+		agent.Observe(rl.Transition{State: state, Action: act, Reward: r, Next: next, Done: done})
+		state = next
+		if done {
+			state = env.Reset()
+		}
+	}
+}
+
+func TestSafetyCheckVetoesOccupiedLane(t *testing.T) {
+	env := tinyEnv(50)
+	env.Reset()
+	sim := env.Sim()
+	av := sim.AV.State
+	target := av.Lat + 1
+	if target > env.Cfg.Traffic.World.Lanes {
+		target = av.Lat - 1
+	}
+	// Plant a vehicle right beside the AV in the target lane.
+	sim.Vehicles = append(sim.Vehicles, newParkedVehicle(9999, target, av.Lon, av.V))
+	b := world.LaneRight
+	if target < av.Lat {
+		b = world.LaneLeft
+	}
+	m := safetyCheck(env, world.Maneuver{B: b, A: 0})
+	if m.B != world.LaneKeep {
+		t.Errorf("safety check allowed a lane change into an occupied slot: %v", m.B)
+	}
+}
+
+func TestSafetyCheckBrakesOnLowTTC(t *testing.T) {
+	env := tinyEnv(51)
+	env.Reset()
+	sim := env.Sim()
+	av := sim.AV
+	av.State.V = 20
+	// Slow vehicle 10 m ahead: TTC = (10-5)/15 < 2 s.
+	sim.Vehicles = append(sim.Vehicles, newParkedVehicle(9998, av.State.Lat, av.State.Lon+10, 5))
+	m := safetyCheck(env, world.Maneuver{B: world.LaneKeep, A: 2})
+	if m.A >= 0 {
+		t.Errorf("safety check did not brake: a = %g", m.A)
+	}
+}
+
+func TestSafetyCheckVetoesOffRoad(t *testing.T) {
+	env := tinyEnv(52)
+	env.Reset()
+	env.Sim().AV.State.Lat = 1
+	m := safetyCheck(env, world.Maneuver{B: world.LaneLeft, A: 0})
+	if m.B != world.LaneKeep {
+		t.Error("safety check allowed driving off the road")
+	}
+}
+
+func TestTPBTSPrefersNotTailgating(t *testing.T) {
+	env := tinyEnv(53)
+	env.Reset()
+	sim := env.Sim()
+	av := sim.AV
+	av.State.V = 20
+	// Clear other vehicles; put a slow leader close ahead.
+	sim.Vehicles = sim.Vehicles[:0]
+	sim.Vehicles = append(sim.Vehicles, newParkedVehicle(9997, av.State.Lat, av.State.Lon+12, 5))
+	ctrl := NewTPBTS()
+	m := ctrl.Decide(env)
+	if m.B == world.LaneKeep && m.A > 0 {
+		t.Errorf("TP-BTS accelerates into a slow leader: %+v", m)
+	}
+}
+
+// newParkedVehicle builds a conventional vehicle for scenario tests.
+func newParkedVehicle(id, lane int, lon, v float64) *traffic.Vehicle {
+	return &traffic.Vehicle{ID: id, State: world.State{Lat: lane, Lon: lon, V: v}, ExitStep: -1}
+}

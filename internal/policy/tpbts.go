@@ -1,0 +1,143 @@
+package policy
+
+import (
+	"math"
+
+	"head/internal/head"
+	"head/internal/phantom"
+	"head/internal/world"
+)
+
+// TPBTS is the prediction-and-search baseline (Liu et al., KDD'21): a
+// trajectory prediction model anticipates the surrounding vehicles' next
+// states and a behavior-tree search scores a discretized maneuver set
+// against them, combining hand-crafted safety, efficiency, and
+// queue-impact rules. It uses the environment's perception (graph and
+// prediction) rather than ground truth, and discretizes the velocity
+// change behavior into speed-up / maintain / speed-down — the limitation
+// the paper's continuous action space removes.
+type TPBTS struct {
+	// Depth is the look-ahead depth of the behavior tree search (each
+	// extra level extrapolates the predicted states at constant
+	// velocity).
+	Depth int
+}
+
+// NewTPBTS returns the TP-BTS baseline with two-level search.
+func NewTPBTS() *TPBTS { return &TPBTS{Depth: 2} }
+
+// Name implements head.Controller.
+func (c *TPBTS) Name() string { return "TP-BTS" }
+
+// Reset implements head.Controller.
+func (c *TPBTS) Reset() {}
+
+// predicted returns the anticipated absolute state of target slot i at the
+// next step, combining the perception graph with the prediction model's
+// relative outputs.
+func predicted(env *head.Env, i phantom.Slot) (world.State, bool) {
+	g := env.Graph()
+	if g == nil {
+		return world.State{}, false
+	}
+	info := g.Info[i]
+	if info.Kind != phantom.NotMissing {
+		return info.Current, info.Kind != phantom.InherentMissing
+	}
+	av := g.AV
+	p := env.Prediction()[i]
+	laneWidth := env.Cfg.Traffic.World.LaneWidth
+	if p == [3]float64{} {
+		// No prediction available (w/o-LST-GAT): constant velocity.
+		cur := info.Current
+		cur.Lon += cur.V * env.Cfg.Traffic.World.Dt
+		return cur, true
+	}
+	return world.State{
+		Lat: av.Lat + int(math.Round(p[0]/laneWidth)),
+		Lon: av.Lon + p[1],
+		V:   av.V + p[2],
+	}, true
+}
+
+// Decide implements head.Controller: enumerate the 3×3 discrete maneuver
+// set, roll the AV and the predicted surroundings forward Depth steps, and
+// pick the maneuver with the best rule score.
+func (c *TPBTS) Decide(env *head.Env) world.Maneuver {
+	w := env.Cfg.Traffic.World
+	accels := []float64{-w.AMax, 0, w.AMax}
+	best := world.Maneuver{B: world.LaneKeep, A: 0}
+	bestScore := math.Inf(-1)
+	for _, b := range []world.Behavior{world.LaneLeft, world.LaneRight, world.LaneKeep} {
+		for _, a := range accels {
+			m := world.Maneuver{B: b, A: a}
+			score := c.score(env, m)
+			if score > bestScore {
+				bestScore, best = score, m
+			}
+		}
+	}
+	return safetyCheck(env, best)
+}
+
+// score evaluates a candidate maneuver against the predicted next states.
+func (c *TPBTS) score(env *head.Env, m world.Maneuver) float64 {
+	w := env.Cfg.Traffic.World
+	avNext, err := w.Apply(env.Sim().AV.State, m)
+	if err != nil {
+		return math.Inf(-1) // off-road
+	}
+	score := 0.0
+	depth := c.Depth
+	if depth < 1 {
+		depth = 1
+	}
+	av := avNext
+	for d := 0; d < depth; d++ {
+		horizon := float64(d) * w.Dt
+		for i := phantom.Slot(0); i < phantom.NumSlots; i++ {
+			st, ok := predicted(env, i)
+			if !ok {
+				continue
+			}
+			st.Lon += st.V * horizon // constant-velocity extrapolation
+			if st.Lat != av.Lat {
+				continue
+			}
+			gap := math.Abs(st.Lon - av.Lon)
+			if gap < w.VehicleLen {
+				return math.Inf(-1) // predicted collision
+			}
+			if st.Lon > av.Lon {
+				// Front vehicle: penalize small time headway.
+				headway := (st.Lon - av.Lon - w.VehicleLen) / math.Max(av.V, 1)
+				if headway < 2 {
+					score -= (2 - headway) * 2
+				}
+			} else if d == 0 && i == phantom.Rear {
+				// Queue-impact rule: cutting in close ahead of the rear
+				// vehicle forces it to brake.
+				headway := (av.Lon - st.Lon - w.VehicleLen) / math.Max(st.V, 1)
+				if headway < 1 {
+					score -= (1 - headway)
+				}
+			}
+		}
+		// Efficiency term: reward realized velocity.
+		score += av.V / w.VMax
+		// Comfort-ish term: discourage violent inputs slightly.
+		score -= 0.05 * math.Abs(m.A) / w.AMax
+		// Lane changes carry a small switching cost.
+		if d == 0 && m.B != world.LaneKeep {
+			score -= 0.1
+		}
+		next, err := w.Apply(av, world.Maneuver{B: world.LaneKeep, A: m.A})
+		if err != nil {
+			break
+		}
+		av = next
+	}
+	return score
+}
+
+var _ head.Controller = (*TPBTS)(nil)

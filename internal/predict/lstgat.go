@@ -1,0 +1,178 @@
+package predict
+
+import (
+	"math/rand"
+
+	"head/internal/ngsim"
+	"head/internal/nn"
+	"head/internal/phantom"
+	"head/internal/tensor"
+)
+
+// LSTGAT is the paper's Local Spatial-Temporal Graph ATtention model:
+// a sharing graph attention mechanism aggregates each spatial graph of the
+// spatial-temporal graph (Equations (10)–(11)), an LSTM captures the
+// temporal dependencies of the updated target states (Equation (12)), and
+// a linear read-out emits the one-step future state of all six targets in
+// parallel (Equation (13)).
+type LSTGAT struct {
+	gat   *nn.GAT
+	gats  []*nn.GAT // per-step weight-sharing views
+	lstm  *nn.LSTM
+	out   *nn.Linear
+	opt   *nn.Adam
+	scale scaler
+	z     int
+}
+
+// LSTGATConfig sizes the network. The paper uses Dφ1 = Dφ3 = Dl = 64.
+type LSTGATConfig struct {
+	AttnDim   int     // Dφ1
+	GATOut    int     // Dφ3
+	HiddenDim int     // Dl
+	Z         int     // historical steps
+	LR        float64 // Adam learning rate
+	// UniformAttention replaces the learned importance scores with mean
+	// aggregation — the ablation of the graph attention mechanism.
+	UniformAttention bool
+}
+
+// DefaultLSTGATConfig returns the paper's dimensions. The learning rate is
+// higher than the published 0.001 because the synthetic REAL substitute
+// has orders of magnitude fewer optimizer steps per epoch than NGSIM; the
+// published rate never leaves the initialization basin at this scale.
+func DefaultLSTGATConfig() LSTGATConfig {
+	return LSTGATConfig{AttnDim: 64, GATOut: 64, HiddenDim: 64, Z: 5, LR: 0.01}
+}
+
+// slotCode returns a static positional code per graph node: the key-area
+// slot a surrounder occupies (normalized), or 0 for target nodes. The
+// paper's neighborhoods have fixed semantics per slot (slot 2 is always
+// the leader, slot 5 always the follower, …) but Equations (7)–(8) carry
+// no positional information, so content-based attention cannot tell the
+// leader from the follower; the code restores that signal.
+var slotCode = func() [phantom.NumNodes]float64 {
+	var codes [phantom.NumNodes]float64
+	for i := phantom.Slot(0); i < phantom.NumSlots; i++ {
+		for j := phantom.Slot(0); j < phantom.NumSlots; j++ {
+			codes[phantom.SurrounderNode(i, j)] = float64(j+1) / float64(phantom.NumSlots+1)
+		}
+	}
+	return codes
+}()
+
+// gatInDim is the GAT input width: state features plus the slot code.
+const gatInDim = phantom.FeatureDim + 1
+
+// NewLSTGAT builds an LST-GAT model.
+func NewLSTGAT(cfg LSTGATConfig, rng *rand.Rand) *LSTGAT {
+	gat := nn.NewGAT("lstgat.gat", gatInDim, cfg.AttnDim, cfg.GATOut, rng)
+	gat.Residual = true
+	gat.Uniform = cfg.UniformAttention
+	gats := make([]*nn.GAT, cfg.Z)
+	for i := range gats {
+		gats[i] = gat.Share()
+	}
+	return &LSTGAT{
+		gat:   gat,
+		gats:  gats,
+		lstm:  nn.NewLSTM("lstgat.lstm", phantom.FeatureDim+cfg.GATOut, cfg.HiddenDim, rng),
+		out:   nn.NewLinear("lstgat.out", cfg.HiddenDim, OutputDim, rng),
+		opt:   nn.NewAdam(cfg.LR),
+		scale: defaultScaler(),
+		z:     cfg.Z,
+	}
+}
+
+// Name implements Model.
+func (m *LSTGAT) Name() string { return "LST-GAT" }
+
+// Params implements nn.Module.
+func (m *LSTGAT) Params() []*nn.Param {
+	ps := m.gat.Params()
+	ps = append(ps, m.lstm.Params()...)
+	ps = append(ps, m.out.Params()...)
+	return ps
+}
+
+// forward runs the full network, returning the scaled 6×3 output. The
+// LSTM input at each step concatenates every target's own (scaled) state
+// vector with its graph-attention aggregation: the pure convex combination
+// of Equation (11) cannot isolate the target's own state — its softmax
+// weights sum to one, so neighbor content is always injected at full
+// magnitude — and the concatenation lets the temporal model weigh raw
+// state against interaction context (see BenchmarkAblationAggregator).
+func (m *LSTGAT) forward(g *phantom.Graph) *tensor.Matrix {
+	z := len(g.Steps)
+	seq := make([]*tensor.Matrix, z)
+	for t := 0; t < z; t++ {
+		scaled := m.scale.nodesMatrix(g.Steps[t])
+		nodes := tensor.New(scaled.Rows, gatInDim)
+		for n := 0; n < scaled.Rows; n++ {
+			copy(nodes.Row(n)[:phantom.FeatureDim], scaled.Row(n))
+			nodes.Row(n)[phantom.FeatureDim] = slotCode[n]
+		}
+		if t >= len(m.gats) {
+			// Histories longer than configured get extra weight-sharing
+			// views so every step keeps its own backward cache.
+			m.gats = append(m.gats, m.gat.Share())
+		}
+		ctx := m.gats[t].Forward(nodes, g.Targets, g.Neighbors)
+		self := tensor.New(len(g.Targets), phantom.FeatureDim)
+		for i, node := range g.Targets {
+			copy(self.Row(i), scaled.Row(node))
+		}
+		seq[t] = tensor.ConcatCols(self, ctx)
+	}
+	hs := m.lstm.Forward(seq)
+	return m.out.Forward(hs[len(hs)-1])
+}
+
+// Predict implements Model. All six targets are predicted in one parallel
+// pass.
+func (m *LSTGAT) Predict(g *phantom.Graph) Prediction {
+	y := m.forward(g)
+	var p Prediction
+	for i := 0; i < phantom.NumSlots; i++ {
+		p[i] = m.scale.unscaleRow(y.Row(i))
+	}
+	return p
+}
+
+// TrainBatch implements Model: masked MSE (Equation (14)) with phantom
+// targets excluded, one Adam step per batch.
+func (m *LSTGAT) TrainBatch(batch []*ngsim.Sample) float64 {
+	if len(batch) == 0 {
+		return 0
+	}
+	nn.ZeroGrads(m)
+	total := 0.0
+	for _, s := range batch {
+		y := m.forward(s.Graph)
+		target := tensor.New(phantom.NumSlots, OutputDim)
+		for i := 0; i < phantom.NumSlots; i++ {
+			if s.Mask[i] {
+				// Masked loss: the paper sets the truth to the prediction.
+				copy(target.Row(i), y.Row(i))
+				continue
+			}
+			st := m.scale.scaleTruth(s.Truth[i])
+			copy(target.Row(i), st[:])
+		}
+		loss, grad := nn.MSE(y, target)
+		total += loss
+		dh := m.out.Backward(grad)
+		dHidden := make([]*tensor.Matrix, len(s.Graph.Steps))
+		dHidden[len(dHidden)-1] = dh
+		dxs := m.lstm.Backward(dHidden)
+		for t, dx := range dxs {
+			if t < len(m.gats) {
+				_, dCtx := tensor.SplitCols(dx, phantom.FeatureDim)
+				m.gats[t].Backward(dCtx)
+			}
+		}
+	}
+	nn.ClipGradNorm(m, 5)
+	m.opt.Step(m)
+	return total / float64(len(batch))
+}

@@ -1,0 +1,89 @@
+package predict
+
+import (
+	"head/internal/phantom"
+	"head/internal/world"
+)
+
+// Rollout iterates a one-step predictor to produce multi-step forecasts:
+// after each prediction the spatial-temporal graph is advanced one step —
+// the reference vehicle and all surrounders extrapolate at constant
+// velocity, while the six targets take their predicted states — and the
+// predictor runs again. This is exactly the sequential decoding scheme the
+// paper argues against (Section III-A: errors accumulate over time), made
+// available both as an extension API and to regenerate that motivation
+// quantitatively (BenchmarkAblationHorizonDecay).
+//
+// It returns one Prediction per horizon 1..k, each relative to the
+// reference vehicle at the original time t.
+func Rollout(m Model, g *phantom.Graph, k int, dt float64) []Prediction {
+	out := make([]Prediction, 0, k)
+	cur := g
+	// Cumulative longitudinal offset of the reference vehicle relative to
+	// its position at time t (predictions stay t-relative).
+	avOffset := 0.0
+	for step := 0; step < k; step++ {
+		p := m.Predict(cur)
+		// Re-express relative to the ORIGINAL reference position.
+		adj := p
+		for i := range adj {
+			adj[i][1] += avOffset
+		}
+		out = append(out, adj)
+		if step == k-1 {
+			break
+		}
+		cur, avOffset = advanceGraph(cur, p, dt, avOffset)
+	}
+	return out
+}
+
+// advanceGraph shifts the graph one step into the future: historical steps
+// drop the oldest frame and append a synthetic newest frame in which the
+// targets take their predicted states and every other node extrapolates at
+// constant relative velocity (the AV reference advances at its own
+// velocity, which leaves relative states of constant-velocity vehicles
+// unchanged).
+func advanceGraph(g *phantom.Graph, p Prediction, dt float64, avOffset float64) (*phantom.Graph, float64) {
+	z := len(g.Steps)
+	next := &phantom.Graph{
+		Steps:     make([][]phantom.Feature, z),
+		Targets:   g.Targets,
+		Neighbors: g.Neighbors,
+		Info:      g.Info,
+		AV:        g.AV,
+	}
+	// Shift history left.
+	for t := 0; t < z-1; t++ {
+		next.Steps[t] = g.Steps[t+1]
+	}
+	last := g.Steps[z-1]
+	fresh := make([]phantom.Feature, len(last))
+	newAVLon := g.AV.Lon + avOffset + g.AV.V*dt
+	for n, f := range last {
+		// Default: constant relative velocity — relative states persist
+		// except d_lon drifts by v_rel·dt.
+		fresh[n] = phantom.Feature{f[0], f[1] + f[2]*dt, f[2], f[3]}
+	}
+	// AV raw-state nodes advance in absolute coordinates.
+	for i := phantom.Slot(0); i < phantom.NumSlots; i++ {
+		node := phantom.SurrounderNode(i, phantom.Slot(phantom.NumSlots-1-int(i)))
+		fresh[node] = phantom.Feature{float64(g.AV.Lat), newAVLon, g.AV.V, 0}
+	}
+	// Targets take their predicted states (predictions are relative to the
+	// AV at the PREVIOUS step; convert to the new reference, which moved
+	// by v·dt).
+	for i := 0; i < phantom.NumSlots; i++ {
+		node := phantom.TargetNode(phantom.Slot(i))
+		flag := last[node][3]
+		fresh[node] = phantom.Feature{
+			p[i][0],
+			p[i][1] - g.AV.V*dt,
+			p[i][2],
+			flag,
+		}
+	}
+	next.Steps[z-1] = fresh
+	next.AV = world.State{Lat: g.AV.Lat, Lon: g.AV.Lon, V: g.AV.V}
+	return next, avOffset + g.AV.V*dt
+}

@@ -1,0 +1,74 @@
+package predict
+
+import (
+	"math"
+	"math/rand"
+	"time"
+
+	"head/internal/ngsim"
+)
+
+// TrainConfig controls predictor training.
+type TrainConfig struct {
+	Epochs    int
+	BatchSize int
+	// ConvergeTol stops training early when the relative epoch-loss
+	// improvement drops below this tolerance (0 disables early stopping).
+	ConvergeTol float64
+}
+
+// DefaultTrainConfig mirrors the paper's 15 epochs with batch size 64.
+func DefaultTrainConfig() TrainConfig {
+	return TrainConfig{Epochs: 15, BatchSize: 64, ConvergeTol: 0}
+}
+
+// TrainResult reports a training run.
+type TrainResult struct {
+	EpochLosses []float64
+	// TCT is the training convergence time (wall clock), the efficiency
+	// metric of Table IV.
+	TCT time.Duration
+}
+
+// Train optimizes the model on ds, shuffling each epoch with rng.
+func Train(model Model, ds *ngsim.Dataset, cfg TrainConfig, rng *rand.Rand) TrainResult {
+	start := time.Now()
+	var res TrainResult
+	prev := math.Inf(1)
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		ds.Shuffle(rng)
+		total, batches := 0.0, 0
+		for off := 0; off < ds.Len(); off += cfg.BatchSize {
+			end := off + cfg.BatchSize
+			if end > ds.Len() {
+				end = ds.Len()
+			}
+			total += model.TrainBatch(ds.Samples[off:end])
+			batches++
+		}
+		if batches == 0 {
+			break
+		}
+		loss := total / float64(batches)
+		res.EpochLosses = append(res.EpochLosses, loss)
+		if cfg.ConvergeTol > 0 && prev-loss < cfg.ConvergeTol*math.Abs(prev) {
+			break
+		}
+		prev = loss
+	}
+	res.TCT = time.Since(start)
+	return res
+}
+
+// AvgInferenceTime measures the mean wall-clock time of one full Predict
+// call (all six targets) over the dataset — the AvgIT metric of Table IV.
+func AvgInferenceTime(model Model, ds *ngsim.Dataset) time.Duration {
+	if ds.Len() == 0 {
+		return 0
+	}
+	start := time.Now()
+	for _, s := range ds.Samples {
+		model.Predict(s.Graph)
+	}
+	return time.Since(start) / time.Duration(ds.Len())
+}

@@ -1,0 +1,23 @@
+package reward_test
+
+import (
+	"fmt"
+
+	"head/internal/reward"
+)
+
+// ExampleConfig_Evaluate scores one maneuver with the hybrid reward of
+// Equation (28): the autonomous vehicle cruises near the speed limit while
+// closing on its front vehicle and mildly disturbing the one behind.
+func ExampleConfig_Evaluate() {
+	cfg := reward.DefaultConfig()
+	total, terms := cfg.Evaluate(reward.Inputs{
+		TTC: 2, TTCValid: true, // closing, two seconds from contact
+		V:     20,              // m/s
+		Accel: 1, PrevAccel: 0, // gentle throttle
+		RearExists: true, RearVNow: 20, RearVNext: 19, // rear brakes 1 m/s
+	})
+	fmt.Printf("safety %.2f efficiency %.2f comfort %.2f impact %.2f → total %.2f\n",
+		terms.Safety, terms.Efficiency, terms.Comfort, terms.Impact, total)
+	// Output: safety -0.69 efficiency 0.79 comfort -0.17 impact -0.33 → total -0.16
+}

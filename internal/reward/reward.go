@@ -1,0 +1,122 @@
+// Package reward implements the hybrid reward function of Section IV-C:
+// a weighted combination of safety (log-scaled time to collision),
+// efficiency (normalized velocity), comfort (jerk), and impact (the
+// deceleration the autonomous vehicle forces on its rear conventional
+// vehicle), Equations (28)–(30).
+package reward
+
+import (
+	"math"
+
+	"head/internal/world"
+)
+
+// Weights are the tunable coefficients w1..w4 of Equation (28).
+type Weights struct {
+	Safety, Efficiency, Comfort, Impact float64
+}
+
+// DefaultWeights returns the grid-search optimum reported in Table VII:
+// (0.9, 0.8, 0.6, 0.2).
+func DefaultWeights() Weights {
+	return Weights{Safety: 0.9, Efficiency: 0.8, Comfort: 0.6, Impact: 0.2}
+}
+
+// Config parameterizes the reward terms.
+type Config struct {
+	Weights Weights
+	G       float64 // TTC scaling threshold (paper: 4 s)
+	VThr    float64 // rear-deceleration threshold (paper: 0.5 m/s)
+	World   world.Config
+}
+
+// DefaultConfig returns the paper's reward settings.
+func DefaultConfig() Config {
+	return Config{Weights: DefaultWeights(), G: 4, VThr: 0.5, World: world.DefaultConfig()}
+}
+
+// Inputs collects everything one reward evaluation needs, gathered by the
+// environment after the AV plays its action.
+type Inputs struct {
+	// Collision is true on a vehicle crash or a road-boundary hit.
+	Collision bool
+	// TTC is the time to collision with the front vehicle C2 after the
+	// action; TTCValid is false when the gap is opening (no collision
+	// course) or there is no front vehicle.
+	TTC      float64
+	TTCValid bool
+	// FrontIsPhantom masks the TTC term per the paper: for a constructed
+	// phantom front vehicle only the collision case is considered.
+	FrontIsPhantom bool
+	// V is the AV's velocity after the action, A^{t+1}.v.
+	V float64
+	// Accel and PrevAccel are the accelerations at t and t−1, for jerk.
+	Accel, PrevAccel float64
+	// RearVNow and RearVNext are the rear vehicle C5's velocities at t and
+	// t+1; RearExists is false when no rear vehicle is present and
+	// RearIsPhantom masks the impact term for constructed phantoms.
+	RearVNow, RearVNext float64
+	RearExists          bool
+	RearIsPhantom       bool
+}
+
+// Terms are the four component reward values before weighting.
+type Terms struct {
+	Safety, Efficiency, Comfort, Impact float64
+}
+
+// Evaluate computes the hybrid reward r^t and its component terms.
+func (c Config) Evaluate(in Inputs) (float64, Terms) {
+	t := Terms{
+		Safety:     c.safety(in),
+		Efficiency: c.efficiency(in),
+		Comfort:    c.comfort(in),
+		Impact:     c.impact(in),
+	}
+	w := c.Weights
+	total := w.Safety*t.Safety + w.Efficiency*t.Efficiency + w.Comfort*t.Comfort + w.Impact*t.Impact
+	return total, t
+}
+
+// safety implements Equation (29): −3 on collision, the clipped
+// log(TTC/G) when the AV is on a collision course within the threshold,
+// 0 otherwise. The TTC branch is masked for phantom front vehicles.
+func (c Config) safety(in Inputs) float64 {
+	if in.Collision {
+		return -3
+	}
+	if in.FrontIsPhantom || !in.TTCValid {
+		return 0
+	}
+	if in.TTC >= 0 && in.TTC < c.G {
+		return math.Max(-3, math.Log(in.TTC/c.G))
+	}
+	return 0
+}
+
+// efficiency is r2 = (v − v_min)/(v_max − v_min) ∈ [0, 1].
+func (c Config) efficiency(in Inputs) float64 {
+	r := (in.V - c.World.VMin) / (c.World.VMax - c.World.VMin)
+	return math.Max(0, math.Min(1, r))
+}
+
+// comfort is r3 = −|a_t − a_{t−1}| / (2a′) ∈ [−1, 0].
+func (c Config) comfort(in Inputs) float64 {
+	return -math.Abs(in.Accel-in.PrevAccel) / (2 * c.World.AMax)
+}
+
+// impact implements Equation (30): when the rear conventional vehicle
+// decelerates by more than v_thr across the step, the reward is its
+// (negative) velocity change normalized by the largest possible one-step
+// change 2a′Δt; otherwise 0. Masked for phantom rear vehicles.
+func (c Config) impact(in Inputs) float64 {
+	if !in.RearExists || in.RearIsPhantom {
+		return 0
+	}
+	decel := in.RearVNow - in.RearVNext
+	if decel <= c.VThr {
+		return 0
+	}
+	r := (in.RearVNext - in.RearVNow) / (2 * c.World.AMax * c.World.Dt)
+	return math.Max(-1, r)
+}

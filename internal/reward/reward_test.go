@@ -1,0 +1,148 @@
+package reward
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func cfg() Config { return DefaultConfig() }
+
+func TestSafetyCollision(t *testing.T) {
+	_, terms := cfg().Evaluate(Inputs{Collision: true, V: 20})
+	if terms.Safety != -3 {
+		t.Errorf("collision safety = %g, want -3", terms.Safety)
+	}
+}
+
+func TestSafetyTTCBands(t *testing.T) {
+	c := cfg()
+	// TTC above threshold: zero penalty.
+	if _, terms := c.Evaluate(Inputs{TTC: 10, TTCValid: true}); terms.Safety != 0 {
+		t.Errorf("TTC=10 safety = %g, want 0", terms.Safety)
+	}
+	// TTC = G/2: log(1/2).
+	_, terms := c.Evaluate(Inputs{TTC: 2, TTCValid: true})
+	if math.Abs(terms.Safety-math.Log(0.5)) > 1e-12 {
+		t.Errorf("TTC=2 safety = %g, want log(0.5)", terms.Safety)
+	}
+	// Tiny TTC clipped at -3 (log(0) would be -Inf).
+	if _, terms := c.Evaluate(Inputs{TTC: 0, TTCValid: true}); terms.Safety != -3 {
+		t.Errorf("TTC=0 safety = %g, want -3", terms.Safety)
+	}
+}
+
+func TestSafetyPhantomMasked(t *testing.T) {
+	_, terms := cfg().Evaluate(Inputs{TTC: 0.1, TTCValid: true, FrontIsPhantom: true})
+	if terms.Safety != 0 {
+		t.Errorf("phantom front safety = %g, want 0 (masked)", terms.Safety)
+	}
+	// But a collision still counts even with a phantom front.
+	_, terms = cfg().Evaluate(Inputs{Collision: true, FrontIsPhantom: true})
+	if terms.Safety != -3 {
+		t.Errorf("phantom + collision = %g, want -3", terms.Safety)
+	}
+}
+
+func TestEfficiencyNormalization(t *testing.T) {
+	c := cfg()
+	if _, terms := c.Evaluate(Inputs{V: c.World.VMin}); terms.Efficiency != 0 {
+		t.Errorf("v=vmin efficiency = %g", terms.Efficiency)
+	}
+	if _, terms := c.Evaluate(Inputs{V: c.World.VMax}); terms.Efficiency != 1 {
+		t.Errorf("v=vmax efficiency = %g", terms.Efficiency)
+	}
+	_, terms := c.Evaluate(Inputs{V: (c.World.VMin + c.World.VMax) / 2})
+	if math.Abs(terms.Efficiency-0.5) > 1e-12 {
+		t.Errorf("midpoint efficiency = %g, want 0.5", terms.Efficiency)
+	}
+}
+
+func TestComfortJerk(t *testing.T) {
+	c := cfg()
+	if _, terms := c.Evaluate(Inputs{Accel: 1, PrevAccel: 1}); terms.Comfort != 0 {
+		t.Errorf("no jerk comfort = %g, want 0", terms.Comfort)
+	}
+	_, terms := c.Evaluate(Inputs{Accel: c.World.AMax, PrevAccel: -c.World.AMax})
+	if terms.Comfort != -1 {
+		t.Errorf("max jerk comfort = %g, want -1", terms.Comfort)
+	}
+}
+
+func TestImpact(t *testing.T) {
+	c := cfg()
+	// Rear decelerates by 1.5 m/s in one step: r4 = -1.5/(2*3*0.5) = -0.5.
+	_, terms := c.Evaluate(Inputs{RearExists: true, RearVNow: 20, RearVNext: 18.5})
+	if math.Abs(terms.Impact-(-0.5)) > 1e-12 {
+		t.Errorf("impact = %g, want -0.5", terms.Impact)
+	}
+	// Below threshold: no penalty.
+	if _, terms := c.Evaluate(Inputs{RearExists: true, RearVNow: 20, RearVNext: 19.6}); terms.Impact != 0 {
+		t.Errorf("sub-threshold impact = %g, want 0", terms.Impact)
+	}
+	// Accelerating rear: no penalty.
+	if _, terms := c.Evaluate(Inputs{RearExists: true, RearVNow: 20, RearVNext: 22}); terms.Impact != 0 {
+		t.Errorf("accelerating rear impact = %g", terms.Impact)
+	}
+	// Masked cases.
+	if _, terms := c.Evaluate(Inputs{RearExists: true, RearIsPhantom: true, RearVNow: 20, RearVNext: 10}); terms.Impact != 0 {
+		t.Errorf("phantom rear impact = %g, want 0", terms.Impact)
+	}
+	if _, terms := c.Evaluate(Inputs{RearExists: false, RearVNow: 20, RearVNext: 10}); terms.Impact != 0 {
+		t.Errorf("absent rear impact = %g, want 0", terms.Impact)
+	}
+}
+
+func TestTotalIsWeightedSum(t *testing.T) {
+	c := cfg()
+	in := Inputs{TTC: 2, TTCValid: true, V: 20, Accel: 2, PrevAccel: 0,
+		RearExists: true, RearVNow: 20, RearVNext: 18}
+	total, terms := c.Evaluate(in)
+	w := c.Weights
+	want := w.Safety*terms.Safety + w.Efficiency*terms.Efficiency +
+		w.Comfort*terms.Comfort + w.Impact*terms.Impact
+	if math.Abs(total-want) > 1e-12 {
+		t.Errorf("total = %g, want %g", total, want)
+	}
+}
+
+// Property: every term stays in its documented range for arbitrary inputs.
+func TestTermRanges(t *testing.T) {
+	c := cfg()
+	f := func(ttc, v, a, pa, rvNow, rvNext float64, col, valid, fp, re, rp bool) bool {
+		for _, x := range []float64{ttc, v, a, pa, rvNow, rvNext} {
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				return true
+			}
+		}
+		in := Inputs{
+			Collision: col, TTC: math.Abs(ttc), TTCValid: valid, FrontIsPhantom: fp,
+			V: v, Accel: a, PrevAccel: pa,
+			RearVNow: rvNow, RearVNext: rvNext, RearExists: re, RearIsPhantom: rp,
+		}
+		_, terms := c.Evaluate(in)
+		if terms.Safety < -3 || terms.Safety > 0 {
+			return false
+		}
+		if terms.Efficiency < 0 || terms.Efficiency > 1 {
+			return false
+		}
+		if terms.Comfort > 0 {
+			return false
+		}
+		if terms.Impact < -1 || terms.Impact > 0 {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDefaultWeightsMatchPaper(t *testing.T) {
+	w := DefaultWeights()
+	if w.Safety != 0.9 || w.Efficiency != 0.8 || w.Comfort != 0.6 || w.Impact != 0.2 {
+		t.Errorf("DefaultWeights = %+v, want Table VII optimum", w)
+	}
+}

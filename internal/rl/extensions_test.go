@@ -1,0 +1,170 @@
+package rl
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestOUNoiseMeanReverts(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	ou := NewOUNoise(2, 0.15, 0.2, rng)
+	sum := make([]float64, 2)
+	n := 20000
+	for i := 0; i < n; i++ {
+		s := ou.Sample()
+		sum[0] += s[0]
+		sum[1] += s[1]
+	}
+	for d := 0; d < 2; d++ {
+		if mean := sum[d] / float64(n); math.Abs(mean) > 0.1 {
+			t.Errorf("dim %d mean %g not near 0", d, mean)
+		}
+	}
+}
+
+func TestOUNoiseIsCorrelated(t *testing.T) {
+	// Consecutive OU samples should be far more correlated than white
+	// noise of the same marginal variance.
+	rng := rand.New(rand.NewSource(2))
+	ou := NewOUNoise(1, 0.1, 0.1, rng)
+	prev := ou.Sample()[0]
+	agree := 0
+	n := 5000
+	for i := 0; i < n; i++ {
+		cur := ou.Sample()[0]
+		if (cur > 0) == (prev > 0) {
+			agree++
+		}
+		prev = cur
+	}
+	if frac := float64(agree) / float64(n); frac < 0.8 {
+		t.Errorf("sign agreement %g, want > 0.8 for correlated noise", frac)
+	}
+}
+
+func TestOUNoiseReset(t *testing.T) {
+	ou := NewOUNoise(3, 0.15, 0.5, rand.New(rand.NewSource(3)))
+	ou.Sample()
+	ou.Reset()
+	for _, v := range ou.state {
+		if v != 0 {
+			t.Fatal("Reset did not zero the state")
+		}
+	}
+}
+
+func TestPrioritizedReplayPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	NewPrioritizedReplay(0, 0.6)
+}
+
+func TestPrioritizedReplayStoresAndEvicts(t *testing.T) {
+	p := NewPrioritizedReplay(4, 0.6)
+	for i := 0; i < 6; i++ {
+		p.Push(Transition{Reward: float64(i)})
+	}
+	if p.Len() != 4 {
+		t.Fatalf("Len = %d, want 4", p.Len())
+	}
+	trs, _, _ := p.Sample(100, 0.4, rand.New(rand.NewSource(4)))
+	for _, tr := range trs {
+		if tr.Reward < 2 {
+			t.Fatalf("evicted transition %g sampled", tr.Reward)
+		}
+	}
+}
+
+func TestPrioritizedReplayBiasesTowardHighTD(t *testing.T) {
+	p := NewPrioritizedReplay(8, 1.0)
+	for i := 0; i < 8; i++ {
+		p.Push(Transition{Reward: float64(i)})
+	}
+	// Give transition 3 a huge TD error, everything else tiny.
+	idxs := make([]int, 8)
+	errs := make([]float64, 8)
+	for i := range idxs {
+		idxs[i] = i
+		errs[i] = 0.01
+	}
+	errs[3] = 100
+	p.UpdatePriorities(idxs, errs)
+	rng := rand.New(rand.NewSource(5))
+	hits := 0
+	n := 2000
+	for i := 0; i < n; i++ {
+		trs, _, _ := p.Sample(1, 0.4, rng)
+		if trs[0].Reward == 3 {
+			hits++
+		}
+	}
+	if frac := float64(hits) / float64(n); frac < 0.9 {
+		t.Errorf("high-TD transition sampled %g of the time, want > 0.9", frac)
+	}
+}
+
+func TestPrioritizedReplayWeightsNormalized(t *testing.T) {
+	p := NewPrioritizedReplay(16, 0.6)
+	for i := 0; i < 16; i++ {
+		p.Push(Transition{Reward: float64(i)})
+	}
+	_, _, w := p.Sample(32, 0.4, rand.New(rand.NewSource(6)))
+	maxW := 0.0
+	for _, x := range w {
+		if x < 0 || x > 1+1e-12 {
+			t.Fatalf("weight %g outside [0, 1]", x)
+		}
+		if x > maxW {
+			maxW = x
+		}
+	}
+	if math.Abs(maxW-1) > 1e-9 {
+		t.Errorf("max weight %g, want 1", maxW)
+	}
+}
+
+func TestPrioritizedReplayEmptySample(t *testing.T) {
+	p := NewPrioritizedReplay(4, 0.6)
+	trs, idxs, w := p.Sample(3, 0.4, rand.New(rand.NewSource(7)))
+	if len(trs) != 3 || len(idxs) != 3 || len(w) != 3 {
+		t.Fatal("empty-buffer sample should return zero-value slices")
+	}
+}
+
+func TestPrioritizedReplaySumTreeConsistency(t *testing.T) {
+	p := NewPrioritizedReplay(8, 1.0)
+	rng := rand.New(rand.NewSource(8))
+	for i := 0; i < 100; i++ {
+		p.Push(Transition{Reward: rng.Float64()})
+		if i%3 == 0 && p.Len() > 0 {
+			idx := rng.Intn(p.Len())
+			p.UpdatePriorities([]int{idx}, []float64{rng.Float64() * 10})
+		}
+		// Invariant: root equals the sum of all leaves.
+		leafSum := 0.0
+		for l := 0; l < p.capacity; l++ {
+			leafSum += p.tree[l+p.capacity-1]
+		}
+		if math.Abs(leafSum-p.total()) > 1e-9*(1+leafSum) {
+			t.Fatalf("iteration %d: sum tree inconsistent: root %g vs leaves %g", i, p.total(), leafSum)
+		}
+	}
+}
+
+func TestBPDQNWithPERAndOULearns(t *testing.T) {
+	cfg := fastCfg()
+	cfg.PER = true
+	cfg.OU = true
+	env := newToyEnv(90)
+	agent := NewBPDQN(cfg, env.Spec(), 3, 32, rand.New(rand.NewSource(91)))
+	res := Train(agent, env, 150, 20)
+	early := mean(res.EpisodeRewards[:20])
+	late := mean(res.EpisodeRewards[len(res.EpisodeRewards)-20:])
+	if !(late > early) {
+		t.Errorf("PER+OU agent did not improve: early %.2f late %.2f", early, late)
+	}
+}

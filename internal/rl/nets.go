@@ -1,0 +1,245 @@
+package rl
+
+import (
+	"math/rand"
+
+	"head/internal/nn"
+	"head/internal/tensor"
+)
+
+// XNet is the deterministic action-parameter network x(s, ·; θx): it maps
+// an augmented state to one continuous acceleration per discrete behavior,
+// each bounded to [−a′, a′] by a scaled Tanh (Equation (25)).
+type XNet interface {
+	nn.Module
+	// Forward returns the 1×3 acceleration vector x_out.
+	Forward(state []float64) *tensor.Matrix
+	// Backward accumulates parameter gradients from the loss gradient
+	// with respect to x_out.
+	Backward(d *tensor.Matrix)
+}
+
+// QNet is the action-value network Q(s, ·, x_out; θQ): it maps the
+// augmented state and the action-parameter vector to one Q value per
+// discrete behavior (Equation (27)).
+type QNet interface {
+	nn.Module
+	// Forward returns the 1×3 Q-value vector.
+	Forward(state []float64, xout *tensor.Matrix) *tensor.Matrix
+	// Backward accumulates parameter gradients and returns the gradient
+	// with respect to x_out (needed for the actor loss L3).
+	Backward(d *tensor.Matrix) *tensor.Matrix
+}
+
+// splitState reshapes a flat augmented state into the h (NumH×FeatDim) and
+// f (NumF×FeatDim) matrices of the paper's branched processing.
+func splitState(spec StateSpec, state []float64) (h, f *tensor.Matrix) {
+	hl := spec.HLen()
+	h = tensor.FromSlice(spec.NumH, spec.FeatDim, state[:hl])
+	f = tensor.FromSlice(spec.NumF, spec.FeatDim, state[hl:])
+	return h, f
+}
+
+// branch is the per-vehicle two-layer ReLU column reducer of Figure 6: it
+// maps an N×FeatDim matrix to a 1×N vector by applying a shared
+// FeatDim→D→1 MLP to every row.
+type branch struct{ seq *nn.Sequential }
+
+func newBranch(name string, in, hidden int, rng *rand.Rand) *branch {
+	return &branch{seq: nn.NewSequential(
+		nn.NewLinear(name+".l1", in, hidden, rng),
+		&nn.ReLU{},
+		nn.NewLinear(name+".l2", hidden, 1, rng),
+		&nn.ReLU{},
+	)}
+}
+
+func (b *branch) Params() []*nn.Param { return b.seq.Params() }
+
+func (b *branch) forward(x *tensor.Matrix) *tensor.Matrix {
+	return tensor.Transpose(b.seq.Forward(x)) // N×1 → 1×N
+}
+
+func (b *branch) backward(d *tensor.Matrix) *tensor.Matrix {
+	return b.seq.Backward(tensor.Transpose(d))
+}
+
+// BranchedX is BP-DQN's x network (Figure 6, left): separate computational
+// branches for hᵗ and f̂ᵗ⁺¹ merged by a Tanh-bounded linear head.
+type BranchedX struct {
+	spec    StateSpec
+	aMax    float64
+	hBranch *branch
+	fBranch *branch
+	merge   *nn.Linear
+	tanh    *nn.Tanh
+}
+
+// NewBranchedX builds the branched x network with hidden width d.
+func NewBranchedX(spec StateSpec, d int, aMax float64, rng *rand.Rand) *BranchedX {
+	return &BranchedX{
+		spec:    spec,
+		aMax:    aMax,
+		hBranch: newBranch("bpx.h", spec.FeatDim, d, rng),
+		fBranch: newBranch("bpx.f", spec.FeatDim, d, rng),
+		merge:   nn.NewLinear("bpx.merge", spec.NumH+spec.NumF, NumBehaviors, rng),
+		tanh:    &nn.Tanh{},
+	}
+}
+
+// Params implements nn.Module.
+func (x *BranchedX) Params() []*nn.Param {
+	ps := x.hBranch.Params()
+	ps = append(ps, x.fBranch.Params()...)
+	return append(ps, x.merge.Params()...)
+}
+
+// Forward implements XNet.
+func (x *BranchedX) Forward(state []float64) *tensor.Matrix {
+	h, f := splitState(x.spec, state)
+	hv := x.hBranch.forward(h)
+	fv := x.fBranch.forward(f)
+	y := x.tanh.Forward(x.merge.Forward(tensor.ConcatCols(hv, fv)))
+	return tensor.Scale(y, x.aMax)
+}
+
+// Backward implements XNet.
+func (x *BranchedX) Backward(d *tensor.Matrix) {
+	dy := x.tanh.Backward(tensor.Scale(d, x.aMax))
+	dcat := x.merge.Backward(dy)
+	dh, df := tensor.SplitCols(dcat, x.spec.NumH)
+	x.hBranch.backward(dh)
+	x.fBranch.backward(df)
+}
+
+// BranchedQ is BP-DQN's Q network (Figure 6, right): three branches for
+// hᵗ, f̂ᵗ⁺¹ and x_out merged by a linear head into three Q values.
+type BranchedQ struct {
+	spec    StateSpec
+	hBranch *branch
+	fBranch *branch
+	xBranch *nn.Sequential
+	merge   *nn.Linear
+}
+
+// NewBranchedQ builds the branched Q network with hidden width d.
+func NewBranchedQ(spec StateSpec, d int, rng *rand.Rand) *BranchedQ {
+	return &BranchedQ{
+		spec:    spec,
+		hBranch: newBranch("bpq.h", spec.FeatDim, d, rng),
+		fBranch: newBranch("bpq.f", spec.FeatDim, d, rng),
+		xBranch: nn.NewSequential(
+			nn.NewLinear("bpq.x1", NumBehaviors, d, rng),
+			&nn.ReLU{},
+			nn.NewLinear("bpq.x2", d, NumBehaviors, rng),
+			&nn.ReLU{},
+		),
+		merge: nn.NewLinear("bpq.merge", spec.NumH+spec.NumF+NumBehaviors, NumBehaviors, rng),
+	}
+}
+
+// Params implements nn.Module.
+func (q *BranchedQ) Params() []*nn.Param {
+	ps := q.hBranch.Params()
+	ps = append(ps, q.fBranch.Params()...)
+	ps = append(ps, q.xBranch.Params()...)
+	return append(ps, q.merge.Params()...)
+}
+
+// Forward implements QNet.
+func (q *BranchedQ) Forward(state []float64, xout *tensor.Matrix) *tensor.Matrix {
+	h, f := splitState(q.spec, state)
+	hv := q.hBranch.forward(h)
+	fv := q.fBranch.forward(f)
+	xv := q.xBranch.Forward(xout)
+	return q.merge.Forward(tensor.ConcatCols(tensor.ConcatCols(hv, fv), xv))
+}
+
+// Backward implements QNet.
+func (q *BranchedQ) Backward(d *tensor.Matrix) *tensor.Matrix {
+	dcat := q.merge.Backward(d)
+	dhf, dx := tensor.SplitCols(dcat, q.spec.NumH+q.spec.NumF)
+	dh, df := tensor.SplitCols(dhf, q.spec.NumH)
+	q.hBranch.backward(dh)
+	q.fBranch.backward(df)
+	return q.xBranch.Backward(dx)
+}
+
+// SharedX is vanilla P-DQN's x network: one MLP over the flattened state,
+// sharing weights across the differently scaled input groups (the design
+// BP-DQN's branches fix).
+type SharedX struct {
+	spec StateSpec
+	aMax float64
+	mlp  *nn.Sequential
+	tanh *nn.Tanh
+}
+
+// NewSharedX builds the single-branch x network with hidden width h.
+func NewSharedX(spec StateSpec, h int, aMax float64, rng *rand.Rand) *SharedX {
+	return &SharedX{
+		spec: spec,
+		aMax: aMax,
+		mlp: nn.NewSequential(
+			nn.NewLinear("px.l1", spec.Dim(), h, rng),
+			&nn.ReLU{},
+			nn.NewLinear("px.l2", h, h, rng),
+			&nn.ReLU{},
+			nn.NewLinear("px.l3", h, NumBehaviors, rng),
+		),
+		tanh: &nn.Tanh{},
+	}
+}
+
+// Params implements nn.Module.
+func (x *SharedX) Params() []*nn.Param { return x.mlp.Params() }
+
+// Forward implements XNet.
+func (x *SharedX) Forward(state []float64) *tensor.Matrix {
+	in := tensor.FromSlice(1, len(state), state)
+	return tensor.Scale(x.tanh.Forward(x.mlp.Forward(in)), x.aMax)
+}
+
+// Backward implements XNet.
+func (x *SharedX) Backward(d *tensor.Matrix) {
+	x.mlp.Backward(x.tanh.Backward(tensor.Scale(d, x.aMax)))
+}
+
+// SharedQ is vanilla P-DQN's Q network: one MLP over the concatenated
+// state and action parameters.
+type SharedQ struct {
+	spec StateSpec
+	mlp  *nn.Sequential
+}
+
+// NewSharedQ builds the single-branch Q network with hidden width h.
+func NewSharedQ(spec StateSpec, h int, rng *rand.Rand) *SharedQ {
+	return &SharedQ{
+		spec: spec,
+		mlp: nn.NewSequential(
+			nn.NewLinear("pq.l1", spec.Dim()+NumBehaviors, h, rng),
+			&nn.ReLU{},
+			nn.NewLinear("pq.l2", h, h, rng),
+			&nn.ReLU{},
+			nn.NewLinear("pq.l3", h, NumBehaviors, rng),
+		),
+	}
+}
+
+// Params implements nn.Module.
+func (q *SharedQ) Params() []*nn.Param { return q.mlp.Params() }
+
+// Forward implements QNet.
+func (q *SharedQ) Forward(state []float64, xout *tensor.Matrix) *tensor.Matrix {
+	in := tensor.New(1, len(state)+NumBehaviors)
+	copy(in.Data[:len(state)], state)
+	copy(in.Data[len(state):], xout.Data)
+	return q.mlp.Forward(in)
+}
+
+// Backward implements QNet.
+func (q *SharedQ) Backward(d *tensor.Matrix) *tensor.Matrix {
+	din := q.mlp.Backward(d)
+	_, dx := tensor.SplitCols(din, din.Cols-NumBehaviors)
+	return dx
+}

@@ -1,0 +1,281 @@
+package rl
+
+import (
+	"math/rand"
+
+	"head/internal/nn"
+	"head/internal/tensor"
+)
+
+// PDQNConfig holds the hyperparameters of the P-DQN optimization paradigm
+// (Section IV-B). The paper uses γ = 0.9, replay 20,000, Adam lr = 0.001,
+// batch 64, and soft target updates with τ = 0.01.
+type PDQNConfig struct {
+	Gamma      float64
+	LR         float64
+	Tau        float64
+	BatchSize  int
+	ReplayCap  int
+	Warmup     int // environment steps before training begins
+	TrainEvery int // train once per this many environment steps
+	Eps        EpsSchedule
+	NoiseStd   float64 // Gaussian exploration noise on accelerations, m/s²
+	ClipNorm   float64
+	// AlternatePhaseLen > 0 enables P-QP-style alternating optimization:
+	// Q and x are updated in alternating phases of this many train steps
+	// instead of jointly.
+	AlternatePhaseLen int
+	// PER enables prioritized experience replay (Schaul et al.) with
+	// exponents PERAlpha (prioritization) and PERBeta (importance
+	// sampling correction), an extension beyond the paper's uniform
+	// replay.
+	PER               bool
+	PERAlpha, PERBeta float64
+	// OU enables Ornstein–Uhlenbeck acceleration exploration noise
+	// (temporally correlated, smoother than white noise) instead of
+	// independent Gaussian draws.
+	OU bool
+}
+
+// DefaultPDQNConfig returns the paper's training settings.
+func DefaultPDQNConfig() PDQNConfig {
+	return PDQNConfig{
+		Gamma:      0.9,
+		LR:         0.001,
+		Tau:        0.01,
+		BatchSize:  64,
+		ReplayCap:  20000,
+		Warmup:     200,
+		TrainEvery: 1,
+		Eps:        EpsSchedule{Start: 1.0, End: 0.05, DecaySteps: 5000},
+		NoiseStd:   0.5,
+		ClipNorm:   5,
+	}
+}
+
+// PDQN is the P-DQN optimization paradigm with pluggable x/Q networks: with
+// branched networks it is the paper's BP-DQN, with shared single-branch
+// networks it is vanilla P-DQN, and with AlternatePhaseLen set it becomes
+// the P-QP alternating scheme.
+type PDQN struct {
+	name       string
+	cfg        PDQNConfig
+	aMax       float64
+	x, xT      XNet // online and target actor networks
+	qn, qT     QNet // online and target critic networks
+	optX, optQ *nn.Adam
+	buf        *Replay
+	bufP       *PrioritizedReplay
+	ou         *OUNoise
+	rng        *rand.Rand
+	steps      int
+	trainSteps int
+}
+
+// NewPDQN assembles an agent from freshly constructed online and target
+// networks. The two pairs must be architecturally identical; the target
+// networks are synchronized to the online ones at construction.
+func NewPDQN(name string, cfg PDQNConfig, aMax float64,
+	x, xTarget XNet, q, qTarget QNet, rng *rand.Rand) *PDQN {
+	nn.CopyParams(xTarget, x)
+	nn.CopyParams(qTarget, q)
+	p := &PDQN{
+		name: name,
+		cfg:  cfg,
+		aMax: aMax,
+		x:    x,
+		qn:   q,
+		xT:   xTarget,
+		qT:   qTarget,
+		optX: nn.NewAdam(cfg.LR),
+		optQ: nn.NewAdam(cfg.LR),
+		rng:  rng,
+	}
+	if cfg.PER {
+		alpha := cfg.PERAlpha
+		if alpha <= 0 {
+			alpha = 0.6
+		}
+		p.bufP = NewPrioritizedReplay(cfg.ReplayCap, alpha)
+	} else {
+		p.buf = NewReplay(cfg.ReplayCap)
+	}
+	if cfg.OU {
+		p.ou = NewOUNoise(NumBehaviors, 0.15, cfg.NoiseStd, rng)
+	}
+	return p
+}
+
+// NewBPDQN builds the paper's BP-DQN agent with branched networks of
+// hidden width d.
+func NewBPDQN(cfg PDQNConfig, spec StateSpec, aMax float64, d int, rng *rand.Rand) *PDQN {
+	return NewPDQN("BP-DQN", cfg, aMax,
+		NewBranchedX(spec, d, aMax, rng), NewBranchedX(spec, d, aMax, rng),
+		NewBranchedQ(spec, d, rng), NewBranchedQ(spec, d, rng), rng)
+}
+
+// NewVanillaPDQN builds the vanilla P-DQN baseline with shared
+// single-branch networks of hidden width h.
+func NewVanillaPDQN(cfg PDQNConfig, spec StateSpec, aMax float64, h int, rng *rand.Rand) *PDQN {
+	return NewPDQN("P-DQN", cfg, aMax,
+		NewSharedX(spec, h, aMax, rng), NewSharedX(spec, h, aMax, rng),
+		NewSharedQ(spec, h, rng), NewSharedQ(spec, h, rng), rng)
+}
+
+// NewPQP builds the P-QP baseline: shared networks optimized in
+// alternating phases instead of jointly.
+func NewPQP(cfg PDQNConfig, spec StateSpec, aMax float64, h int, rng *rand.Rand) *PDQN {
+	if cfg.AlternatePhaseLen <= 0 {
+		cfg.AlternatePhaseLen = 50
+	}
+	a := NewPDQN("P-QP", cfg, aMax,
+		NewSharedX(spec, h, aMax, rng), NewSharedX(spec, h, aMax, rng),
+		NewSharedQ(spec, h, rng), NewSharedQ(spec, h, rng), rng)
+	return a
+}
+
+// Name implements Agent.
+func (p *PDQN) Name() string { return p.name }
+
+// Params implements nn.Module over every network (online and target), so
+// a trained agent can be checkpointed with nn.Save and restored with
+// nn.Load into an identically constructed agent.
+func (p *PDQN) Params() []*nn.Param {
+	ps := p.x.Params()
+	ps = append(ps, p.qn.Params()...)
+	ps = append(ps, p.xT.Params()...)
+	return append(ps, p.qT.Params()...)
+}
+
+// Act implements Agent: the x network proposes one acceleration per
+// behavior, the Q network scores them, and the policy takes the argmax —
+// with ε-greedy behavior exploration and Gaussian acceleration noise
+// during training.
+func (p *PDQN) Act(state []float64, explore bool) Action {
+	xout := p.x.Forward(state)
+	raw := make([]float64, NumBehaviors)
+	copy(raw, xout.Data)
+	if explore {
+		if p.ou != nil {
+			noise := p.ou.Sample()
+			for i := range raw {
+				raw[i] = clamp(raw[i]+noise[i], p.aMax)
+			}
+		} else {
+			for i := range raw {
+				raw[i] = clamp(raw[i]+p.rng.NormFloat64()*p.cfg.NoiseStd, p.aMax)
+			}
+		}
+	}
+	b := 0
+	if explore && p.rng.Float64() < p.cfg.Eps.At(p.steps) {
+		b = p.rng.Intn(NumBehaviors)
+	} else {
+		noisy := tensor.FromSlice(1, NumBehaviors, raw)
+		qv := p.qn.Forward(state, noisy)
+		b = qv.ArgmaxRow(0)
+	}
+	return Action{B: b, A: raw[b], Raw: raw}
+}
+
+// Observe implements Agent.
+func (p *PDQN) Observe(tr Transition) {
+	stored := 0
+	if p.bufP != nil {
+		p.bufP.Push(tr)
+		stored = p.bufP.Len()
+	} else {
+		p.buf.Push(tr)
+		stored = p.buf.Len()
+	}
+	p.steps++
+	if tr.Done && p.ou != nil {
+		p.ou.Reset()
+	}
+	if p.steps < p.cfg.Warmup || stored < p.cfg.BatchSize {
+		return
+	}
+	if p.cfg.TrainEvery > 1 && p.steps%p.cfg.TrainEvery != 0 {
+		return
+	}
+	p.trainStep()
+}
+
+// phase reports which networks train this step: joint mode trains both;
+// alternating (P-QP) mode flips between Q-only and x-only phases.
+func (p *PDQN) phase() (trainQ, trainX bool) {
+	if p.cfg.AlternatePhaseLen <= 0 {
+		return true, true
+	}
+	inQ := (p.trainSteps/p.cfg.AlternatePhaseLen)%2 == 0
+	return inQ, !inQ
+}
+
+// trainStep performs one minibatch update of L2 (Equation (22)) and L3
+// (Equation (23)), then soft-updates the target networks.
+func (p *PDQN) trainStep() {
+	var batch []Transition
+	var perIdxs []int
+	var perWeights []float64
+	if p.bufP != nil {
+		beta := p.cfg.PERBeta
+		if beta <= 0 {
+			beta = 0.4
+		}
+		batch, perIdxs, perWeights = p.bufP.Sample(p.cfg.BatchSize, beta, p.rng)
+	} else {
+		batch = p.buf.Sample(p.cfg.BatchSize, p.rng)
+	}
+	trainQ, trainX := p.phase()
+	p.trainSteps++
+
+	if trainQ {
+		nn.ZeroGrads(p.qn)
+		tdErrs := make([]float64, len(batch))
+		for k, tr := range batch {
+			y := tr.Reward
+			if !tr.Done {
+				xNext := p.xT.Forward(tr.Next)
+				qNext := p.qT.Forward(tr.Next, xNext)
+				best := qNext.ArgmaxRow(0)
+				y += p.cfg.Gamma * qNext.At(0, best)
+			}
+			raw := tensor.FromSlice(1, NumBehaviors, tr.Action.Raw)
+			qv := p.qn.Forward(tr.State, raw)
+			diff := qv.At(0, tr.Action.B) - y
+			tdErrs[k] = diff
+			w := 1.0
+			if perWeights != nil {
+				w = perWeights[k]
+			}
+			d := tensor.New(1, NumBehaviors)
+			d.Set(0, tr.Action.B, w*diff/float64(len(batch)))
+			p.qn.Backward(d)
+		}
+		nn.ClipGradNorm(p.qn, p.cfg.ClipNorm)
+		p.optQ.Step(p.qn)
+		if p.bufP != nil {
+			p.bufP.UpdatePriorities(perIdxs, tdErrs)
+		}
+	}
+
+	if trainX {
+		nn.ZeroGrads(p.x)
+		nn.ZeroGrads(p.qn)
+		for _, tr := range batch {
+			xout := p.x.Forward(tr.State)
+			p.qn.Forward(tr.State, xout)
+			// L3 = −Σ_b Q_b ⇒ dL3/dQ = −1 for every output.
+			d := tensor.New(1, NumBehaviors)
+			d.Fill(-1 / float64(len(batch)))
+			dx := p.qn.Backward(d)
+			p.x.Backward(dx)
+		}
+		nn.ClipGradNorm(p.x, p.cfg.ClipNorm)
+		p.optX.Step(p.x)
+		nn.ZeroGrads(p.qn) // discard critic grads from the actor pass
+	}
+
+	nn.SoftUpdate(p.xT, p.x, p.cfg.Tau)
+	nn.SoftUpdate(p.qT, p.qn, p.cfg.Tau)
+}

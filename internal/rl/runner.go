@@ -1,0 +1,104 @@
+package rl
+
+import (
+	"math"
+	"time"
+)
+
+// EpisodeResult summarizes one episode.
+type EpisodeResult struct {
+	TotalReward float64
+	Steps       int
+	Done        bool
+}
+
+// RunEpisode rolls one episode. With learn true the agent explores and
+// observes every transition; otherwise it acts greedily and learns
+// nothing.
+func RunEpisode(agent Agent, env Env, maxSteps int, learn bool) EpisodeResult {
+	state := env.Reset()
+	var res EpisodeResult
+	for step := 0; step < maxSteps; step++ {
+		act := agent.Act(state, learn)
+		next, r, done := env.Step(act.B, act.A)
+		if learn {
+			agent.Observe(Transition{State: state, Action: act, Reward: r, Next: next, Done: done})
+		}
+		res.TotalReward += r
+		res.Steps++
+		state = next
+		if done {
+			res.Done = true
+			break
+		}
+	}
+	return res
+}
+
+// TrainResult reports a training run.
+type TrainResult struct {
+	EpisodeRewards []float64
+	// TCT is the training convergence time (wall clock), the efficiency
+	// metric of Table VI.
+	TCT time.Duration
+}
+
+// Train runs learning episodes and records each episode's total reward.
+func Train(agent Agent, env Env, episodes, maxSteps int) TrainResult {
+	start := time.Now()
+	var res TrainResult
+	for e := 0; e < episodes; e++ {
+		r := RunEpisode(agent, env, maxSteps, true)
+		res.EpisodeRewards = append(res.EpisodeRewards, r.TotalReward)
+	}
+	res.TCT = time.Since(start)
+	return res
+}
+
+// RewardStats are the effectiveness metrics of Table V: the minimum,
+// maximum, and average per-step reward observed over greedy test episodes.
+type RewardStats struct {
+	Min, Max, Avg float64
+	Steps         int
+}
+
+// EvaluateAgent runs greedy episodes and aggregates per-step rewards.
+func EvaluateAgent(agent Agent, env Env, episodes, maxSteps int) RewardStats {
+	stats := RewardStats{Min: math.Inf(1), Max: math.Inf(-1)}
+	total := 0.0
+	for e := 0; e < episodes; e++ {
+		state := env.Reset()
+		for step := 0; step < maxSteps; step++ {
+			act := agent.Act(state, false)
+			next, r, done := env.Step(act.B, act.A)
+			stats.Min = math.Min(stats.Min, r)
+			stats.Max = math.Max(stats.Max, r)
+			total += r
+			stats.Steps++
+			state = next
+			if done {
+				break
+			}
+		}
+	}
+	if stats.Steps > 0 {
+		stats.Avg = total / float64(stats.Steps)
+	} else {
+		stats.Min, stats.Max = 0, 0
+	}
+	return stats
+}
+
+// AvgInferenceTime measures the mean wall-clock duration of one greedy
+// action selection — the AvgIT metric of Table VI.
+func AvgInferenceTime(agent Agent, env Env, samples int) time.Duration {
+	if samples <= 0 {
+		return 0
+	}
+	state := env.Reset()
+	start := time.Now()
+	for i := 0; i < samples; i++ {
+		agent.Act(state, false)
+	}
+	return time.Since(start) / time.Duration(samples)
+}

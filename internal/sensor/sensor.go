@@ -1,0 +1,163 @@
+// Package sensor models the autonomous vehicle's onboard perception
+// hardware with the two limitations the paper's enhanced perception module
+// is designed around: a finite detection radius R and poor detection
+// accuracy under occlusion. The simulator knows the global truth (as SUMO
+// does); the sensor applies geometry to decide what the AV can actually
+// see, and maintains the rolling z-step observation history the phantom
+// construction and LST-GAT models consume.
+package sensor
+
+import (
+	"math"
+
+	"head/internal/traffic"
+	"head/internal/world"
+)
+
+// Config configures the sensor geometry.
+type Config struct {
+	// R is the detection radius in meters (paper: 100 m).
+	R float64
+	// VehicleWidth is the apparent width of an occluding vehicle in
+	// meters; a target within the angular shadow cast by a nearer vehicle
+	// is invisible.
+	VehicleWidth float64
+	// Z is the number of historical time steps retained (paper: 5).
+	Z int
+}
+
+// DefaultConfig returns the paper's sensor settings: R = 100 m, z = 5.
+func DefaultConfig() Config {
+	return Config{R: 100, VehicleWidth: 2.0, Z: 5}
+}
+
+// Observation is one vehicle the sensor detected at one time step.
+type Observation struct {
+	ID    int
+	State world.State
+}
+
+// Frame is the sensor output at one time step: the AV's own state and the
+// set of observed conventional vehicles, keyed by vehicle ID.
+type Frame struct {
+	AV       world.State
+	Observed map[int]world.State
+}
+
+// Sensor detects surrounding vehicles and retains the last Z frames.
+type Sensor struct {
+	Cfg       Config
+	LaneWidth float64
+	frames    []Frame
+}
+
+// New returns a sensor for a road with the given lane width.
+func New(cfg Config, laneWidth float64) *Sensor {
+	return &Sensor{Cfg: cfg, LaneWidth: laneWidth}
+}
+
+// position returns the planar position of a state: x along the road, y
+// across it (lane centers).
+func (s *Sensor) position(st world.State) (x, y float64) {
+	return st.Lon, float64(st.Lat) * s.LaneWidth
+}
+
+// distance returns the planar distance between two states.
+func (s *Sensor) distance(a, b world.State) float64 {
+	ax, ay := s.position(a)
+	bx, by := s.position(b)
+	return math.Hypot(ax-bx, ay-by)
+}
+
+// InRange reports whether target is within the detection radius of av.
+func (s *Sensor) InRange(av, target world.State) bool {
+	return s.distance(av, target) <= s.Cfg.R
+}
+
+// Occluded reports whether target is hidden from av by any of the blockers:
+// a blocker occludes the target when it is strictly nearer to the AV and
+// the angular separation between the two sight lines is smaller than the
+// blocker's angular half-width.
+func (s *Sensor) Occluded(av, target world.State, blockers []world.State) bool {
+	ax, ay := s.position(av)
+	tx, ty := s.position(target)
+	dt := math.Hypot(tx-ax, ty-ay)
+	if dt == 0 {
+		return false
+	}
+	angT := math.Atan2(ty-ay, tx-ax)
+	for _, b := range blockers {
+		bx, by := s.position(b)
+		db := math.Hypot(bx-ax, by-ay)
+		if db <= 0 || db >= dt {
+			continue
+		}
+		angB := math.Atan2(by-ay, bx-ax)
+		diff := math.Abs(angleDiff(angT, angB))
+		halfWidth := math.Atan2(s.Cfg.VehicleWidth/2, db)
+		if diff < halfWidth {
+			return true
+		}
+	}
+	return false
+}
+
+// angleDiff returns the signed difference a−b wrapped to (−π, π].
+func angleDiff(a, b float64) float64 {
+	d := a - b
+	for d > math.Pi {
+		d -= 2 * math.Pi
+	}
+	for d <= -math.Pi {
+		d += 2 * math.Pi
+	}
+	return d
+}
+
+// Detect returns the vehicles visible from av: within range and not
+// occluded by any other conventional vehicle.
+func (s *Sensor) Detect(av world.State, vehicles []*traffic.Vehicle) []Observation {
+	states := make([]world.State, len(vehicles))
+	for i, v := range vehicles {
+		states[i] = v.State
+	}
+	var out []Observation
+	for i, v := range vehicles {
+		if !s.InRange(av, v.State) {
+			continue
+		}
+		blockers := make([]world.State, 0, len(states)-1)
+		blockers = append(blockers, states[:i]...)
+		blockers = append(blockers, states[i+1:]...)
+		if s.Occluded(av, v.State, blockers) {
+			continue
+		}
+		out = append(out, Observation{ID: v.ID, State: v.State})
+	}
+	return out
+}
+
+// Observe runs detection and appends the resulting frame to the rolling
+// history, returning the frame.
+func (s *Sensor) Observe(av world.State, vehicles []*traffic.Vehicle) Frame {
+	obs := s.Detect(av, vehicles)
+	f := Frame{AV: av, Observed: make(map[int]world.State, len(obs))}
+	for _, o := range obs {
+		f.Observed[o.ID] = o.State
+	}
+	s.frames = append(s.frames, f)
+	if len(s.frames) > s.Cfg.Z {
+		s.frames = s.frames[len(s.frames)-s.Cfg.Z:]
+	}
+	return f
+}
+
+// History returns the retained frames, oldest first. Fewer than Z frames
+// are returned until the buffer warms up.
+func (s *Sensor) History() []Frame { return s.frames }
+
+// Ready reports whether a full z-step history has been accumulated.
+func (s *Sensor) Ready() bool { return len(s.frames) >= s.Cfg.Z }
+
+// Reset clears the history (between episodes).
+func (s *Sensor) Reset() { s.frames = s.frames[:0] }

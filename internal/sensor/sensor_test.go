@@ -1,0 +1,161 @@
+package sensor
+
+import (
+	"math/rand"
+	"testing"
+
+	"head/internal/traffic"
+	"head/internal/world"
+)
+
+func newTestSensor() *Sensor {
+	return New(DefaultConfig(), 3.2)
+}
+
+func TestInRange(t *testing.T) {
+	s := newTestSensor()
+	av := world.State{Lat: 3, Lon: 0, V: 20}
+	if !s.InRange(av, world.State{Lat: 3, Lon: 99, V: 20}) {
+		t.Error("99 m ahead same lane should be in range")
+	}
+	if s.InRange(av, world.State{Lat: 3, Lon: 101, V: 20}) {
+		t.Error("101 m ahead should be out of range")
+	}
+	// Lateral offset contributes to distance.
+	if s.InRange(av, world.State{Lat: 6, Lon: 99.9, V: 20}) {
+		t.Error("99.9 m ahead three lanes over should be out of range")
+	}
+}
+
+func TestOccludedDirectlyBehindBlocker(t *testing.T) {
+	s := newTestSensor()
+	av := world.State{Lat: 3, Lon: 0, V: 20}
+	blocker := world.State{Lat: 3, Lon: 30, V: 20}
+	target := world.State{Lat: 3, Lon: 60, V: 20}
+	if !s.Occluded(av, target, []world.State{blocker}) {
+		t.Error("same-lane target behind a nearer same-lane vehicle must be occluded")
+	}
+}
+
+func TestNotOccludedAdjacentLane(t *testing.T) {
+	s := newTestSensor()
+	av := world.State{Lat: 3, Lon: 0, V: 20}
+	blocker := world.State{Lat: 3, Lon: 30, V: 20}
+	target := world.State{Lat: 2, Lon: 35, V: 20} // adjacent lane, wide angle
+	if s.Occluded(av, target, []world.State{blocker}) {
+		t.Error("adjacent-lane vehicle at a wide angle should be visible")
+	}
+}
+
+func TestNotOccludedByFartherVehicle(t *testing.T) {
+	s := newTestSensor()
+	av := world.State{Lat: 3, Lon: 0, V: 20}
+	far := world.State{Lat: 3, Lon: 80, V: 20}
+	near := world.State{Lat: 3, Lon: 40, V: 20}
+	if s.Occluded(av, near, []world.State{far}) {
+		t.Error("a farther vehicle cannot occlude a nearer one")
+	}
+}
+
+func TestOccludedBehindAV(t *testing.T) {
+	s := newTestSensor()
+	av := world.State{Lat: 3, Lon: 100, V: 20}
+	blocker := world.State{Lat: 3, Lon: 70, V: 20}
+	target := world.State{Lat: 3, Lon: 40, V: 20}
+	if !s.Occluded(av, target, []world.State{blocker}) {
+		t.Error("occlusion must also apply behind the AV")
+	}
+}
+
+func TestDetectFiltersRangeAndOcclusion(t *testing.T) {
+	s := newTestSensor()
+	av := world.State{Lat: 3, Lon: 0, V: 20}
+	mk := func(id, lane int, lon float64) *traffic.Vehicle {
+		return &traffic.Vehicle{ID: id, State: world.State{Lat: lane, Lon: lon, V: 15}}
+	}
+	vehicles := []*traffic.Vehicle{
+		mk(1, 3, 30),  // visible
+		mk(2, 3, 60),  // occluded by 1
+		mk(3, 2, 50),  // visible (adjacent lane)
+		mk(4, 3, 150), // out of range
+	}
+	obs := s.Detect(av, vehicles)
+	got := map[int]bool{}
+	for _, o := range obs {
+		got[o.ID] = true
+	}
+	if !got[1] || !got[3] {
+		t.Errorf("expected vehicles 1 and 3 visible, got %v", got)
+	}
+	if got[2] {
+		t.Error("vehicle 2 should be occluded")
+	}
+	if got[4] {
+		t.Error("vehicle 4 should be out of range")
+	}
+}
+
+func TestObserveHistoryRolls(t *testing.T) {
+	s := newTestSensor()
+	av := world.State{Lat: 3, Lon: 0, V: 20}
+	for i := 0; i < 8; i++ {
+		av.Lon = float64(i)
+		s.Observe(av, nil)
+	}
+	h := s.History()
+	if len(h) != s.Cfg.Z {
+		t.Fatalf("history length %d, want %d", len(h), s.Cfg.Z)
+	}
+	if h[0].AV.Lon != 3 || h[len(h)-1].AV.Lon != 7 {
+		t.Errorf("history window wrong: first %g last %g", h[0].AV.Lon, h[len(h)-1].AV.Lon)
+	}
+	if !s.Ready() {
+		t.Error("sensor should be ready after Z frames")
+	}
+	s.Reset()
+	if len(s.History()) != 0 || s.Ready() {
+		t.Error("Reset did not clear history")
+	}
+}
+
+func TestObserveRecordsObservedMap(t *testing.T) {
+	s := newTestSensor()
+	av := world.State{Lat: 3, Lon: 0, V: 20}
+	v := &traffic.Vehicle{ID: 42, State: world.State{Lat: 3, Lon: 50, V: 18}}
+	f := s.Observe(av, []*traffic.Vehicle{v})
+	if st, ok := f.Observed[42]; !ok || st.Lon != 50 {
+		t.Errorf("Observed[42] = %+v ok=%t", st, ok)
+	}
+}
+
+func TestDetectInDenseTraffic(t *testing.T) {
+	// In real traffic some vehicles should be occluded and some visible.
+	cfg := traffic.DefaultConfig()
+	cfg.World.RoadLength = 600
+	cfg.Density = 150
+	sim, err := traffic.New(cfg, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim.AV.State = world.State{Lat: 3, Lon: 300, V: 20}
+	s := newTestSensor()
+	obs := s.Detect(sim.AV.State, sim.Vehicles)
+	inRange := 0
+	for _, v := range sim.Vehicles {
+		if s.InRange(sim.AV.State, v.State) {
+			inRange++
+		}
+	}
+	if len(obs) == 0 {
+		t.Fatal("no vehicles detected in dense traffic")
+	}
+	if len(obs) >= inRange {
+		t.Errorf("expected some occlusion: %d observed of %d in range", len(obs), inRange)
+	}
+}
+
+func TestAngleDiffWraps(t *testing.T) {
+	if d := angleDiff(3.0, -3.0); d > 3.15 || d < -3.15 {
+		t.Errorf("angleDiff(3, -3) = %g, want wrapped", d)
+	}
+}

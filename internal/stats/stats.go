@@ -1,0 +1,108 @@
+// Package stats provides the small set of summary statistics the
+// experiment harness reports: means, standard deviations, normal-theory
+// confidence intervals, and paired comparisons across seeds. It exists so
+// Table I/II/V deltas can be judged against their run-to-run noise.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Summary describes a sample of scalar measurements.
+type Summary struct {
+	N              int
+	Mean, Std      float64
+	Min, Max       float64
+	Median         float64
+	StdErr         float64
+	CI95Lo, CI95Hi float64
+}
+
+// Summarize computes a Summary of xs. An empty input yields the zero
+// Summary.
+func Summarize(xs []float64) Summary {
+	var s Summary
+	s.N = len(xs)
+	if s.N == 0 {
+		return s
+	}
+	s.Min, s.Max = math.Inf(1), math.Inf(-1)
+	for _, x := range xs {
+		s.Mean += x
+		s.Min = math.Min(s.Min, x)
+		s.Max = math.Max(s.Max, x)
+	}
+	s.Mean /= float64(s.N)
+	for _, x := range xs {
+		d := x - s.Mean
+		s.Std += d * d
+	}
+	if s.N > 1 {
+		s.Std = math.Sqrt(s.Std / float64(s.N-1))
+		s.StdErr = s.Std / math.Sqrt(float64(s.N))
+	} else {
+		s.Std = 0
+	}
+	// Normal-theory 95% interval (z = 1.96); for the small seed counts
+	// used here it is an optimistic but standard yardstick.
+	s.CI95Lo = s.Mean - 1.96*s.StdErr
+	s.CI95Hi = s.Mean + 1.96*s.StdErr
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	mid := s.N / 2
+	if s.N%2 == 1 {
+		s.Median = sorted[mid]
+	} else {
+		s.Median = (sorted[mid-1] + sorted[mid]) / 2
+	}
+	return s
+}
+
+// String implements fmt.Stringer as "mean ± std (n)".
+func (s Summary) String() string {
+	return fmt.Sprintf("%.3f ± %.3f (n=%d)", s.Mean, s.Std, s.N)
+}
+
+// PairedDelta summarizes the per-seed differences a[i] − b[i] of two
+// matched samples (e.g. the same seeds run under two configurations) and
+// reports whether zero lies outside the 95% interval of the mean delta —
+// the paired test the ablation comparisons need.
+type PairedDelta struct {
+	Summary
+	// Significant is true when the 95% CI of the mean difference
+	// excludes zero.
+	Significant bool
+}
+
+// Paired computes the paired delta of equal-length samples. It panics on
+// length mismatch.
+func Paired(a, b []float64) PairedDelta {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("stats: paired samples differ in length: %d vs %d", len(a), len(b)))
+	}
+	deltas := make([]float64, len(a))
+	for i := range a {
+		deltas[i] = a[i] - b[i]
+	}
+	s := Summarize(deltas)
+	return PairedDelta{
+		Summary:     s,
+		Significant: s.N > 1 && (s.CI95Lo > 0 || s.CI95Hi < 0),
+	}
+}
+
+// Welch reports the Welch t-statistic of two independent samples — a
+// quick effect-size yardstick for unpaired comparisons.
+func Welch(a, b []float64) float64 {
+	sa, sb := Summarize(a), Summarize(b)
+	if sa.N < 2 || sb.N < 2 {
+		return 0
+	}
+	se := math.Sqrt(sa.Std*sa.Std/float64(sa.N) + sb.Std*sb.Std/float64(sb.N))
+	if se == 0 {
+		return 0
+	}
+	return (sa.Mean - sb.Mean) / se
+}

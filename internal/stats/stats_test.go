@@ -1,0 +1,109 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestSummarizeBasics(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4, 5})
+	if s.N != 5 || s.Mean != 3 || s.Min != 1 || s.Max != 5 || s.Median != 3 {
+		t.Errorf("Summary = %+v", s)
+	}
+	if want := math.Sqrt(2.5); math.Abs(s.Std-want) > 1e-12 {
+		t.Errorf("Std = %g, want %g", s.Std, want)
+	}
+	if s.CI95Lo >= s.Mean || s.CI95Hi <= s.Mean {
+		t.Errorf("CI [%g, %g] does not bracket mean", s.CI95Lo, s.CI95Hi)
+	}
+}
+
+func TestSummarizeEdgeCases(t *testing.T) {
+	if s := Summarize(nil); s.N != 0 || s.Mean != 0 {
+		t.Errorf("empty summary = %+v", s)
+	}
+	s := Summarize([]float64{7})
+	if s.N != 1 || s.Mean != 7 || s.Std != 0 || s.Median != 7 {
+		t.Errorf("singleton summary = %+v", s)
+	}
+	// Even-length median.
+	if s := Summarize([]float64{1, 2, 3, 4}); s.Median != 2.5 {
+		t.Errorf("even median = %g, want 2.5", s.Median)
+	}
+}
+
+func TestSummaryString(t *testing.T) {
+	if got := Summarize([]float64{1, 2, 3}).String(); !strings.Contains(got, "n=3") {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func TestPairedSignificance(t *testing.T) {
+	a := []float64{10, 11, 10.5, 10.2, 10.8}
+	b := []float64{8, 8.5, 8.2, 8.4, 8.1}
+	d := Paired(a, b)
+	if !d.Significant {
+		t.Errorf("clear separation should be significant: %+v", d)
+	}
+	noisyA := []float64{10, 8, 11, 7, 9}
+	noisyB := []float64{9, 10, 8, 10, 9}
+	if d := Paired(noisyA, noisyB); d.Significant {
+		t.Errorf("overlapping samples should not be significant: %+v", d)
+	}
+}
+
+func TestPairedPanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	Paired([]float64{1}, []float64{1, 2})
+}
+
+func TestWelch(t *testing.T) {
+	a := []float64{10, 10.1, 9.9, 10.05}
+	b := []float64{5, 5.1, 4.9, 5.05}
+	if tt := Welch(a, b); tt < 10 {
+		t.Errorf("Welch t = %g, want large for well-separated samples", tt)
+	}
+	if tt := Welch(a, a); math.Abs(tt) > 1e-9 {
+		t.Errorf("Welch t of identical samples = %g", tt)
+	}
+	if Welch([]float64{1}, a) != 0 {
+		t.Error("degenerate sample should yield 0")
+	}
+	same := []float64{2, 2, 2}
+	if Welch(same, same) != 0 {
+		t.Error("zero-variance samples should yield 0")
+	}
+}
+
+// Property: the summary invariants hold for random samples.
+func TestSummaryInvariants(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := int(n%20) + 1
+		xs := make([]float64, m)
+		for i := range xs {
+			xs[i] = rng.NormFloat64() * 10
+		}
+		s := Summarize(xs)
+		if s.Min > s.Median || s.Median > s.Max {
+			return false
+		}
+		if s.Mean < s.Min-1e-9 || s.Mean > s.Max+1e-9 {
+			return false
+		}
+		if s.Std < 0 || s.CI95Lo > s.CI95Hi {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

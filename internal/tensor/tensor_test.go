@@ -1,0 +1,239 @@
+package tensor
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewAndAccessors(t *testing.T) {
+	m := New(2, 3)
+	if m.Rows != 2 || m.Cols != 3 || len(m.Data) != 6 {
+		t.Fatalf("New(2,3) = %v", m)
+	}
+	m.Set(1, 2, 7)
+	if m.At(1, 2) != 7 {
+		t.Errorf("At(1,2) = %g, want 7", m.At(1, 2))
+	}
+	if got := m.Row(1); got[2] != 7 {
+		t.Errorf("Row(1)[2] = %g, want 7", got[2])
+	}
+}
+
+func TestFromSliceAndRows(t *testing.T) {
+	m := FromSlice(2, 2, []float64{1, 2, 3, 4})
+	if m.At(1, 0) != 3 {
+		t.Errorf("FromSlice At(1,0) = %g, want 3", m.At(1, 0))
+	}
+	r := FromRows([][]float64{{1, 2}, {3, 4}})
+	if !Equal(m, r, 0) {
+		t.Errorf("FromRows != FromSlice: %v vs %v", r, m)
+	}
+	if empty := FromRows(nil); empty.Rows != 0 {
+		t.Errorf("FromRows(nil).Rows = %d, want 0", empty.Rows)
+	}
+}
+
+func TestPanicsOnShapeErrors(t *testing.T) {
+	cases := []func(){
+		func() { New(-1, 2) },
+		func() { FromSlice(2, 2, []float64{1}) },
+		func() { FromRows([][]float64{{1, 2}, {3}}) },
+		func() { Add(New(1, 2), New(2, 1)) },
+		func() { MatMul(New(2, 3), New(2, 3)) },
+		func() { ConcatCols(New(1, 2), New(2, 2)) },
+		func() { SplitCols(New(1, 2), 3) },
+	}
+	for i, f := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: expected panic", i)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestAddSubMulScale(t *testing.T) {
+	a := FromSlice(1, 3, []float64{1, 2, 3})
+	b := FromSlice(1, 3, []float64{4, 5, 6})
+	if got := Add(a, b); !Equal(got, FromSlice(1, 3, []float64{5, 7, 9}), 0) {
+		t.Errorf("Add = %v", got)
+	}
+	if got := Sub(b, a); !Equal(got, FromSlice(1, 3, []float64{3, 3, 3}), 0) {
+		t.Errorf("Sub = %v", got)
+	}
+	if got := Mul(a, b); !Equal(got, FromSlice(1, 3, []float64{4, 10, 18}), 0) {
+		t.Errorf("Mul = %v", got)
+	}
+	if got := Scale(a, 2); !Equal(got, FromSlice(1, 3, []float64{2, 4, 6}), 0) {
+		t.Errorf("Scale = %v", got)
+	}
+	c := a.Clone()
+	AddInPlace(c, b)
+	if !Equal(c, FromSlice(1, 3, []float64{5, 7, 9}), 0) {
+		t.Errorf("AddInPlace = %v", c)
+	}
+	ScaleInPlace(c, 0)
+	if Sum(c) != 0 {
+		t.Errorf("ScaleInPlace(0) left %v", c)
+	}
+}
+
+func TestMatMul(t *testing.T) {
+	a := FromSlice(2, 3, []float64{1, 2, 3, 4, 5, 6})
+	b := FromSlice(3, 2, []float64{7, 8, 9, 10, 11, 12})
+	got := MatMul(a, b)
+	want := FromSlice(2, 2, []float64{58, 64, 139, 154})
+	if !Equal(got, want, 1e-12) {
+		t.Errorf("MatMul = %v, want %v", got, want)
+	}
+}
+
+func TestTranspose(t *testing.T) {
+	a := FromSlice(2, 3, []float64{1, 2, 3, 4, 5, 6})
+	got := Transpose(a)
+	want := FromSlice(3, 2, []float64{1, 4, 2, 5, 3, 6})
+	if !Equal(got, want, 0) {
+		t.Errorf("Transpose = %v, want %v", got, want)
+	}
+}
+
+func TestConcatSplitRoundTrip(t *testing.T) {
+	a := FromSlice(2, 2, []float64{1, 2, 5, 6})
+	b := FromSlice(2, 3, []float64{3, 4, 0, 7, 8, 9})
+	cat := ConcatCols(a, b)
+	if cat.Cols != 5 || cat.At(1, 2) != 7 {
+		t.Fatalf("ConcatCols = %v", cat)
+	}
+	l, r := SplitCols(cat, 2)
+	if !Equal(l, a, 0) || !Equal(r, b, 0) {
+		t.Errorf("SplitCols round trip failed: %v %v", l, r)
+	}
+}
+
+func TestSoftmaxRows(t *testing.T) {
+	a := FromSlice(2, 3, []float64{0, 0, 0, 1000, 1000, 1001})
+	s := SoftmaxRows(a)
+	for i := 0; i < 2; i++ {
+		sum := 0.0
+		for j := 0; j < 3; j++ {
+			sum += s.At(i, j)
+		}
+		if math.Abs(sum-1) > 1e-12 {
+			t.Errorf("row %d sums to %g", i, sum)
+		}
+	}
+	if math.Abs(s.At(0, 0)-1.0/3) > 1e-12 {
+		t.Errorf("uniform softmax = %g, want 1/3", s.At(0, 0))
+	}
+	if s.At(1, 2) <= s.At(1, 0) {
+		t.Errorf("softmax ordering violated: %v", s.Row(1))
+	}
+	// Large inputs must not overflow thanks to max subtraction.
+	if math.IsNaN(s.At(1, 0)) {
+		t.Error("softmax produced NaN on large inputs")
+	}
+}
+
+func TestArgmaxRow(t *testing.T) {
+	a := FromSlice(2, 3, []float64{1, 5, 2, -4, -1, -9})
+	if a.ArgmaxRow(0) != 1 || a.ArgmaxRow(1) != 1 {
+		t.Errorf("ArgmaxRow = %d, %d, want 1, 1", a.ArgmaxRow(0), a.ArgmaxRow(1))
+	}
+}
+
+func TestSumDotNorm(t *testing.T) {
+	a := FromSlice(1, 3, []float64{3, 4, 0})
+	if Sum(a) != 7 {
+		t.Errorf("Sum = %g", Sum(a))
+	}
+	if Dot(a, a) != 25 {
+		t.Errorf("Dot = %g", Dot(a, a))
+	}
+	if Norm2(a) != 5 {
+		t.Errorf("Norm2 = %g", Norm2(a))
+	}
+}
+
+func TestApplyZeroFill(t *testing.T) {
+	a := FromSlice(1, 3, []float64{-1, 0, 2})
+	got := Apply(a, math.Abs)
+	if !Equal(got, FromSlice(1, 3, []float64{1, 0, 2}), 0) {
+		t.Errorf("Apply = %v", got)
+	}
+	a.Fill(3)
+	if Sum(a) != 9 {
+		t.Errorf("Fill: %v", a)
+	}
+	a.Zero()
+	if Sum(a) != 0 {
+		t.Errorf("Zero: %v", a)
+	}
+}
+
+func TestXavierInitRange(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	m := New(8, 8)
+	m.XavierInit(rng, 8, 8)
+	limit := math.Sqrt(6.0 / 16.0)
+	for _, v := range m.Data {
+		if v < -limit || v > limit {
+			t.Fatalf("Xavier value %g outside ±%g", v, limit)
+		}
+	}
+	if Norm2(m) == 0 {
+		t.Error("Xavier init left matrix zero")
+	}
+}
+
+// Property: (AB)ᵀ = BᵀAᵀ for random small matrices.
+func TestMatMulTransposeProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a := New(2+r.Intn(3), 2+r.Intn(3))
+		b := New(a.Cols, 2+r.Intn(3))
+		a.RandUniform(rng, 1)
+		b.RandUniform(rng, 1)
+		lhs := Transpose(MatMul(a, b))
+		rhs := MatMul(Transpose(b), Transpose(a))
+		return Equal(lhs, rhs, 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: softmax rows are probability distributions for any finite input.
+func TestSoftmaxIsDistribution(t *testing.T) {
+	f := func(xs [6]float64) bool {
+		for _, x := range xs {
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				return true
+			}
+		}
+		m := FromSlice(2, 3, []float64{xs[0], xs[1], xs[2], xs[3], xs[4], xs[5]})
+		s := SoftmaxRows(m)
+		for i := 0; i < 2; i++ {
+			sum := 0.0
+			for j := 0; j < 3; j++ {
+				v := s.At(i, j)
+				if v < 0 || v > 1 || math.IsNaN(v) {
+					return false
+				}
+				sum += v
+			}
+			if math.Abs(sum-1) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,208 @@
+// Package trace records episode trajectories — the autonomous vehicle's
+// states, maneuvers, rewards, and the surrounding traffic — and exports
+// them as CSV or JSON Lines for offline analysis, plotting, or replay.
+package trace
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+
+	"head/internal/head"
+	"head/internal/world"
+)
+
+// Step is one recorded decision step.
+type Step struct {
+	Step     int     `json:"step"`
+	Time     float64 `json:"time"`
+	Lane     int     `json:"lane"`
+	Lon      float64 `json:"lon"`
+	V        float64 `json:"v"`
+	Behavior string  `json:"behavior"`
+	Accel    float64 `json:"accel"`
+	Reward   float64 `json:"reward"`
+	Safety   float64 `json:"safety"`
+	Eff      float64 `json:"efficiency"`
+	Comfort  float64 `json:"comfort"`
+	Impact   float64 `json:"impact"`
+	TTC      float64 `json:"ttc"` // 0 when invalid
+	RearDec  float64 `json:"rear_decel"`
+	NearbyN  int     `json:"nearby"` // conventional vehicles within 100 m
+}
+
+// Trace is a recorded episode.
+type Trace struct {
+	Steps     []Step `json:"steps"`
+	Collision bool   `json:"collision"`
+	Finished  bool   `json:"finished"`
+}
+
+// Recorder accumulates a trace while driving an environment.
+type Recorder struct {
+	tr Trace
+}
+
+// NewRecorder returns an empty recorder.
+func NewRecorder() *Recorder { return &Recorder{} }
+
+// Record appends one step taken in env with maneuver m and outcome out.
+// Call it immediately after env.StepManeuver.
+func (r *Recorder) Record(env *head.Env, m world.Maneuver, out head.StepOutcome) {
+	av := env.Sim().AV.State
+	nearby := 0
+	for _, v := range env.Sim().Vehicles {
+		d := v.State.Lon - av.Lon
+		if d > -100 && d < 100 {
+			nearby++
+		}
+	}
+	s := Step{
+		Step:     env.Steps(),
+		Time:     float64(env.Steps()) * env.Cfg.Traffic.World.Dt,
+		Lane:     av.Lat,
+		Lon:      av.Lon,
+		V:        av.V,
+		Behavior: m.B.String(),
+		Accel:    m.A,
+		Reward:   out.Reward,
+		Safety:   out.Terms.Safety,
+		Eff:      out.Terms.Efficiency,
+		Comfort:  out.Terms.Comfort,
+		Impact:   out.Terms.Impact,
+		RearDec:  out.RearDecel,
+		NearbyN:  nearby,
+	}
+	if out.TTCValid {
+		s.TTC = out.TTC
+	}
+	r.tr.Steps = append(r.tr.Steps, s)
+	r.tr.Collision = r.tr.Collision || out.Collision
+	r.tr.Finished = r.tr.Finished || out.Finished
+}
+
+// Trace returns the recorded episode.
+func (r *Recorder) Trace() Trace { return r.tr }
+
+// Reset clears the recorder for a new episode.
+func (r *Recorder) Reset() { r.tr = Trace{} }
+
+// Drive runs one full episode of ctrl on env while recording every step,
+// returning the trace.
+func Drive(ctrl head.Controller, env *head.Env) Trace {
+	rec := NewRecorder()
+	env.Reset()
+	ctrl.Reset()
+	for !env.Done() {
+		m := ctrl.Decide(env)
+		out := env.StepManeuver(m)
+		rec.Record(env, m, out)
+	}
+	return rec.Trace()
+}
+
+// csvHeader is the column order of WriteCSV.
+var csvHeader = []string{
+	"step", "time", "lane", "lon", "v", "behavior", "accel",
+	"reward", "safety", "efficiency", "comfort", "impact", "ttc", "rear_decel", "nearby",
+}
+
+// WriteCSV exports the trace as CSV with a header row.
+func (t Trace) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(csvHeader); err != nil {
+		return fmt.Errorf("trace: csv header: %w", err)
+	}
+	f := func(x float64) string { return strconv.FormatFloat(x, 'g', 8, 64) }
+	for _, s := range t.Steps {
+		rec := []string{
+			strconv.Itoa(s.Step), f(s.Time), strconv.Itoa(s.Lane), f(s.Lon), f(s.V),
+			s.Behavior, f(s.Accel), f(s.Reward), f(s.Safety), f(s.Eff), f(s.Comfort),
+			f(s.Impact), f(s.TTC), f(s.RearDec), strconv.Itoa(s.NearbyN),
+		}
+		if err := cw.Write(rec); err != nil {
+			return fmt.Errorf("trace: csv row: %w", err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteJSONL exports the trace as JSON Lines, one step per line.
+func (t Trace) WriteJSONL(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	for _, s := range t.Steps {
+		if err := enc.Encode(s); err != nil {
+			return fmt.Errorf("trace: jsonl: %w", err)
+		}
+	}
+	return nil
+}
+
+// ReadJSONL parses a JSON Lines stream produced by WriteJSONL.
+func ReadJSONL(r io.Reader) (Trace, error) {
+	var t Trace
+	dec := json.NewDecoder(r)
+	for dec.More() {
+		var s Step
+		if err := dec.Decode(&s); err != nil {
+			return t, fmt.Errorf("trace: jsonl decode: %w", err)
+		}
+		t.Steps = append(t.Steps, s)
+	}
+	return t, nil
+}
+
+// Summary aggregates a trace into the per-episode quantities the paper's
+// metrics build on.
+type Summary struct {
+	Steps       int
+	Duration    float64
+	MeanV       float64
+	MeanJerk    float64
+	TotalReward float64
+	LaneChanges int
+	MinTTC      float64 // 0 when no valid TTC was seen
+}
+
+// Summarize computes a Summary.
+func (t Trace) Summarize() Summary {
+	s := Summary{Steps: len(t.Steps)}
+	if s.Steps == 0 {
+		return s
+	}
+	prevA := 0.0
+	prevLane := t.Steps[0].Lane
+	minTTC := 0.0
+	for i, st := range t.Steps {
+		s.Duration = st.Time
+		s.MeanV += st.V
+		s.TotalReward += st.Reward
+		if i > 0 {
+			s.MeanJerk += absf(st.Accel - prevA)
+			if st.Lane != prevLane {
+				s.LaneChanges++
+			}
+		}
+		prevA = st.Accel
+		prevLane = st.Lane
+		if st.TTC > 0 && (minTTC == 0 || st.TTC < minTTC) {
+			minTTC = st.TTC
+		}
+	}
+	s.MeanV /= float64(s.Steps)
+	if s.Steps > 1 {
+		s.MeanJerk /= float64(s.Steps - 1)
+	}
+	s.MinTTC = minTTC
+	return s
+}
+
+func absf(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -1,0 +1,124 @@
+package trace
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"head/internal/head"
+	"head/internal/policy"
+)
+
+func record(t *testing.T, seed int64) Trace {
+	t.Helper()
+	cfg := head.DefaultEnvConfig()
+	cfg.Traffic.World.RoadLength = 400
+	cfg.Traffic.Density = 100
+	cfg.MaxSteps = 60
+	env := head.NewEnv(cfg, nil, rand.New(rand.NewSource(seed)))
+	return Drive(policy.NewIDMLC(cfg.Traffic.World), env)
+}
+
+func TestDriveRecordsSteps(t *testing.T) {
+	tr := record(t, 1)
+	if len(tr.Steps) == 0 {
+		t.Fatal("no steps recorded")
+	}
+	for i, s := range tr.Steps {
+		if s.Step != i+1 {
+			t.Fatalf("step %d numbered %d", i, s.Step)
+		}
+		if s.Behavior == "" {
+			t.Fatal("empty behavior")
+		}
+	}
+	last := tr.Steps[len(tr.Steps)-1]
+	if last.Time <= 0 || last.Lon <= 0 {
+		t.Errorf("final step: %+v", last)
+	}
+}
+
+func TestCSVExport(t *testing.T) {
+	tr := record(t, 2)
+	var buf bytes.Buffer
+	if err := tr.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != len(tr.Steps)+1 {
+		t.Fatalf("%d CSV lines for %d steps", len(lines), len(tr.Steps))
+	}
+	if !strings.HasPrefix(lines[0], "step,time,lane") {
+		t.Errorf("header = %q", lines[0])
+	}
+	if cols := strings.Count(lines[1], ",") + 1; cols != len(csvHeader) {
+		t.Errorf("row has %d columns, want %d", cols, len(csvHeader))
+	}
+}
+
+func TestJSONLRoundTrip(t *testing.T) {
+	tr := record(t, 3)
+	var buf bytes.Buffer
+	if err := tr.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadJSONL(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Steps) != len(tr.Steps) {
+		t.Fatalf("round trip lost steps: %d vs %d", len(back.Steps), len(tr.Steps))
+	}
+	for i := range back.Steps {
+		if back.Steps[i] != tr.Steps[i] {
+			t.Fatalf("step %d differs after round trip", i)
+		}
+	}
+}
+
+func TestReadJSONLGarbage(t *testing.T) {
+	if _, err := ReadJSONL(strings.NewReader("{broken")); err == nil {
+		t.Error("expected decode error")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	tr := record(t, 4)
+	s := tr.Summarize()
+	if s.Steps != len(tr.Steps) {
+		t.Errorf("Steps = %d", s.Steps)
+	}
+	if s.MeanV <= 0 || s.Duration <= 0 {
+		t.Errorf("summary: %+v", s)
+	}
+	if s.MeanJerk < 0 {
+		t.Errorf("MeanJerk = %g", s.MeanJerk)
+	}
+	// Empty trace summarizes to zeros.
+	empty := Trace{}.Summarize()
+	if empty.Steps != 0 || empty.MeanV != 0 {
+		t.Errorf("empty summary: %+v", empty)
+	}
+}
+
+func TestRecorderReset(t *testing.T) {
+	r := NewRecorder()
+	cfg := head.DefaultEnvConfig()
+	cfg.Traffic.World.RoadLength = 300
+	cfg.Traffic.Density = 50
+	cfg.MaxSteps = 10
+	env := head.NewEnv(cfg, nil, rand.New(rand.NewSource(5)))
+	ctrl := policy.NewIDMLC(cfg.Traffic.World)
+	env.Reset()
+	m := ctrl.Decide(env)
+	out := env.StepManeuver(m)
+	r.Record(env, m, out)
+	if len(r.Trace().Steps) != 1 {
+		t.Fatal("record failed")
+	}
+	r.Reset()
+	if len(r.Trace().Steps) != 0 {
+		t.Fatal("reset failed")
+	}
+}

@@ -1,0 +1,175 @@
+package traffic
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"head/internal/world"
+)
+
+func kraussDriver() (DriverParams, KraussParams) {
+	return DriverParams{
+		DesiredV: 25, TimeHeadway: 1.2, MinGap: 2, MaxAccel: 2, ComfortDecel: 2,
+	}, KraussParams{Sigma: 0.5}
+}
+
+func TestCarFollowingString(t *testing.T) {
+	if IDM.String() != "IDM" || Krauss.String() != "Krauss" {
+		t.Error("CarFollowing.String mismatch")
+	}
+	if CarFollowing(9).String() != "CarFollowing(9)" {
+		t.Error("unknown model string")
+	}
+}
+
+func TestKraussFreeRoadAccelerates(t *testing.T) {
+	p, k := kraussDriver()
+	a := KraussAccel(p, k, 10, math.Inf(1), 0, 0, 0.5)
+	if math.Abs(a-p.MaxAccel) > 1e-9 {
+		t.Errorf("free-road accel without dawdle = %g, want %g", a, p.MaxAccel)
+	}
+	// At desired velocity without dawdle: no change.
+	if a := KraussAccel(p, k, 25, math.Inf(1), 0, 0, 0.5); a != 0 {
+		t.Errorf("accel at v0 = %g, want 0", a)
+	}
+}
+
+func TestKraussDawdleSlowsDown(t *testing.T) {
+	p, k := kraussDriver()
+	noDawdle := KraussAccel(p, k, 20, math.Inf(1), 0, 0, 0.5)
+	dawdle := KraussAccel(p, k, 20, math.Inf(1), 0, 1, 0.5)
+	if dawdle >= noDawdle {
+		t.Errorf("dawdling should reduce acceleration: %g vs %g", dawdle, noDawdle)
+	}
+}
+
+func TestKraussBrakesBehindStoppedLeader(t *testing.T) {
+	p, k := kraussDriver()
+	a := KraussAccel(p, k, 20, 10, 0, 0, 0.5)
+	if a >= 0 {
+		t.Errorf("approach to stopped leader at 10 m gap: accel = %g, want < 0", a)
+	}
+}
+
+func TestKraussNeverReverses(t *testing.T) {
+	p, k := kraussDriver()
+	f := func(v, gap, vLead, dawdle float64) bool {
+		v = math.Abs(math.Mod(v, 30))
+		gap = math.Abs(math.Mod(gap, 100))
+		vLead = math.Abs(math.Mod(vLead, 30))
+		dawdle = math.Abs(math.Mod(dawdle, 1))
+		if math.IsNaN(v) || math.IsNaN(gap) || math.IsNaN(vLead) || math.IsNaN(dawdle) {
+			return true
+		}
+		a := KraussAccel(p, k, v, gap, vLead, dawdle, 0.5)
+		vNext := v + a*0.5
+		return vNext >= -1e-9 && !math.IsNaN(a)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestKraussSimulationRuns(t *testing.T) {
+	cfg := testConfig()
+	cfg.CarFollowing = Krauss
+	cfg.Krauss = KraussParams{Sigma: 0.5}
+	s, err := New(cfg, rand.New(rand.NewSource(30)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.AV.State = world.State{Lat: 1, Lon: -1000, V: cfg.World.VMin}
+	for i := 0; i < 60; i++ {
+		s.Step(world.Maneuver{B: world.LaneKeep, A: 0})
+		for _, v := range s.Vehicles {
+			if math.IsNaN(v.State.V) || v.State.V < cfg.World.VMin-1e-9 {
+				t.Fatalf("step %d: bad velocity %g", i, v.State.V)
+			}
+		}
+	}
+}
+
+func TestKraussProducesSpeedVariance(t *testing.T) {
+	// Krauss's dawdling produces more speed variance (stop-and-go
+	// tendency) than deterministic IDM in dense traffic.
+	variance := func(model CarFollowing, seed int64) float64 {
+		cfg := testConfig()
+		cfg.Density = 200
+		cfg.CarFollowing = model
+		cfg.Krauss = KraussParams{Sigma: 0.8}
+		s, err := New(cfg, rand.New(rand.NewSource(seed)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.AV.State = world.State{Lat: 1, Lon: -1000, V: cfg.World.VMin}
+		total := 0.0
+		for i := 0; i < 80; i++ {
+			s.Step(world.Maneuver{B: world.LaneKeep, A: 0})
+			if i >= 40 {
+				total += s.SpeedVariance(0, cfg.World.RoadLength)
+			}
+		}
+		return total
+	}
+	idm := variance(IDM, 31)
+	krauss := variance(Krauss, 31)
+	if krauss <= idm {
+		t.Errorf("Krauss variance %g not above IDM %g", krauss, idm)
+	}
+}
+
+func TestMeasureFlow(t *testing.T) {
+	cfg := testConfig()
+	s, _ := New(cfg, rand.New(rand.NewSource(32)))
+	s.Vehicles = nil
+	for i := 0; i < 10; i++ {
+		s.Vehicles = append(s.Vehicles, &Vehicle{
+			State:    world.State{Lat: 1 + i%3, Lon: 100 + float64(i)*10, V: 20},
+			ExitStep: -1,
+		})
+	}
+	fs := s.MeasureFlow(100, 200)
+	if fs.Vehicles != 10 {
+		t.Errorf("Vehicles = %d, want 10", fs.Vehicles)
+	}
+	if math.Abs(fs.Density-100) > 1e-9 { // 10 veh in 0.1 km
+		t.Errorf("Density = %g, want 100", fs.Density)
+	}
+	if math.Abs(fs.MeanSpeed-20) > 1e-9 {
+		t.Errorf("MeanSpeed = %g, want 20", fs.MeanSpeed)
+	}
+	if math.Abs(fs.Flow-100*20*3.6) > 1e-6 {
+		t.Errorf("Flow = %g, want %g", fs.Flow, 100*20*3.6)
+	}
+	// Degenerate windows.
+	if got := s.MeasureFlow(200, 100); got.Vehicles != 0 {
+		t.Error("inverted window should be empty")
+	}
+}
+
+func TestSpeedVariance(t *testing.T) {
+	cfg := testConfig()
+	s, _ := New(cfg, rand.New(rand.NewSource(33)))
+	s.Vehicles = []*Vehicle{
+		{State: world.State{Lat: 1, Lon: 10, V: 10}, ExitStep: -1},
+		{State: world.State{Lat: 1, Lon: 20, V: 20}, ExitStep: -1},
+	}
+	if got := s.SpeedVariance(0, 100); math.Abs(got-25) > 1e-9 {
+		t.Errorf("variance = %g, want 25", got)
+	}
+	if got := s.SpeedVariance(500, 600); got != 0 {
+		t.Errorf("empty window variance = %g, want 0", got)
+	}
+}
+
+func TestSampleKraussParamsRange(t *testing.T) {
+	rng := rand.New(rand.NewSource(34))
+	for i := 0; i < 100; i++ {
+		k := SampleKraussParams(rng)
+		if k.Sigma < 0.3 || k.Sigma > 0.7 {
+			t.Fatalf("sigma %g outside [0.3, 0.7]", k.Sigma)
+		}
+	}
+}

@@ -1,0 +1,314 @@
+package traffic
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"head/internal/world"
+)
+
+func testConfig() Config {
+	cfg := DefaultConfig()
+	cfg.World.RoadLength = 600
+	cfg.Density = 120
+	return cfg
+}
+
+func TestNewSpawnsAtDensity(t *testing.T) {
+	cfg := testConfig()
+	s, err := New(cfg, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := int(cfg.Density * cfg.World.RoadLength / 1000)
+	// Spawn clears a gap around the AV, so allow a small deficit.
+	if n := len(s.Vehicles); n < want-10 || n > want {
+		t.Errorf("spawned %d vehicles, want ≈%d", n, want)
+	}
+	if s.AV == nil || !s.AV.IsAV {
+		t.Fatal("no AV spawned")
+	}
+	if s.AV.State.Lat < 1 || s.AV.State.Lat > cfg.World.Lanes {
+		t.Errorf("AV lane %d out of range", s.AV.State.Lat)
+	}
+}
+
+func TestNewRejectsBadConfig(t *testing.T) {
+	cfg := testConfig()
+	cfg.World.Lanes = 0
+	if _, err := New(cfg, rand.New(rand.NewSource(1))); err == nil {
+		t.Error("expected error for invalid world config")
+	}
+	cfg = testConfig()
+	cfg.Density = -1
+	if _, err := New(cfg, rand.New(rand.NewSource(1))); err == nil {
+		t.Error("expected error for negative density")
+	}
+}
+
+func TestNewClearsGapAroundAV(t *testing.T) {
+	cfg := testConfig()
+	for seed := int64(0); seed < 10; seed++ {
+		s, err := New(cfg, rand.New(rand.NewSource(seed)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, v := range s.Vehicles {
+			if v.State.Lat == s.AV.State.Lat &&
+				math.Abs(v.State.Lon-s.AV.State.Lon) < cfg.World.VehicleLen {
+				t.Fatalf("seed %d: vehicle overlaps AV at spawn", seed)
+			}
+		}
+	}
+}
+
+func TestLeaderFollower(t *testing.T) {
+	cfg := testConfig()
+	s, _ := New(cfg, rand.New(rand.NewSource(2)))
+	s.Vehicles = nil
+	mk := func(lane int, lon float64) *Vehicle {
+		v := &Vehicle{State: world.State{Lat: lane, Lon: lon, V: 10}, Params: SampleDriverParams(cfg.World, rand.New(rand.NewSource(3))), ExitStep: -1}
+		s.Vehicles = append(s.Vehicles, v)
+		return v
+	}
+	a := mk(2, 100)
+	b := mk(2, 150)
+	c := mk(2, 200)
+	mk(3, 150)
+	if got := s.Leader(2, a.State.Lon, a); got != b {
+		t.Errorf("Leader = %v, want vehicle at 150", got)
+	}
+	if got := s.Follower(2, c.State.Lon, c); got != b {
+		t.Errorf("Follower = %v, want vehicle at 150", got)
+	}
+	if got := s.Leader(2, c.State.Lon, c); got != nil {
+		t.Errorf("Leader of front-most = %v, want nil", got)
+	}
+}
+
+func TestNeighborsOf(t *testing.T) {
+	cfg := testConfig()
+	s, _ := New(cfg, rand.New(rand.NewSource(4)))
+	s.Vehicles = nil
+	s.AV.State = world.State{Lat: 3, Lon: 300, V: 20}
+	add := func(lane int, lon float64) *Vehicle {
+		v := &Vehicle{State: world.State{Lat: lane, Lon: lon, V: 15}, ExitStep: -1}
+		s.Vehicles = append(s.Vehicles, v)
+		return v
+	}
+	fl := add(2, 330)
+	f := add(3, 340)
+	fr := add(4, 320)
+	rl := add(2, 250)
+	r := add(3, 260)
+	rr := add(4, 270)
+	n := s.NeighborsOf(s.AV)
+	slots := n.Slots()
+	want := [6]*Vehicle{fl, f, fr, rl, r, rr}
+	for i := range want {
+		if slots[i] != want[i] {
+			t.Errorf("slot %d = %v, want %v", i, slots[i], want[i])
+		}
+	}
+}
+
+func TestIDMAccelFreeRoad(t *testing.T) {
+	p := DriverParams{DesiredV: 20, TimeHeadway: 1.5, MinGap: 2, MaxAccel: 2, ComfortDecel: 2}
+	a := IDMAccel(p, 10, math.Inf(1), 0)
+	if a <= 0 || a > p.MaxAccel {
+		t.Errorf("free-road accel = %g, want (0, %g]", a, p.MaxAccel)
+	}
+	// At desired velocity, acceleration ≈ 0.
+	if a := IDMAccel(p, 20, math.Inf(1), 0); math.Abs(a) > 1e-9 {
+		t.Errorf("accel at v0 = %g, want 0", a)
+	}
+}
+
+func TestIDMAccelBrakesWhenClosing(t *testing.T) {
+	p := DriverParams{DesiredV: 25, TimeHeadway: 1.5, MinGap: 2, MaxAccel: 2, ComfortDecel: 2}
+	a := IDMAccel(p, 20, 10, 10) // 10 m gap, closing at 10 m/s
+	if a >= 0 {
+		t.Errorf("closing fast at small gap: accel = %g, want < 0", a)
+	}
+	slow := IDMAccel(p, 20, 100, 0)
+	fast := IDMAccel(p, 20, 10, 0)
+	if fast >= slow {
+		t.Errorf("smaller gap should brake harder: %g vs %g", fast, slow)
+	}
+}
+
+func TestIDMAccelTinyGapClamped(t *testing.T) {
+	p := DriverParams{DesiredV: 25, TimeHeadway: 1.5, MinGap: 2, MaxAccel: 2, ComfortDecel: 2}
+	a := IDMAccel(p, 20, 0, 5)
+	if math.IsNaN(a) || math.IsInf(a, 0) {
+		t.Errorf("accel at zero gap = %g, want finite", a)
+	}
+}
+
+func TestStepAdvancesVehicles(t *testing.T) {
+	cfg := testConfig()
+	s, _ := New(cfg, rand.New(rand.NewSource(5)))
+	before := make(map[int]float64)
+	for _, v := range s.Vehicles {
+		before[v.ID] = v.State.Lon
+	}
+	res := s.Step(world.Maneuver{B: world.LaneKeep, A: 0})
+	if res.AVCollision {
+		t.Fatal("unexpected AV collision on first step")
+	}
+	moved := 0
+	for _, v := range s.Vehicles {
+		if v.State.Lon > before[v.ID] {
+			moved++
+		}
+	}
+	if moved < len(s.Vehicles)*9/10 {
+		t.Errorf("only %d/%d vehicles moved forward", moved, len(s.Vehicles))
+	}
+	if s.StepNum != 1 || s.Time() != cfg.World.Dt {
+		t.Errorf("StepNum=%d Time=%g", s.StepNum, s.Time())
+	}
+}
+
+func TestStepRespectsSpeedLimits(t *testing.T) {
+	cfg := testConfig()
+	s, _ := New(cfg, rand.New(rand.NewSource(6)))
+	for i := 0; i < 50; i++ {
+		s.Step(world.Maneuver{B: world.LaneKeep, A: 1})
+		for _, v := range s.Vehicles {
+			if v.State.V < cfg.World.VMin-1e-9 || v.State.V > cfg.World.VMax+1e-9 {
+				t.Fatalf("step %d: vehicle velocity %g outside [%g, %g]",
+					i, v.State.V, cfg.World.VMin, cfg.World.VMax)
+			}
+			if v.State.Lat < 1 || v.State.Lat > cfg.World.Lanes {
+				t.Fatalf("step %d: vehicle lane %d off road", i, v.State.Lat)
+			}
+		}
+	}
+}
+
+func TestAVOffRoadIsCollision(t *testing.T) {
+	cfg := testConfig()
+	s, _ := New(cfg, rand.New(rand.NewSource(7)))
+	s.AV.State.Lat = 1
+	res := s.Step(world.Maneuver{B: world.LaneLeft, A: 0})
+	if !res.AVCollision || !s.AVCollided {
+		t.Error("driving off the leftmost lane must be a collision")
+	}
+}
+
+func TestAVRearEndIsCollision(t *testing.T) {
+	cfg := testConfig()
+	s, _ := New(cfg, rand.New(rand.NewSource(8)))
+	// Plant a stopped vehicle directly ahead of the AV.
+	s.Vehicles = []*Vehicle{{
+		State:    world.State{Lat: s.AV.State.Lat, Lon: s.AV.State.Lon + 6, V: cfg.World.VMin},
+		Params:   SampleDriverParams(cfg.World, rand.New(rand.NewSource(9))),
+		ExitStep: -1,
+	}}
+	s.AV.State.V = 20
+	collided := false
+	for i := 0; i < 5 && !collided; i++ {
+		collided = s.Step(world.Maneuver{B: world.LaneKeep, A: cfg.World.AMax}).AVCollision
+	}
+	if !collided {
+		t.Error("AV accelerating into a slow leader should collide")
+	}
+}
+
+func TestAVFinishes(t *testing.T) {
+	cfg := testConfig()
+	cfg.World.RoadLength = 50
+	cfg.Density = 0
+	s, _ := New(cfg, rand.New(rand.NewSource(10)))
+	finished := false
+	for i := 0; i < 100 && !finished; i++ {
+		finished = s.Step(world.Maneuver{B: world.LaneKeep, A: cfg.World.AMax}).AVFinished
+	}
+	if !finished {
+		t.Error("AV never finished a 50 m empty road")
+	}
+	if s.AV.ExitStep < 0 {
+		t.Error("ExitStep not recorded")
+	}
+}
+
+func TestConventionalVehiclesAvoidCollisions(t *testing.T) {
+	cfg := testConfig()
+	cfg.Density = 150
+	s, _ := New(cfg, rand.New(rand.NewSource(11)))
+	// Park the AV far away so it cannot interfere.
+	s.AV.State = world.State{Lat: 1, Lon: -1000, V: cfg.World.VMin}
+	overlaps := 0
+	for i := 0; i < 100; i++ {
+		s.Step(world.Maneuver{B: world.LaneKeep, A: 0})
+		for a := 0; a < len(s.Vehicles); a++ {
+			for b := a + 1; b < len(s.Vehicles); b++ {
+				va, vb := s.Vehicles[a], s.Vehicles[b]
+				if va.State.Lat == vb.State.Lat &&
+					math.Abs(va.State.Lon-vb.State.Lon) < cfg.World.VehicleLen-0.5 {
+					overlaps++
+				}
+			}
+		}
+	}
+	if overlaps > 2 {
+		t.Errorf("IDM traffic produced %d hard overlaps in 100 steps", overlaps)
+	}
+}
+
+func TestLaneChangeHappensInTraffic(t *testing.T) {
+	cfg := testConfig()
+	cfg.Density = 150
+	s, _ := New(cfg, rand.New(rand.NewSource(12)))
+	lanes := make(map[int]int)
+	for _, v := range s.Vehicles {
+		lanes[v.ID] = v.State.Lat
+	}
+	changes := 0
+	for i := 0; i < 60; i++ {
+		s.Step(world.Maneuver{B: world.LaneKeep, A: 0})
+		for _, v := range s.Vehicles {
+			if v.State.Lat != lanes[v.ID] {
+				changes++
+				lanes[v.ID] = v.State.Lat
+			}
+		}
+	}
+	if changes == 0 {
+		t.Error("no conventional vehicle changed lanes in 60 steps of dense traffic")
+	}
+}
+
+func TestSampleDriverParamsBounds(t *testing.T) {
+	cfg := world.DefaultConfig()
+	rng := rand.New(rand.NewSource(13))
+	f := func(seed int64) bool {
+		p := SampleDriverParams(cfg, rand.New(rand.NewSource(seed)))
+		return p.DesiredV > 0 && p.DesiredV <= cfg.VMax &&
+			p.TimeHeadway > 0 && p.MinGap > 0 &&
+			p.MaxAccel > 0 && p.ComfortDecel > 0 &&
+			p.Politeness >= 0 && p.Politeness <= 1 &&
+			p.SafeDecel > 0
+	}
+	_ = rng
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: a step never produces NaN states.
+func TestStepProducesFiniteStates(t *testing.T) {
+	cfg := testConfig()
+	s, _ := New(cfg, rand.New(rand.NewSource(14)))
+	for i := 0; i < 40; i++ {
+		s.Step(world.Maneuver{B: world.LaneKeep, A: math.Sin(float64(i))})
+		for _, v := range s.all() {
+			if math.IsNaN(v.State.Lon) || math.IsNaN(v.State.V) {
+				t.Fatalf("step %d: NaN state %+v", i, v.State)
+			}
+		}
+	}
+}

@@ -1,0 +1,30 @@
+package world_test
+
+import (
+	"fmt"
+
+	"head/internal/world"
+)
+
+// ExampleConfig_Apply advances a vehicle one time step under a maneuver,
+// following the state transition of Equation (18).
+func ExampleConfig_Apply() {
+	cfg := world.DefaultConfig()
+	s := world.State{Lat: 3, Lon: 100, V: 20}
+	next, err := cfg.Apply(s, world.Maneuver{B: world.LaneLeft, A: 2})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("lane %d, lon %.2f m, v %.1f m/s\n", next.Lat, next.Lon, next.V)
+	// Output: lane 2, lon 110.25 m, v 21.0 m/s
+}
+
+// ExampleTTC computes the safety indicator of Section IV-C.
+func ExampleTTC() {
+	rear := world.State{Lat: 1, Lon: 0, V: 25}
+	front := world.State{Lat: 1, Lon: 55, V: 15}
+	ttc, ok := world.TTC(rear, front, 5)
+	fmt.Printf("TTC %.1f s (valid=%t)\n", ttc, ok)
+	// Output: TTC 5.0 s (valid=true)
+}

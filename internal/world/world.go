@@ -1,0 +1,204 @@
+// Package world defines the shared vocabulary of the HEAD reproduction: the
+// interactive environment of Section II of the paper. It holds vehicle
+// states, lane-aware locations, maneuvers, traffic restrictions, and the
+// relative-state arithmetic of Equations (1)–(3).
+//
+// All other packages (traffic simulation, sensing, phantom construction,
+// prediction, decision) are expressed in terms of these types.
+package world
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Behavior is a discrete lateral lane change behavior of a maneuver.
+type Behavior int
+
+// The three lateral lane change behaviors b ∈ {ll, lr, lk}.
+const (
+	// LaneLeft moves the vehicle one lane to the left (toward lane 1).
+	LaneLeft Behavior = iota
+	// LaneRight moves the vehicle one lane to the right (toward lane κ).
+	LaneRight
+	// LaneKeep keeps the current lane.
+	LaneKeep
+)
+
+// NumBehaviors is the size of the discrete action set.
+const NumBehaviors = 3
+
+// String implements fmt.Stringer using the paper's abbreviations.
+func (b Behavior) String() string {
+	switch b {
+	case LaneLeft:
+		return "ll"
+	case LaneRight:
+		return "lr"
+	case LaneKeep:
+		return "lk"
+	default:
+		return fmt.Sprintf("Behavior(%d)", int(b))
+	}
+}
+
+// LaneDelta returns the signed lane-number change of b: -1 for ll, +1 for
+// lr, 0 for lk. Lanes are numbered from the leftmost lane (1) to the
+// rightmost lane (κ), so a left change decreases the lane number.
+func (b Behavior) LaneDelta() int {
+	switch b {
+	case LaneLeft:
+		return -1
+	case LaneRight:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// Maneuver is a pair of a lateral lane change behavior and a longitudinal
+// acceleration simultaneously performed by a vehicle at one time step.
+type Maneuver struct {
+	B Behavior
+	A float64 // longitudinal acceleration in m/s², bounded by ±Config.AMax
+}
+
+// String implements fmt.Stringer.
+func (m Maneuver) String() string { return fmt.Sprintf("(%s, %+.2f m/s²)", m.B, m.A) }
+
+// State is the instantaneous state of a vehicle: a lane-aware location and
+// a longitudinal velocity. Lat is the lateral lane number (1 = leftmost,
+// κ = rightmost; 0 and κ+1 are used only for inherent-missing phantom
+// vehicles that act as moving road boundaries). Lon is the longitudinal
+// distance traveled from the road origin in meters. V is the longitudinal
+// velocity in m/s.
+type State struct {
+	Lat int
+	Lon float64
+	V   float64
+}
+
+// RelLon returns the relative longitudinal distance d_lon(c, a) = c.Lon -
+// a.Lon of Equation (1).
+func RelLon(c, a State) float64 { return c.Lon - a.Lon }
+
+// RelLat returns the relative lateral distance d_lat(c, a) = (c.Lat -
+// a.Lat) * laneWidth of Equation (2).
+func RelLat(c, a State, laneWidth float64) float64 {
+	return float64(c.Lat-a.Lat) * laneWidth
+}
+
+// RelV returns the relative longitudinal velocity v(c, a) = c.V - a.V of
+// Equation (3).
+func RelV(c, a State) float64 { return c.V - a.V }
+
+// Config captures the environment geometry and the traffic restrictions of
+// Section II: speed limits, the lane change restriction (one adjacent lane
+// per step, implicit in Behavior), and the velocity change restriction
+// (|a| ≤ AMax).
+type Config struct {
+	Lanes      int     // κ, number of lanes
+	LaneWidth  float64 // wid_l in meters
+	RoadLength float64 // meters from origin to destination
+	VMin       float64 // minimum velocity, m/s
+	VMax       float64 // maximum velocity, m/s
+	AMax       float64 // a′, acceleration bound, m/s²
+	Dt         float64 // Δt, seconds between consecutive time steps
+	VehicleLen float64 // physical vehicle length in meters (for collisions)
+}
+
+// DefaultConfig returns the environment used throughout the paper's
+// experiments: a straight six-lane 3 km road, 3.2 m lanes, v ∈ [5, 90] km/h,
+// a′ = 3 m/s², Δt = 0.5 s.
+func DefaultConfig() Config {
+	return Config{
+		Lanes:      6,
+		LaneWidth:  3.2,
+		RoadLength: 3000,
+		VMin:       5.0 / 3.6,  // 5 km/h ≈ 1.39 m/s
+		VMax:       90.0 / 3.6, // 90 km/h = 25 m/s
+		AMax:       3.0,
+		Dt:         0.5,
+		VehicleLen: 5.0,
+	}
+}
+
+// Validate reports whether the configuration is internally consistent.
+func (c Config) Validate() error {
+	switch {
+	case c.Lanes < 1:
+		return fmt.Errorf("world: Lanes must be >= 1, got %d", c.Lanes)
+	case c.LaneWidth <= 0:
+		return fmt.Errorf("world: LaneWidth must be > 0, got %g", c.LaneWidth)
+	case c.RoadLength <= 0:
+		return fmt.Errorf("world: RoadLength must be > 0, got %g", c.RoadLength)
+	case c.VMin < 0 || c.VMax <= c.VMin:
+		return fmt.Errorf("world: need 0 <= VMin < VMax, got [%g, %g]", c.VMin, c.VMax)
+	case c.AMax <= 0:
+		return fmt.Errorf("world: AMax must be > 0, got %g", c.AMax)
+	case c.Dt <= 0:
+		return fmt.Errorf("world: Dt must be > 0, got %g", c.Dt)
+	case c.VehicleLen <= 0:
+		return fmt.Errorf("world: VehicleLen must be > 0, got %g", c.VehicleLen)
+	}
+	return nil
+}
+
+// ErrOffRoad is returned by Apply when a maneuver would move a vehicle
+// outside the road boundaries (lane < 1 or lane > κ), i.e. "hitting a road
+// boundary" in the paper's collision definition.
+var ErrOffRoad = errors.New("world: maneuver crosses road boundary")
+
+// ClampAccel limits a to the velocity change restriction [-AMax, +AMax].
+func (c Config) ClampAccel(a float64) float64 {
+	return math.Max(-c.AMax, math.Min(c.AMax, a))
+}
+
+// ClampV limits v to the speed limits [VMin, VMax].
+func (c Config) ClampV(v float64) float64 {
+	return math.Max(c.VMin, math.Min(c.VMax, v))
+}
+
+// Apply advances s by one time step under maneuver m, following the state
+// transition of Equation (18):
+//
+//	lat' = lat + Δb
+//	lon' = lon + vΔt + ½a(Δt)²
+//	v'   = v + aΔt
+//
+// The acceleration is clamped to the velocity change restriction, and the
+// resulting velocity is clamped to the speed limits (the longitudinal
+// displacement is computed with the effective acceleration actually
+// realizable given the clamped velocity, so position and velocity stay
+// consistent). Apply returns ErrOffRoad if the lane change leaves the road.
+func (c Config) Apply(s State, m Maneuver) (State, error) {
+	lat := s.Lat + m.B.LaneDelta()
+	if lat < 1 || lat > c.Lanes {
+		return State{}, ErrOffRoad
+	}
+	a := c.ClampAccel(m.A)
+	v := c.ClampV(s.V + a*c.Dt)
+	// Effective acceleration after velocity clamping, so that the
+	// displacement integral matches the realized velocity profile.
+	aEff := (v - s.V) / c.Dt
+	lon := s.Lon + s.V*c.Dt + 0.5*aEff*c.Dt*c.Dt
+	return State{Lat: lat, Lon: lon, V: v}, nil
+}
+
+// TTC returns the time to collision between a rear vehicle and its front
+// vehicle given their current states: the time span left before a collision
+// if both maintain their current velocities. It returns ok=false when the
+// vehicles are closing at a non-positive rate (no collision course) or are
+// not longitudinally ordered rear-before-front.
+//
+// This is the safety indicator of Section IV-C: TTC = d_lon / (-Δv) with
+// Δv = front.V - rear.V, valid when Δv < 0.
+func TTC(rear, front State, vehicleLen float64) (ttc float64, ok bool) {
+	gap := RelLon(front, rear) - vehicleLen
+	dv := RelV(front, rear)
+	if gap < 0 || dv >= 0 {
+		return 0, false
+	}
+	return gap / -dv, true
+}

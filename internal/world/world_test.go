@@ -1,0 +1,233 @@
+package world
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestBehaviorString(t *testing.T) {
+	cases := map[Behavior]string{LaneLeft: "ll", LaneRight: "lr", LaneKeep: "lk", Behavior(9): "Behavior(9)"}
+	for b, want := range cases {
+		if got := b.String(); got != want {
+			t.Errorf("Behavior(%d).String() = %q, want %q", int(b), got, want)
+		}
+	}
+}
+
+func TestBehaviorLaneDelta(t *testing.T) {
+	if LaneLeft.LaneDelta() != -1 || LaneRight.LaneDelta() != 1 || LaneKeep.LaneDelta() != 0 {
+		t.Fatalf("LaneDelta mismatch: ll=%d lr=%d lk=%d",
+			LaneLeft.LaneDelta(), LaneRight.LaneDelta(), LaneKeep.LaneDelta())
+	}
+}
+
+func TestRelativeStateMath(t *testing.T) {
+	a := State{Lat: 3, Lon: 100, V: 20}
+	c := State{Lat: 2, Lon: 130, V: 18}
+	if got := RelLon(c, a); got != 30 {
+		t.Errorf("RelLon = %g, want 30", got)
+	}
+	if got := RelLat(c, a, 3.2); got != -3.2 {
+		t.Errorf("RelLat = %g, want -3.2", got)
+	}
+	if got := RelV(c, a); got != -2 {
+		t.Errorf("RelV = %g, want -2", got)
+	}
+}
+
+func TestDefaultConfigValid(t *testing.T) {
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatalf("DefaultConfig().Validate() = %v", err)
+	}
+}
+
+func TestConfigValidateRejects(t *testing.T) {
+	base := DefaultConfig()
+	mutations := []func(*Config){
+		func(c *Config) { c.Lanes = 0 },
+		func(c *Config) { c.LaneWidth = 0 },
+		func(c *Config) { c.RoadLength = -1 },
+		func(c *Config) { c.VMin = -1 },
+		func(c *Config) { c.VMax = c.VMin },
+		func(c *Config) { c.AMax = 0 },
+		func(c *Config) { c.Dt = 0 },
+		func(c *Config) { c.VehicleLen = 0 },
+	}
+	for i, mut := range mutations {
+		c := base
+		mut(&c)
+		if err := c.Validate(); err == nil {
+			t.Errorf("mutation %d: Validate() = nil, want error", i)
+		}
+	}
+}
+
+func TestApplyKinematics(t *testing.T) {
+	cfg := DefaultConfig()
+	s := State{Lat: 3, Lon: 100, V: 20}
+	got, err := cfg.Apply(s, Maneuver{B: LaneKeep, A: 2})
+	if err != nil {
+		t.Fatalf("Apply: %v", err)
+	}
+	wantLon := 100 + 20*0.5 + 0.5*2*0.25
+	if got.Lat != 3 || math.Abs(got.Lon-wantLon) > 1e-12 || math.Abs(got.V-21) > 1e-12 {
+		t.Errorf("Apply = %+v, want lat=3 lon=%g v=21", got, wantLon)
+	}
+}
+
+func TestApplyLaneChange(t *testing.T) {
+	cfg := DefaultConfig()
+	s := State{Lat: 3, Lon: 0, V: 10}
+	left, err := cfg.Apply(s, Maneuver{B: LaneLeft})
+	if err != nil || left.Lat != 2 {
+		t.Errorf("LaneLeft: lat=%d err=%v, want lat=2", left.Lat, err)
+	}
+	right, err := cfg.Apply(s, Maneuver{B: LaneRight})
+	if err != nil || right.Lat != 4 {
+		t.Errorf("LaneRight: lat=%d err=%v, want lat=4", right.Lat, err)
+	}
+}
+
+func TestApplyOffRoad(t *testing.T) {
+	cfg := DefaultConfig()
+	if _, err := cfg.Apply(State{Lat: 1, V: 10}, Maneuver{B: LaneLeft}); err != ErrOffRoad {
+		t.Errorf("left off lane 1: err = %v, want ErrOffRoad", err)
+	}
+	if _, err := cfg.Apply(State{Lat: cfg.Lanes, V: 10}, Maneuver{B: LaneRight}); err != ErrOffRoad {
+		t.Errorf("right off lane κ: err = %v, want ErrOffRoad", err)
+	}
+}
+
+func TestApplyClampsAcceleration(t *testing.T) {
+	cfg := DefaultConfig()
+	s := State{Lat: 1, Lon: 0, V: 10}
+	got, err := cfg.Apply(s, Maneuver{B: LaneKeep, A: 100})
+	if err != nil {
+		t.Fatalf("Apply: %v", err)
+	}
+	if want := 10 + cfg.AMax*cfg.Dt; math.Abs(got.V-want) > 1e-12 {
+		t.Errorf("V = %g, want %g (clamped to a'=%g)", got.V, want, cfg.AMax)
+	}
+}
+
+func TestApplyClampsVelocityAndKeepsDisplacementConsistent(t *testing.T) {
+	cfg := DefaultConfig()
+	s := State{Lat: 1, Lon: 0, V: cfg.VMax - 0.1}
+	got, err := cfg.Apply(s, Maneuver{B: LaneKeep, A: cfg.AMax})
+	if err != nil {
+		t.Fatalf("Apply: %v", err)
+	}
+	if got.V != cfg.VMax {
+		t.Errorf("V = %g, want clamped to VMax = %g", got.V, cfg.VMax)
+	}
+	// Displacement must equal the trapezoid of the realized velocities.
+	want := (s.V + got.V) / 2 * cfg.Dt
+	if math.Abs(got.Lon-want) > 1e-9 {
+		t.Errorf("Lon = %g, want %g (consistent with realized velocity)", got.Lon, want)
+	}
+}
+
+func TestApplyVelocityFloor(t *testing.T) {
+	cfg := DefaultConfig()
+	s := State{Lat: 1, Lon: 50, V: cfg.VMin}
+	got, err := cfg.Apply(s, Maneuver{B: LaneKeep, A: -cfg.AMax})
+	if err != nil {
+		t.Fatalf("Apply: %v", err)
+	}
+	if got.V != cfg.VMin {
+		t.Errorf("V = %g, want floor VMin = %g", got.V, cfg.VMin)
+	}
+	if got.Lon <= s.Lon {
+		t.Errorf("Lon = %g did not advance from %g", got.Lon, s.Lon)
+	}
+}
+
+func TestTTC(t *testing.T) {
+	rear := State{Lat: 1, Lon: 0, V: 25}
+	front := State{Lat: 1, Lon: 55, V: 15}
+	ttc, ok := TTC(rear, front, 5)
+	if !ok {
+		t.Fatal("TTC: ok = false, want true")
+	}
+	if want := 50.0 / 10.0; math.Abs(ttc-want) > 1e-12 {
+		t.Errorf("TTC = %g, want %g", ttc, want)
+	}
+}
+
+func TestTTCInvalidWhenOpening(t *testing.T) {
+	rear := State{Lat: 1, Lon: 0, V: 10}
+	front := State{Lat: 1, Lon: 50, V: 20}
+	if _, ok := TTC(rear, front, 5); ok {
+		t.Error("TTC: ok = true for opening gap, want false")
+	}
+}
+
+func TestTTCInvalidWhenOverlapping(t *testing.T) {
+	rear := State{Lat: 1, Lon: 0, V: 20}
+	front := State{Lat: 1, Lon: 3, V: 10}
+	if _, ok := TTC(rear, front, 5); ok {
+		t.Error("TTC: ok = true when gap < 0, want false")
+	}
+}
+
+// Property: Apply never violates the speed limits or road boundaries and
+// never produces NaN, for any input acceleration and any legal lane.
+func TestApplyInvariants(t *testing.T) {
+	cfg := DefaultConfig()
+	f := func(lane uint8, lon, v, a float64) bool {
+		if math.IsNaN(lon) || math.IsInf(lon, 0) || math.IsNaN(v) || math.IsInf(v, 0) ||
+			math.IsNaN(a) || math.IsInf(a, 0) {
+			return true // skip non-finite inputs
+		}
+		s := State{Lat: 1 + int(lane)%cfg.Lanes, Lon: lon, V: cfg.ClampV(v)}
+		for _, b := range []Behavior{LaneLeft, LaneRight, LaneKeep} {
+			next, err := cfg.Apply(s, Maneuver{B: b, A: a})
+			if err == ErrOffRoad {
+				continue
+			}
+			if err != nil {
+				return false
+			}
+			if next.V < cfg.VMin || next.V > cfg.VMax {
+				return false
+			}
+			if next.Lat < 1 || next.Lat > cfg.Lanes {
+				return false
+			}
+			if math.IsNaN(next.Lon) || math.IsNaN(next.V) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: RelLon/RelLat/RelV are antisymmetric.
+func TestRelativeAntisymmetry(t *testing.T) {
+	f := func(lat1, lat2 int8, lon1, lon2, v1, v2 float64) bool {
+		if anyNonFinite(lon1, lon2, v1, v2) {
+			return true
+		}
+		a := State{Lat: int(lat1), Lon: lon1, V: v1}
+		b := State{Lat: int(lat2), Lon: lon2, V: v2}
+		return RelLon(a, b) == -RelLon(b, a) &&
+			RelLat(a, b, 3.2) == -RelLat(b, a, 3.2) &&
+			RelV(a, b) == -RelV(b, a)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func anyNonFinite(xs ...float64) bool {
+	for _, x := range xs {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			return true
+		}
+	}
+	return false
+}
