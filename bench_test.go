@@ -146,6 +146,31 @@ func BenchmarkTableVRLEffectiveness(b *testing.B) {
 	}
 }
 
+// BenchmarkTableVMultiSeedSerial and ...Parallel time the same multi-seed
+// Table V run (4 solvers × 2 seeds plus parallel test episodes and
+// data-parallel predictor training) with the worker pool capped at one
+// goroutine versus uncapped. The determinism layer guarantees both produce
+// bit-identical tables, so the pair isolates pure scheduling overhead /
+// speedup: on an N-core machine the parallel variant should approach N×
+// faster (the units are embarrassingly parallel); on one core the two
+// should match within noise.
+func BenchmarkTableVMultiSeedSerial(b *testing.B)   { benchMultiSeed(b, 1) }
+func BenchmarkTableVMultiSeedParallel(b *testing.B) { benchMultiSeed(b, 0) }
+
+func benchMultiSeed(b *testing.B, workers int) {
+	s := benchScale()
+	s.TrainEpisodes = 6
+	s.TestEpisodes = 2
+	s.RLSeeds = 2
+	s.Workers = workers
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.TableVVI(s); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkTableVIRLInference times the inference side of Table VI: one
 // greedy BP-DQN action selection.
 func BenchmarkTableVIRLInference(b *testing.B) {

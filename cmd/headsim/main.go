@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	headsim [-scale quick|record|paper] [-ablation] [-episodes N] [-train N] [-seed N]
+//	headsim [-scale quick|record|paper] [-ablation] [-episodes N] [-train N] [-seed N] [-workers N]
 package main
 
 import (
@@ -25,6 +25,7 @@ func main() {
 		episodes  = flag.Int("episodes", 0, "override the number of test episodes")
 		train     = flag.Int("train", 0, "override the number of training episodes")
 		seed      = flag.Int64("seed", 0, "override the random seed")
+		workers   = flag.Int("workers", 0, "max parallel workers (0 = all cores; results are identical for any value)")
 	)
 	flag.Parse()
 
@@ -41,6 +42,7 @@ func main() {
 	if *seed != 0 {
 		s.Seed = *seed
 	}
+	s.Workers = *workers
 
 	if *ablation {
 		rows, err := experiments.TableII(s)

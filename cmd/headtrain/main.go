@@ -5,8 +5,8 @@
 //
 // Usage:
 //
-//	headtrain -out dir [-scale quick|record|paper] [-seed N]   # train + save
-//	headtrain -load dir [-episodes N]                           # load + evaluate
+//	headtrain -out dir [-scale quick|record|paper] [-seed N] [-workers N]   # train + save
+//	headtrain -load dir [-episodes N] [-workers N]                          # load + evaluate
 package main
 
 import (
@@ -21,6 +21,7 @@ import (
 	"head/internal/experiments"
 	"head/internal/head"
 	"head/internal/nn"
+	"head/internal/parallel"
 	"head/internal/predict"
 	"head/internal/rl"
 )
@@ -34,6 +35,7 @@ func main() {
 		scaleName = flag.String("scale", "quick", "experiment scale: quick, record or paper")
 		episodes  = flag.Int("episodes", 0, "override the number of test episodes")
 		seed      = flag.Int64("seed", 0, "override the random seed")
+		workers   = flag.Int("workers", 0, "max parallel workers (0 = all cores; results are identical for any value)")
 	)
 	flag.Parse()
 
@@ -54,6 +56,7 @@ func main() {
 	if *episodes > 0 {
 		s.TestEpisodes = *episodes
 	}
+	s.Workers = *workers
 
 	switch {
 	case *out != "":
@@ -123,13 +126,21 @@ func evaluate(s experiments.Scale, dir string) error {
 	if err := loadModule(filepath.Join(dir, "lstgat.ckpt"), predictor); err != nil {
 		return err
 	}
-	env := head.NewEnv(envConfig(s), predictor, rand.New(rand.NewSource(s.Seed+1000)))
-	agent := rl.NewBPDQN(rc, env.Spec(), env.AMax(), s.RLHidden, rng)
+	cfg := envConfig(s)
+	spec := rl.DefaultStateSpec()
+	aMax := cfg.Traffic.World.AMax
+	agent := rl.NewBPDQN(rc, spec, aMax, s.RLHidden, rng)
 	if err := loadModule(filepath.Join(dir, "bpdqn.ckpt"), agent); err != nil {
 		return err
 	}
-	ctrl := &head.AgentController{ControllerName: "HEAD", Agent: agent}
-	m := eval.RunEpisodes(ctrl, env, s.TestEpisodes)
+	// Each test episode gets private replicas of the loaded models; the
+	// metrics are identical for any -workers value.
+	m := eval.RunEpisodesParallel(s.TestEpisodes, s.Workers, func(ep int) (head.Controller, *head.Env) {
+		env := head.NewEnv(cfg, predictor.Clone(), parallel.Rand(s.Seed+1000, int64(ep)))
+		a := rl.NewBPDQN(rc, spec, aMax, s.RLHidden, rand.New(rand.NewSource(0)))
+		nn.CopyParams(a, agent)
+		return &head.AgentController{ControllerName: "HEAD", Agent: a}, env
+	})
 	fmt.Printf("HEAD over %d episodes: AvgDT-A %.1fs  AvgV-A %.2fm/s  AvgJ-A %.2f  Avg#-CA %.1f  MinTTC-A %.2fs  collisions %d\n",
 		m.Episodes, m.AvgDTA, m.AvgVA, m.AvgJA, m.AvgCA, m.MinTTCA, m.Collisions)
 	return nil

@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	predictbench [-scale quick|record|paper] [-epochs N] [-seed N]
+//	predictbench [-scale quick|record|paper] [-epochs N] [-seed N] [-workers N]
 package main
 
 import (
@@ -23,6 +23,7 @@ func main() {
 		scaleName = flag.String("scale", "quick", "experiment scale: quick, record or paper")
 		epochs    = flag.Int("epochs", 0, "override the number of training epochs")
 		seed      = flag.Int64("seed", 0, "override the random seed")
+		workers   = flag.Int("workers", 0, "max parallel workers (0 = all cores; results are identical for any value)")
 	)
 	flag.Parse()
 
@@ -43,6 +44,7 @@ func main() {
 	if *seed != 0 {
 		s.Seed = *seed
 	}
+	s.Workers = *workers
 
 	rows, err := experiments.TableIIIIV(s)
 	if err != nil {

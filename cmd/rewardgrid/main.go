@@ -6,7 +6,7 @@
 //
 // Usage:
 //
-//	rewardgrid [-scale quick|record|paper] [-train N] [-seed N]
+//	rewardgrid [-scale quick|record|paper] [-train N] [-seed N] [-workers N]
 package main
 
 import (
@@ -25,6 +25,7 @@ func main() {
 		scaleName = flag.String("scale", "quick", "experiment scale: quick, record or paper")
 		train     = flag.Int("train", 0, "override the number of training episodes per grid point")
 		seed      = flag.Int64("seed", 0, "override the random seed")
+		workers   = flag.Int("workers", 0, "max parallel workers (0 = all cores; results are identical for any value)")
 	)
 	flag.Parse()
 
@@ -45,6 +46,7 @@ func main() {
 	if *seed != 0 {
 		s.Seed = *seed
 	}
+	s.Workers = *workers
 
 	rows, err := experiments.TableVII(s)
 	if err != nil {

@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	rlbench [-scale quick|record|paper] [-train N] [-episodes N] [-seed N]
+//	rlbench [-scale quick|record|paper] [-train N] [-episodes N] [-seed N] [-workers N]
 package main
 
 import (
@@ -24,6 +24,7 @@ func main() {
 		train     = flag.Int("train", 0, "override the number of training episodes")
 		episodes  = flag.Int("episodes", 0, "override the number of test episodes")
 		seed      = flag.Int64("seed", 0, "override the random seed")
+		workers   = flag.Int("workers", 0, "max parallel workers (0 = all cores; results are identical for any value)")
 	)
 	flag.Parse()
 
@@ -47,6 +48,7 @@ func main() {
 	if *seed != 0 {
 		s.Seed = *seed
 	}
+	s.Workers = *workers
 
 	rows, err := experiments.TableVVI(s)
 	if err != nil {

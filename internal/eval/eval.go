@@ -6,9 +6,13 @@
 package eval
 
 import (
+	"context"
 	"math"
+	"sort"
 
 	"head/internal/head"
+	"head/internal/parallel"
+	"head/internal/world"
 )
 
 // Metrics aggregates the Table I / Table II measurements over a set of
@@ -34,92 +38,126 @@ type Metrics struct {
 // count toward AvgDT-C (the paper uses 100 m).
 const followRadius = 100.0
 
-// RunEpisodes evaluates a controller over the given number of test
-// episodes on env (which is Reset per episode).
-func RunEpisodes(ctrl head.Controller, env *head.Env, episodes int) Metrics {
-	m := Metrics{Method: ctrl.Name()}
+// episodeTotals is one episode's partial aggregate. Episodes accumulate
+// independently and are reduced in episode order, so the final Metrics do
+// not depend on which worker ran which episode.
+type episodeTotals struct {
+	sumV, sumJ, sumD, sumDTC, sumDTA float64
+	nV, nJ, nD, nDTC, nDTA           int
+	minTTC                           float64
+	hasTTC                           bool
+	ca                               int
+	finished, collisions             int
+}
+
+// runEpisode rolls one evaluation episode and returns its partial sums.
+func runEpisode(ctrl head.Controller, env *head.Env) episodeTotals {
 	w := env.Cfg.Traffic.World
-	sumDTA, nDTA := 0.0, 0
-	sumDTC, nDTC := 0.0, 0
-	sumMinTTC, nMinTTC := 0.0, 0
-	sumV, nV := 0.0, 0
-	sumJ, nJ := 0.0, 0
-	sumD, nD := 0.0, 0
-	sumCA := 0.0
-	for ep := 0; ep < episodes; ep++ {
-		env.Reset()
-		ctrl.Reset()
-		m.Episodes++
-		minTTC := math.Inf(1)
-		ca := 0
-		// Per-vehicle mean velocity of trailing conventional vehicles.
-		followV := map[int]*[2]float64{} // id → {sumV, count}
-		for !env.Done() {
-			man := ctrl.Decide(env)
-			out := env.StepManeuver(man)
-			av := env.Sim().AV.State
-			sumV += av.V
-			nV++
-			sumJ += out.Jerk
-			nJ++
-			if out.TTCValid {
-				minTTC = math.Min(minTTC, out.TTC)
-			}
-			if out.RearExists {
-				sumD += out.RearDecel
-				nD++
-				if out.RearDecel > env.Cfg.Reward.VThr {
-					ca++
-				}
-			}
-			for _, v := range env.Sim().Vehicles {
-				d := av.Lon - v.State.Lon
-				if d > 0 && d <= followRadius {
-					acc, ok := followV[v.ID]
-					if !ok {
-						acc = &[2]float64{}
-						followV[v.ID] = acc
-					}
-					acc[0] += v.State.V
-					acc[1]++
-				}
-			}
-			if out.Collision {
-				m.Collisions++
-			}
-			if out.Finished {
-				m.Finished++
-				sumDTA += float64(env.Steps()) * w.Dt
-				nDTA++
+	t := episodeTotals{minTTC: math.Inf(1)}
+	env.Reset()
+	ctrl.Reset()
+	// Per-vehicle mean velocity of trailing conventional vehicles.
+	followV := map[int]*[2]float64{} // id → {sumV, count}
+	for !env.Done() {
+		man := ctrl.Decide(env)
+		out := env.StepManeuver(man)
+		av := env.Sim().AV.State
+		t.sumV += av.V
+		t.nV++
+		t.sumJ += out.Jerk
+		t.nJ++
+		if out.TTCValid {
+			t.minTTC = math.Min(t.minTTC, out.TTC)
+		}
+		if out.RearExists {
+			t.sumD += out.RearDecel
+			t.nD++
+			if out.RearDecel > env.Cfg.Reward.VThr {
+				t.ca++
 			}
 		}
-		if !math.IsInf(minTTC, 1) {
-			sumMinTTC += minTTC
+		for _, v := range env.Sim().Vehicles {
+			d := av.Lon - v.State.Lon
+			if d > 0 && d <= followRadius {
+				acc, ok := followV[v.ID]
+				if !ok {
+					acc = &[2]float64{}
+					followV[v.ID] = acc
+				}
+				acc[0] += v.State.V
+				acc[1]++
+			}
+		}
+		if out.Collision {
+			t.collisions++
+		}
+		if out.Finished {
+			t.finished++
+			t.sumDTA += float64(env.Steps()) * w.Dt
+			t.nDTA++
+		}
+	}
+	t.hasTTC = !math.IsInf(t.minTTC, 1)
+	// Sum follower driving times in vehicle-ID order: map iteration order
+	// is randomized per run, and an order-dependent float sum would make
+	// repeated runs (and the cross-worker determinism guarantee) drift in
+	// the last bits.
+	ids := make([]int, 0, len(followV))
+	for id := range followV {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		acc := followV[id]
+		if acc[1] == 0 {
+			continue
+		}
+		avgV := acc[0] / acc[1]
+		if avgV > 0 {
+			// Effective end-to-end driving time at the vehicle's observed
+			// pace (the spawned vehicles do not physically traverse the
+			// whole road, so extrapolate).
+			t.sumDTC += w.RoadLength / avgV
+			t.nDTC++
+		}
+	}
+	return t
+}
+
+// reduce folds per-episode totals (in episode order) into Metrics.
+func reduce(method string, w world.Config, parts []episodeTotals) Metrics {
+	m := Metrics{Method: method}
+	var tot episodeTotals
+	sumMinTTC, nMinTTC := 0.0, 0
+	sumCA := 0.0
+	for _, t := range parts {
+		m.Episodes++
+		tot.sumV += t.sumV
+		tot.nV += t.nV
+		tot.sumJ += t.sumJ
+		tot.nJ += t.nJ
+		tot.sumD += t.sumD
+		tot.nD += t.nD
+		tot.sumDTC += t.sumDTC
+		tot.nDTC += t.nDTC
+		tot.sumDTA += t.sumDTA
+		tot.nDTA += t.nDTA
+		if t.hasTTC {
+			sumMinTTC += t.minTTC
 			nMinTTC++
 		}
-		sumCA += float64(ca)
-		for _, acc := range followV {
-			if acc[1] == 0 {
-				continue
-			}
-			avgV := acc[0] / acc[1]
-			if avgV > 0 {
-				// Effective end-to-end driving time at the vehicle's
-				// observed pace (the spawned vehicles do not physically
-				// traverse the whole road, so extrapolate).
-				sumDTC += w.RoadLength / avgV
-				nDTC++
-			}
-		}
+		sumCA += float64(t.ca)
+		m.Finished += t.finished
+		m.Collisions += t.collisions
 	}
-	if nDTA > 0 {
-		m.AvgDTA = sumDTA / float64(nDTA)
-	} else if nV > 0 && sumV > 0 {
+	if tot.nDTA > 0 {
+		m.AvgDTA = tot.sumDTA / float64(tot.nDTA)
+	} else if tot.nV > 0 && tot.sumV > 0 {
 		// No episode finished within budget: extrapolate from pace.
-		m.AvgDTA = w.RoadLength / (sumV / float64(nV))
+		m.AvgDTA = w.RoadLength / (tot.sumV / float64(tot.nV))
 	}
-	if nDTC > 0 {
-		m.AvgDTC = sumDTC / float64(nDTC)
+	if tot.nDTC > 0 {
+		m.AvgDTC = tot.sumDTC / float64(tot.nDTC)
 	}
 	if m.Episodes > 0 {
 		m.AvgCA = sumCA / float64(m.Episodes)
@@ -127,14 +165,57 @@ func RunEpisodes(ctrl head.Controller, env *head.Env, episodes int) Metrics {
 	if nMinTTC > 0 {
 		m.MinTTCA = sumMinTTC / float64(nMinTTC)
 	}
-	if nV > 0 {
-		m.AvgVA = sumV / float64(nV)
+	if tot.nV > 0 {
+		m.AvgVA = tot.sumV / float64(tot.nV)
 	}
-	if nJ > 0 {
-		m.AvgJA = sumJ / float64(nJ)
+	if tot.nJ > 0 {
+		m.AvgJA = tot.sumJ / float64(tot.nJ)
 	}
-	if nD > 0 {
-		m.AvgDCA = sumD / float64(nD)
+	if tot.nD > 0 {
+		m.AvgDCA = tot.sumD / float64(tot.nD)
 	}
 	return m
+}
+
+// RunEpisodes evaluates a controller over the given number of test
+// episodes on env (which is Reset per episode). Episodes run serially on
+// the shared controller/environment pair; use RunEpisodesParallel when
+// independent per-episode replicas are available.
+func RunEpisodes(ctrl head.Controller, env *head.Env, episodes int) Metrics {
+	parts := make([]episodeTotals, 0, episodes)
+	for ep := 0; ep < episodes; ep++ {
+		parts = append(parts, runEpisode(ctrl, env))
+	}
+	return reduce(ctrl.Name(), env.Cfg.Traffic.World, parts)
+}
+
+// RunEpisodesParallel evaluates episodes concurrently on at most workers
+// goroutines (0 means all cores). setup(ep) must return a controller and
+// environment owned by that episode alone — network layers cache forward
+// activations, so trained models must be cloned per episode, and the
+// environment's RNG must be derived from the episode index (see
+// parallel.Rand). Per-episode results are reduced in episode order, so the
+// returned Metrics are bit-identical for every worker count.
+func RunEpisodesParallel(episodes, workers int, setup func(episode int) (head.Controller, *head.Env)) Metrics {
+	if episodes <= 0 {
+		return Metrics{}
+	}
+	type epResult struct {
+		totals episodeTotals
+		name   string
+		world  world.Config
+	}
+	parts, _ := parallel.Map(context.Background(), episodes, workers, func(ep int) (epResult, error) {
+		ctrl, env := setup(ep)
+		return epResult{
+			totals: runEpisode(ctrl, env),
+			name:   ctrl.Name(),
+			world:  env.Cfg.Traffic.World,
+		}, nil
+	})
+	totals := make([]episodeTotals, len(parts))
+	for i, p := range parts {
+		totals[i] = p.totals
+	}
+	return reduce(parts[0].name, parts[0].world, totals)
 }

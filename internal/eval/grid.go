@@ -1,8 +1,10 @@
 package eval
 
 import (
+	"context"
 	"fmt"
 
+	"head/internal/parallel"
 	"head/internal/reward"
 )
 
@@ -55,28 +57,54 @@ type AxisResult struct {
 // grid is the cross product; the coordinate sweep reproduces its reported
 // per-coefficient table at a fraction of the cost.
 func SearchWeights(base reward.Weights, axes []Axis, score func(reward.Weights) float64) ([]AxisResult, error) {
-	var out []AxisResult
-	for _, ax := range axes {
+	return SearchWeightsParallel(base, axes, 1, score)
+}
+
+// SearchWeightsParallel is SearchWeights with the grid points of every
+// axis evaluated concurrently on at most workers goroutines (0 means all
+// cores). The score function must therefore be safe to call from multiple
+// goroutines — every call should build its own models and environments
+// rather than closing over shared mutable state. Points are scored
+// independently and reduced in grid order, so the result is identical for
+// any worker count.
+func SearchWeightsParallel(base reward.Weights, axes []Axis, workers int, score func(reward.Weights) float64) ([]AxisResult, error) {
+	type point struct {
+		axis  int
+		value float64
+		w     reward.Weights
+	}
+	var points []point
+	for ai, ax := range axes {
 		if ax.Step <= 0 || ax.Max < ax.Min {
 			return nil, fmt.Errorf("eval: invalid axis %+v", ax)
 		}
-		res := AxisResult{Axis: ax}
-		bestScore := 0.0
-		first := true
 		for v := ax.Min; v <= ax.Max+1e-9; v += ax.Step {
 			w, err := withCoefficient(base, ax.Name, v)
 			if err != nil {
 				return nil, err
 			}
-			s := score(w)
-			res.Values = append(res.Values, v)
-			res.Scores = append(res.Scores, s)
-			if first || s > bestScore {
-				bestScore, res.Best = s, v
-				first = false
-			}
+			points = append(points, point{axis: ai, value: v, w: w})
 		}
-		out = append(out, res)
+	}
+	scores, err := parallel.Map(context.Background(), len(points), workers, func(i int) (float64, error) {
+		return score(points[i].w), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := make([]AxisResult, len(axes))
+	best := make([]float64, len(axes))
+	for i := range axes {
+		out[i] = AxisResult{Axis: axes[i]}
+	}
+	for i, p := range points {
+		res := &out[p.axis]
+		s := scores[i]
+		res.Values = append(res.Values, p.value)
+		res.Scores = append(res.Scores, s)
+		if len(res.Values) == 1 || s > best[p.axis] {
+			best[p.axis], res.Best = s, p.value
+		}
 	}
 	return out, nil
 }

@@ -1,0 +1,60 @@
+package experiments
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+	"testing"
+)
+
+// TestParallelDeterminism is the suite's determinism gate: the rendered
+// Table I report must be byte-identical whether the experiment fans out
+// over 1, 2, or 8 workers. Random streams are a function of the work
+// decomposition, not the schedule, and all floating-point reductions fold
+// in unit order — this test fails if either property regresses.
+func TestParallelDeterminism(t *testing.T) {
+	render := func(workers int) string {
+		s := micro()
+		s.Workers = workers
+		rows, err := TableI(s)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		var buf bytes.Buffer
+		PrintEndToEnd(&buf, "Table I", rows)
+		return buf.String()
+	}
+	want := render(1)
+	for _, w := range []int{2, 8} {
+		if got := render(w); got != want {
+			t.Errorf("workers=%d output differs from workers=1:\n--- workers=1 ---\n%s--- workers=%d ---\n%s", w, want, w, got)
+		}
+	}
+}
+
+// TestPredictorDeterminism pins the data-parallel trainer down to the last
+// bit: the accuracy columns of Table III (a function of the trained
+// parameters) must not depend on how many workers computed the gradient
+// chunks. Wall-clock columns (TCT, AvgIT) are excluded.
+func TestPredictorDeterminism(t *testing.T) {
+	accuracy := func(workers int) string {
+		s := micro()
+		s.Workers = workers
+		rows, err := TableIIIIV(s)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		var buf bytes.Buffer
+		for _, r := range rows {
+			fmt.Fprintf(&buf, "%s %016x %016x %016x\n", r.Name,
+				math.Float64bits(r.Model.MAE),
+				math.Float64bits(r.Model.MSE),
+				math.Float64bits(r.Model.RMSE))
+		}
+		return buf.String()
+	}
+	want := accuracy(1)
+	if got := accuracy(4); got != want {
+		t.Errorf("workers=4 accuracy differs from workers=1:\n%s\nvs\n%s", want, got)
+	}
+}

@@ -5,9 +5,17 @@
 // training budgets and scene sizes so the whole suite runs on a laptop in
 // minutes. Relative orderings — who wins and by roughly what factor — are
 // preserved at small scale; EXPERIMENTS.md records paper-vs-measured.
+//
+// The suite fans out over the internal/parallel worker pool: independent
+// training runs (methods, variants, solvers × seeds, grid points) and
+// evaluation episodes each form a parallel unit whose random streams are
+// derived from (Scale.Seed, unit index) and whose results reduce in index
+// order, so every table's metric columns are bit-identical for any
+// Scale.Workers setting, including 1.
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math/rand"
@@ -16,6 +24,8 @@ import (
 	"head/internal/eval"
 	"head/internal/head"
 	"head/internal/ngsim"
+	"head/internal/nn"
+	"head/internal/parallel"
 	"head/internal/policy"
 	"head/internal/predict"
 	"head/internal/reward"
@@ -49,6 +59,12 @@ type Scale struct {
 	DatasetSteps    int
 
 	Seed int64
+	// Workers bounds the suite's parallel fan-out (training runs,
+	// evaluation episodes, gradient chunks); 0 means all cores. Every
+	// random stream is derived from (Seed, unit index) and results reduce
+	// in unit order, so the table metrics do not depend on this knob —
+	// only wall-clock time does.
+	Workers int
 }
 
 // Quick returns a laptop-scale preset (seconds to minutes per table).
@@ -122,6 +138,34 @@ func Paper() Scale {
 	}
 }
 
+// Random-stream tags. Each parallel unit derives one child seed per
+// concern from (Scale.Seed, unit, tag), so sibling units — and sibling
+// concerns inside a unit — never share a stream.
+const (
+	streamTrainEnv int64 = iota + 1
+	streamAgent
+	streamEval
+	streamInfer
+	streamModel
+)
+
+// unitSeed derives the seed of one stream inside parallel unit u.
+func (s Scale) unitSeed(unit, stream int64) int64 {
+	return parallel.Seed(parallel.Seed(s.Seed, unit), stream)
+}
+
+// unitRand returns a private RNG for one stream inside parallel unit u.
+func (s Scale) unitRand(unit, stream int64) *rand.Rand {
+	return rand.New(rand.NewSource(s.unitSeed(unit, stream)))
+}
+
+// evalSeed is the shared base seed of the evaluation episode streams. It
+// is deliberately NOT unit-dependent: every method, variant, and solver is
+// tested on the same episode scenes (episode ep draws its environment from
+// (evalSeed, ep)), which keeps the tables paired comparisons as in the
+// original serial harness.
+func (s Scale) evalSeed() int64 { return parallel.Seed(s.Seed, streamEval) }
+
 // envConfig derives the HEAD environment configuration from the scale.
 func (s Scale) envConfig() head.EnvConfig {
 	cfg := head.DefaultEnvConfig()
@@ -163,88 +207,132 @@ func TrainedPredictor(s Scale, rng *rand.Rand) (*predict.LSTGAT, error) {
 	cfg.AttnDim, cfg.GATOut, cfg.HiddenDim = s.PredHidden, s.PredGATOut, s.PredHidden
 	cfg.LR = s.PredLR
 	model := predict.NewLSTGAT(cfg, rng)
-	predict.Train(model, train, predict.TrainConfig{Epochs: s.PredEpochs, BatchSize: s.PredBatch}, rng)
+	predict.Train(model, train, predict.TrainConfig{
+		Epochs: s.PredEpochs, BatchSize: s.PredBatch, Workers: s.Workers,
+	}, rng)
 	return model, nil
 }
 
-// trainHEADAgent trains the decision agent for a HEAD variant and returns
-// the greedy controller.
-func trainHEADAgent(s Scale, v head.Variant, predictor predict.Model, rng *rand.Rand) (head.Controller, *head.Env) {
+// trainHEADAgent trains the decision agent for a HEAD variant inside a
+// private environment. The predictor must be a replica owned by this unit
+// (nil for w/o-LST-GAT).
+func (s Scale) trainHEADAgent(v head.Variant, predictor *predict.LSTGAT, unit int64) (rl.Agent, head.EnvConfig) {
 	cfg := head.ApplyVariant(s.envConfig(), v)
-	env := head.NewEnv(cfg, predictor, rng)
-	agent := head.NewVariantAgent(v, s.rlConfig(), env.Spec(), env.AMax(), s.RLHidden, rng)
+	var p predict.Model
+	if predictor != nil {
+		p = predictor
+	}
+	env := head.NewEnv(cfg, p, s.unitRand(unit, streamTrainEnv))
+	agent := head.NewVariantAgent(v, s.rlConfig(), env.Spec(), env.AMax(), s.RLHidden, s.unitRand(unit, streamAgent))
 	rl.Train(agent, env, s.TrainEpisodes, s.MaxSteps)
-	// Evaluate on a fresh environment stream with the same variant.
-	evalEnv := head.NewEnv(cfg, predictor, rand.New(rand.NewSource(s.Seed+1000)))
-	return &head.AgentController{ControllerName: v.String(), Agent: agent}, evalEnv
+	return agent, cfg
+}
+
+// evalController evaluates over s.TestEpisodes parallel episodes. Every
+// episode gets a private environment (seeded from (s.evalSeed(), episode),
+// with its own predictor replica) and a private controller from mkCtrl —
+// trained models must be cloned per call, never shared across episodes.
+func (s Scale) evalController(cfg head.EnvConfig, predictor *predict.LSTGAT, mkCtrl func(episode int) head.Controller) eval.Metrics {
+	evalSeed := s.evalSeed()
+	return eval.RunEpisodesParallel(s.TestEpisodes, s.Workers, func(ep int) (head.Controller, *head.Env) {
+		var p predict.Model
+		if predictor != nil {
+			p = predictor.Clone()
+		}
+		env := head.NewEnv(cfg, p, parallel.Rand(evalSeed, int64(ep)))
+		return mkCtrl(ep), env
+	})
+}
+
+// replicaController clones a trained variant agent into a private greedy
+// controller for one evaluation episode. Construction randomness is
+// irrelevant: every parameter is overwritten by the trained values.
+func (s Scale) replicaController(name string, v head.Variant, trained rl.Agent, spec rl.StateSpec, aMax float64) head.Controller {
+	c := head.NewVariantAgent(v, s.rlConfig(), spec, aMax, s.RLHidden, rand.New(rand.NewSource(0)))
+	nn.CopyParams(c.(nn.Module), trained.(nn.Module))
+	return &head.AgentController{ControllerName: name, Agent: c}
 }
 
 // TableI runs the end-to-end comparison of HEAD against IDM-LC, ACC-LC,
-// DRL-SC, and TP-BTS, returning one metrics row per method.
+// DRL-SC, and TP-BTS, returning one metrics row per method. The five
+// methods train and evaluate as parallel units.
 func TableI(s Scale) ([]eval.Metrics, error) {
-	rng := rand.New(rand.NewSource(s.Seed))
-	predictor, err := TrainedPredictor(s, rng)
+	predictor, err := TrainedPredictor(s, rand.New(rand.NewSource(s.Seed)))
 	if err != nil {
 		return nil, err
 	}
 	base := s.envConfig()
 	world := base.Traffic.World
-	var rows []eval.Metrics
+	spec := rl.DefaultStateSpec()
+	rlCfg := s.rlConfig()
 
-	// Rule-based baselines need no training.
-	for _, ctrl := range []head.Controller{policy.NewIDMLC(world), policy.NewACCLC(world)} {
-		env := head.NewEnv(base, predictor, rand.New(rand.NewSource(s.Seed+1000)))
-		rows = append(rows, eval.RunEpisodes(ctrl, env, s.TestEpisodes))
+	methods := []func(unit int64) eval.Metrics{
+		// Rule-based baselines need no training.
+		func(unit int64) eval.Metrics {
+			return s.evalController(base, predictor, func(int) head.Controller { return policy.NewIDMLC(world) })
+		},
+		func(unit int64) eval.Metrics {
+			return s.evalController(base, predictor, func(int) head.Controller { return policy.NewACCLC(world) })
+		},
+		// DRL-SC trains its DQN in the same environment.
+		func(unit int64) eval.Metrics {
+			trainEnv := head.NewEnv(base, predictor.Clone(), s.unitRand(unit, streamTrainEnv))
+			agent := policy.NewDRLSC(rlCfg, spec, world.AMax, s.RLHidden, s.unitRand(unit, streamAgent))
+			rl.Train(agent, trainEnv, s.TrainEpisodes, s.MaxSteps)
+			return s.evalController(base, predictor, func(int) head.Controller {
+				c := policy.NewDRLSC(rlCfg, spec, world.AMax, s.RLHidden, rand.New(rand.NewSource(0)))
+				nn.CopyParams(c, agent)
+				return c
+			})
+		},
+		// TP-BTS searches over the perception outputs without training.
+		func(unit int64) eval.Metrics {
+			return s.evalController(base, predictor, func(int) head.Controller { return policy.NewTPBTS() })
+		},
+		// HEAD: BP-DQN over the full enhanced perception.
+		func(unit int64) eval.Metrics {
+			agent, cfg := s.trainHEADAgent(head.Full, predictor.Clone(), unit)
+			m := s.evalController(cfg, predictor, func(int) head.Controller {
+				return s.replicaController("HEAD", head.Full, agent, spec, world.AMax)
+			})
+			m.Method = "HEAD"
+			return m
+		},
 	}
-
-	// DRL-SC trains its DQN in the same environment.
-	{
-		trainEnv := head.NewEnv(base, predictor, rand.New(rand.NewSource(s.Seed+1)))
-		agent := policy.NewDRLSC(s.rlConfig(), trainEnv.Spec(), trainEnv.AMax(), s.RLHidden, rng)
-		rl.Train(agent, trainEnv, s.TrainEpisodes, s.MaxSteps)
-		env := head.NewEnv(base, predictor, rand.New(rand.NewSource(s.Seed+1000)))
-		rows = append(rows, eval.RunEpisodes(agent, env, s.TestEpisodes))
-	}
-
-	// TP-BTS searches over the perception outputs without training.
-	{
-		env := head.NewEnv(base, predictor, rand.New(rand.NewSource(s.Seed+1000)))
-		rows = append(rows, eval.RunEpisodes(policy.NewTPBTS(), env, s.TestEpisodes))
-	}
-
-	// HEAD: BP-DQN over the full enhanced perception.
-	{
-		ctrl, env := trainHEADAgent(s, head.Full, predictor, rng)
-		m := eval.RunEpisodes(ctrl, env, s.TestEpisodes)
-		m.Method = "HEAD"
-		rows = append(rows, m)
-	}
-	return rows, nil
+	return parallel.Map(context.Background(), len(methods), s.Workers, func(i int) (eval.Metrics, error) {
+		return methods[i](int64(i)), nil
+	})
 }
 
 // TableII runs the ablation study over the four HEAD variants plus the
-// full framework.
+// full framework, one parallel unit per variant.
 func TableII(s Scale) ([]eval.Metrics, error) {
-	rng := rand.New(rand.NewSource(s.Seed))
-	predictor, err := TrainedPredictor(s, rng)
+	predictor, err := TrainedPredictor(s, rand.New(rand.NewSource(s.Seed)))
 	if err != nil {
 		return nil, err
 	}
+	spec := rl.DefaultStateSpec()
+	aMax := s.envConfig().Traffic.World.AMax
 	variants := []head.Variant{
 		head.WithoutPVC, head.WithoutLSTGAT, head.WithoutBPDQN, head.WithoutImpact, head.Full,
 	}
-	var rows []eval.Metrics
-	for _, v := range variants {
-		p := predict.Model(predictor)
+	return parallel.Map(context.Background(), len(variants), s.Workers, func(i int) (eval.Metrics, error) {
+		v := variants[i]
+		p := predictor
 		if v == head.WithoutLSTGAT {
 			p = nil
 		}
-		ctrl, env := trainHEADAgent(s, v, p, rng)
-		m := eval.RunEpisodes(ctrl, env, s.TestEpisodes)
+		var trainP *predict.LSTGAT
+		if p != nil {
+			trainP = p.Clone()
+		}
+		agent, cfg := s.trainHEADAgent(v, trainP, int64(i))
+		m := s.evalController(cfg, p, func(int) head.Controller {
+			return s.replicaController(v.String(), v, agent, spec, aMax)
+		})
 		m.Method = v.String()
-		rows = append(rows, m)
-	}
-	return rows, nil
+		return m, nil
+	})
 }
 
 // PredRow is one row of Tables III and IV.
@@ -256,7 +344,8 @@ type PredRow struct {
 }
 
 // TableIIIIV trains the four state predictors on the REAL substitute and
-// reports accuracy (Table III) and efficiency (Table IV).
+// reports accuracy (Table III) and efficiency (Table IV). The four models
+// train as parallel units on private views of the same train/test split.
 func TableIIIIV(s Scale) ([]PredRow, error) {
 	rng := rand.New(rand.NewSource(s.Seed))
 	ds, err := s.dataset(rng)
@@ -269,24 +358,26 @@ func TableIIIIV(s Scale) ([]PredRow, error) {
 	gc := predict.DefaultLSTGATConfig()
 	gc.AttnDim, gc.GATOut, gc.HiddenDim = s.PredHidden, s.PredGATOut, s.PredHidden
 	gc.LR = s.PredLR
-	models := []predict.Model{
-		predict.NewLSTMMLP(bc, rng),
-		predict.NewEDLSTM(bc, rng),
-		predict.NewGASLED(bc, rng),
-		predict.NewLSTGAT(gc, rng),
+	builders := []func(r *rand.Rand) predict.Model{
+		func(r *rand.Rand) predict.Model { return predict.NewLSTMMLP(bc, r) },
+		func(r *rand.Rand) predict.Model { return predict.NewEDLSTM(bc, r) },
+		func(r *rand.Rand) predict.Model { return predict.NewGASLED(bc, r) },
+		func(r *rand.Rand) predict.Model { return predict.NewLSTGAT(gc, r) },
 	}
-	tc := predict.TrainConfig{Epochs: s.PredEpochs, BatchSize: s.PredBatch, ConvergeTol: 0.01}
-	var rows []PredRow
-	for _, m := range models {
-		res := predict.Train(m, train, tc, rng)
-		rows = append(rows, PredRow{
+	tc := predict.TrainConfig{Epochs: s.PredEpochs, BatchSize: s.PredBatch, ConvergeTol: 0.01, Workers: s.Workers}
+	return parallel.Map(context.Background(), len(builders), s.Workers, func(i int) (PredRow, error) {
+		m := builders[i](s.unitRand(int64(i), streamModel))
+		// Each unit shuffles a private view of the shared training split
+		// (the samples themselves are read-only during training).
+		local := &ngsim.Dataset{Samples: append([]*ngsim.Sample(nil), train.Samples...)}
+		res := predict.Train(m, local, tc, s.unitRand(int64(i), streamTrainEnv))
+		return PredRow{
 			Name:  m.Name(),
 			Model: predict.Evaluate(m, test),
 			TCT:   res.TCT,
 			AvgIT: predict.AvgInferenceTime(m, test),
-		})
-	}
-	return rows, nil
+		}, nil
+	})
 }
 
 // RLRow is one row of Tables V and VI.
@@ -301,10 +392,10 @@ type RLRow struct {
 // reports reward statistics (Table V) and efficiency (Table VI). When
 // Scale.RLSeeds > 1, each solver trains that many times from independent
 // seeds and the statistics are averaged — the reward statistics of small
-// deep-RL runs are seed-sensitive.
+// deep-RL runs are seed-sensitive. Every (solver, seed) pair is one
+// parallel unit; the per-seed results reduce in seed order.
 func TableVVI(s Scale) ([]RLRow, error) {
-	rng := rand.New(rand.NewSource(s.Seed))
-	predictor, err := TrainedPredictor(s, rng)
+	predictor, err := TrainedPredictor(s, rand.New(rand.NewSource(s.Seed)))
 	if err != nil {
 		return nil, err
 	}
@@ -332,22 +423,45 @@ func TableVVI(s Scale) ([]RLRow, error) {
 	if seeds < 1 {
 		seeds = 1
 	}
-	var rows []RLRow
-	for _, b := range builders {
+	type unitResult struct {
+		stats rl.RewardStats
+		tct   time.Duration
+		avgIT time.Duration
+	}
+	evalSeed := s.evalSeed()
+	units, err := parallel.Map(context.Background(), len(builders)*seeds, s.Workers, func(u int) (unitResult, error) {
+		b := builders[u/seeds]
+		unit := int64(u)
+		agent := b.mk(s.unitSeed(unit, streamAgent))
+		trainEnv := head.NewEnv(base, predictor.Clone(), s.unitRand(unit, streamTrainEnv))
+		res := rl.Train(agent, trainEnv, s.TrainEpisodes, s.MaxSteps)
+		stats := rl.EvaluateAgentParallel(s.TestEpisodes, s.MaxSteps, s.Workers, func(ep int) (rl.Agent, rl.Env) {
+			replica := b.mk(0)
+			nn.CopyParams(replica.(nn.Module), agent.(nn.Module))
+			return replica, head.NewEnv(base, predictor.Clone(), parallel.Rand(evalSeed, int64(ep)))
+		})
+		inferEnv := head.NewEnv(base, predictor.Clone(), s.unitRand(unit, streamInfer))
+		return unitResult{
+			stats: stats,
+			tct:   res.TCT,
+			avgIT: rl.AvgInferenceTime(agent, inferEnv, 200),
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]RLRow, 0, len(builders))
+	for bi, b := range builders {
 		var row RLRow
 		row.Name = b.name
 		for k := 0; k < seeds; k++ {
-			agent := b.mk(s.Seed + 3 + int64(k)*101)
-			trainEnv := head.NewEnv(base, predictor, rand.New(rand.NewSource(s.Seed+4+int64(k)*101)))
-			res := rl.Train(agent, trainEnv, s.TrainEpisodes, s.MaxSteps)
-			testEnv := head.NewEnv(base, predictor, rand.New(rand.NewSource(s.Seed+1000)))
-			st := rl.EvaluateAgent(agent, testEnv, s.TestEpisodes, s.MaxSteps)
-			row.Stats.Min += st.Min
-			row.Stats.Max += st.Max
-			row.Stats.Avg += st.Avg
-			row.Stats.Steps += st.Steps
-			row.TCT += res.TCT
-			row.AvgIT += rl.AvgInferenceTime(agent, testEnv, 200)
+			u := units[bi*seeds+k]
+			row.Stats.Min += u.stats.Min
+			row.Stats.Max += u.stats.Max
+			row.Stats.Avg += u.stats.Avg
+			row.Stats.Steps += u.stats.Steps
+			row.TCT += u.tct
+			row.AvgIT += u.avgIT
 		}
 		row.Stats.Min /= float64(seeds)
 		row.Stats.Max /= float64(seeds)
@@ -361,26 +475,26 @@ func TableVVI(s Scale) ([]RLRow, error) {
 
 // TableVII runs the reward coefficient search: each axis of Table VII is
 // swept, scoring a coefficient vector by the average greedy test reward of
-// a BP-DQN agent trained under it.
+// a BP-DQN agent trained under it. Grid points are parallel units; every
+// score call builds its own predictor replica and environments.
 func TableVII(s Scale) ([]eval.AxisResult, error) {
-	rng := rand.New(rand.NewSource(s.Seed))
-	predictor, err := TrainedPredictor(s, rng)
+	predictor, err := TrainedPredictor(s, rand.New(rand.NewSource(s.Seed)))
 	if err != nil {
 		return nil, err
 	}
 	score := func(w reward.Weights) float64 {
 		cfg := s.envConfig()
 		cfg.Reward.Weights = w
-		env := head.NewEnv(cfg, predictor, rand.New(rand.NewSource(s.Seed+5)))
-		agent := rl.NewBPDQN(s.rlConfig(), env.Spec(), env.AMax(), s.RLHidden, rand.New(rand.NewSource(s.Seed+6)))
+		env := head.NewEnv(cfg, predictor.Clone(), s.unitRand(0, streamTrainEnv))
+		agent := rl.NewBPDQN(s.rlConfig(), env.Spec(), env.AMax(), s.RLHidden, s.unitRand(0, streamAgent))
 		rl.Train(agent, env, s.TrainEpisodes, s.MaxSteps)
-		testEnv := head.NewEnv(cfg, predictor, rand.New(rand.NewSource(s.Seed+1000)))
+		testEnv := head.NewEnv(cfg, predictor.Clone(), rand.New(rand.NewSource(s.evalSeed())))
 		// Score under the default weights so coefficient vectors are
 		// comparable (the trained behavior differs, the yardstick not).
 		testEnv.Cfg.Reward.Weights = reward.DefaultWeights()
 		return rl.EvaluateAgent(agent, testEnv, s.TestEpisodes, s.MaxSteps).Avg
 	}
-	return eval.SearchWeights(reward.DefaultWeights(), eval.PaperAxes(), score)
+	return eval.SearchWeightsParallel(reward.DefaultWeights(), eval.PaperAxes(), s.Workers, score)
 }
 
 // --- report printing -------------------------------------------------

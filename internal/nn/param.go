@@ -75,6 +75,36 @@ func ClipGradNorm(m Module, maxNorm float64) float64 {
 	return norm
 }
 
+// Gradients returns a deep copy of m's accumulated gradients, one slice
+// per parameter in Params order. Data-parallel trainers use it to ship a
+// worker replica's gradient contribution back to the coordinator.
+func Gradients(m Module) [][]float64 {
+	params := m.Params()
+	out := make([][]float64, len(params))
+	for i, p := range params {
+		out[i] = append([]float64(nil), p.Grad.Data...)
+	}
+	return out
+}
+
+// AddGradients accumulates a snapshot taken by Gradients (on an
+// identically shaped module) into m's gradients. Reducing worker snapshots
+// in a fixed order keeps the floating-point sum independent of scheduling.
+func AddGradients(m Module, grads [][]float64) {
+	params := m.Params()
+	if len(params) != len(grads) {
+		panic(fmt.Sprintf("nn: AddGradients parameter count mismatch %d vs %d", len(params), len(grads)))
+	}
+	for i, p := range params {
+		if len(p.Grad.Data) != len(grads[i]) {
+			panic(fmt.Sprintf("nn: AddGradients shape mismatch at %d (%s)", i, p.Name))
+		}
+		for j, g := range grads[i] {
+			p.Grad.Data[j] += g
+		}
+	}
+}
+
 // CopyParams copies every parameter value of src into dst. The two modules
 // must have identical parameter shapes in identical order (e.g. two
 // instances built by the same constructor), as used for target networks.

@@ -1,0 +1,118 @@
+package parallel
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+)
+
+func TestSeedStableAndSplit(t *testing.T) {
+	if Seed(7, 3) != Seed(7, 3) {
+		t.Fatal("Seed is not a pure function")
+	}
+	seen := map[int64]bool{}
+	for unit := int64(0); unit < 1000; unit++ {
+		s := Seed(7, unit)
+		if seen[s] {
+			t.Fatalf("seed collision at unit %d", unit)
+		}
+		seen[s] = true
+	}
+	if Seed(7, 0) == Seed(8, 0) {
+		t.Error("different bases produced the same child seed")
+	}
+	// Nesting must keep streams decorrelated too.
+	if Seed(Seed(7, 1), 0) == Seed(Seed(7, 2), 0) {
+		t.Error("nested derivation collided")
+	}
+}
+
+func TestRandIndependentStreams(t *testing.T) {
+	a, b := Rand(7, 0), Rand(7, 1)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Int63() == b.Int63() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Errorf("sibling streams overlapped %d/100 draws", same)
+	}
+}
+
+func TestMapOrderAndWorkerInvariance(t *testing.T) {
+	fn := func(i int) (int, error) { return i * i, nil }
+	want, err := Map(context.Background(), 100, 1, fn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range []int{2, 8, 0} {
+		got, err := Map(context.Background(), 100, w, fn)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("workers=%d: out[%d] = %d, want %d", w, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestForEachError(t *testing.T) {
+	boom := errors.New("boom")
+	var ran atomic.Int64
+	err := ForEach(context.Background(), 1000, 4, func(i int) error {
+		ran.Add(1)
+		if i == 5 {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want %v", err, boom)
+	}
+	if n := ran.Load(); n >= 1000 {
+		t.Errorf("error did not cancel remaining work (%d units ran)", n)
+	}
+}
+
+func TestForEachContextCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	err := ForEach(ctx, 10, 4, func(i int) error { return nil })
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestForEachBoundsConcurrency(t *testing.T) {
+	var cur, peak atomic.Int64
+	err := ForEach(context.Background(), 64, 3, func(i int) error {
+		n := cur.Add(1)
+		for {
+			p := peak.Load()
+			if n <= p || peak.CompareAndSwap(p, n) {
+				break
+			}
+		}
+		cur.Add(-1)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := peak.Load(); p > 3 {
+		t.Errorf("observed %d concurrent units, want <= 3", p)
+	}
+}
+
+func TestWorkersResolution(t *testing.T) {
+	if Workers(5) != 5 {
+		t.Error("positive worker counts must pass through")
+	}
+	if Workers(0) < 1 || Workers(-1) < 1 {
+		t.Error("non-positive worker counts must resolve to at least one")
+	}
+}

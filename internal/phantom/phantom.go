@@ -156,7 +156,10 @@ func nearestInArea(obs map[int]world.State, center world.State, slot Slot, exclu
 		if slot.isFront() && d <= 0 || !slot.isFront() && d >= 0 {
 			continue
 		}
-		if g := math.Abs(d); g < bestGap {
+		// Ties break toward the smaller vehicle ID: the map's iteration
+		// order is randomized per run, and the winner must not depend on
+		// it for results to be reproducible.
+		if g := math.Abs(d); g < bestGap || (g == bestGap && found && id < bestID) {
 			bestGap, bestID, bestState, found = g, id, st, true
 		}
 	}

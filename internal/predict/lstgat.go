@@ -16,6 +16,7 @@ import (
 // a linear read-out emits the one-step future state of all six targets in
 // parallel (Equation (13)).
 type LSTGAT struct {
+	cfg   LSTGATConfig
 	gat   *nn.GAT
 	gats  []*nn.GAT // per-step weight-sharing views
 	lstm  *nn.LSTM
@@ -74,6 +75,7 @@ func NewLSTGAT(cfg LSTGATConfig, rng *rand.Rand) *LSTGAT {
 		gats[i] = gat.Share()
 	}
 	return &LSTGAT{
+		cfg:   cfg,
 		gat:   gat,
 		gats:  gats,
 		lstm:  nn.NewLSTM("lstgat.lstm", phantom.FeatureDim+cfg.GATOut, cfg.HiddenDim, rng),
@@ -86,6 +88,20 @@ func NewLSTGAT(cfg LSTGATConfig, rng *rand.Rand) *LSTGAT {
 
 // Name implements Model.
 func (m *LSTGAT) Name() string { return "LST-GAT" }
+
+// Clone returns an independent copy of the model: identical architecture
+// and parameter values, fresh optimizer state and forward caches. Layers
+// cache their most recent forward inputs, so one instance must never be
+// shared between concurrent Predict or TrainBatch calls — parallel
+// evaluation episodes and data-parallel training workers each own a clone.
+func (m *LSTGAT) Clone() *LSTGAT {
+	c := NewLSTGAT(m.cfg, rand.New(rand.NewSource(0)))
+	nn.CopyParams(c, m)
+	return c
+}
+
+// Replica implements DataParallel.
+func (m *LSTGAT) Replica() DataParallel { return m.Clone() }
 
 // Params implements nn.Module.
 func (m *LSTGAT) Params() []*nn.Param {
@@ -145,6 +161,15 @@ func (m *LSTGAT) TrainBatch(batch []*ngsim.Sample) float64 {
 	if len(batch) == 0 {
 		return 0
 	}
+	total := m.GradBatch(batch)
+	m.ApplyGrads()
+	return total / float64(len(batch))
+}
+
+// GradBatch implements DataParallel: it zeroes the gradients and
+// accumulates fresh ones over the batch without applying them, returning
+// the summed (not averaged) sample loss so chunk losses reduce exactly.
+func (m *LSTGAT) GradBatch(batch []*ngsim.Sample) float64 {
 	nn.ZeroGrads(m)
 	total := 0.0
 	for _, s := range batch {
@@ -172,7 +197,12 @@ func (m *LSTGAT) TrainBatch(batch []*ngsim.Sample) float64 {
 			}
 		}
 	}
+	return total
+}
+
+// ApplyGrads implements DataParallel: gradient clipping plus one Adam
+// step over whatever gradients are currently accumulated.
+func (m *LSTGAT) ApplyGrads() {
 	nn.ClipGradNorm(m, 5)
 	m.opt.Step(m)
-	return total / float64(len(batch))
 }

@@ -1,11 +1,14 @@
 package predict
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"time"
 
 	"head/internal/ngsim"
+	"head/internal/nn"
+	"head/internal/parallel"
 )
 
 // TrainConfig controls predictor training.
@@ -15,6 +18,12 @@ type TrainConfig struct {
 	// ConvergeTol stops training early when the relative epoch-loss
 	// improvement drops below this tolerance (0 disables early stopping).
 	ConvergeTol float64
+	// Workers bounds the data-parallel fan-out for models implementing
+	// DataParallel (0 means all cores). The trained weights are
+	// bit-identical for every worker count, including 1: gradients are
+	// always computed per GradChunk-sample chunk and reduced in chunk
+	// order, so the worker count changes wall-clock time only.
+	Workers int
 }
 
 // DefaultTrainConfig mirrors the paper's 15 epochs with batch size 64.
@@ -30,8 +39,39 @@ type TrainResult struct {
 	TCT time.Duration
 }
 
-// Train optimizes the model on ds, shuffling each epoch with rng.
+// DataParallel is implemented by models whose mini-batch step splits into
+// gradient accumulation and optimizer application, which is what lets
+// Train spread a batch over worker replicas and reduce the gradient sums
+// before each optimizer step.
+type DataParallel interface {
+	Model
+	nn.Module
+	// Replica returns an independent model with identical architecture
+	// and parameter values, safe to drive from another goroutine.
+	Replica() DataParallel
+	// GradBatch zeroes the gradients, accumulates fresh ones over the
+	// batch without applying them, and returns the summed sample loss.
+	GradBatch(batch []*ngsim.Sample) float64
+	// ApplyGrads clips and applies the accumulated gradients (one
+	// optimizer step).
+	ApplyGrads()
+}
+
+// GradChunk is the fixed data-parallel grain: every batch is cut into
+// GradChunk-sample chunks whose gradients are computed independently (each
+// from zeroed buffers) and added into the master model in chunk order. The
+// chunk structure is a property of the batch, not of the worker count, so
+// the floating-point reduction tree — and therefore the trained weights —
+// are identical whether one worker or sixteen execute the chunks.
+const GradChunk = 8
+
+// Train optimizes the model on ds, shuffling each epoch with rng. Models
+// implementing DataParallel train data-parallel under cfg.Workers; other
+// models fall back to their serial TrainBatch.
 func Train(model Model, ds *ngsim.Dataset, cfg TrainConfig, rng *rand.Rand) TrainResult {
+	if dp, ok := model.(DataParallel); ok {
+		return trainParallel(dp, ds, cfg, rng)
+	}
 	start := time.Now()
 	var res TrainResult
 	prev := math.Inf(1)
@@ -45,6 +85,80 @@ func Train(model Model, ds *ngsim.Dataset, cfg TrainConfig, rng *rand.Rand) Trai
 			}
 			total += model.TrainBatch(ds.Samples[off:end])
 			batches++
+		}
+		if batches == 0 {
+			break
+		}
+		loss := total / float64(batches)
+		res.EpochLosses = append(res.EpochLosses, loss)
+		if cfg.ConvergeTol > 0 && prev-loss < cfg.ConvergeTol*math.Abs(prev) {
+			break
+		}
+		prev = loss
+	}
+	res.TCT = time.Since(start)
+	return res
+}
+
+// trainParallel is the data-parallel trainer: each batch's chunks are
+// fanned out to worker-owned replicas, the chunk gradients are reduced
+// into the master model in chunk order, and one optimizer step is applied
+// on the master before the replicas resynchronize.
+func trainParallel(model DataParallel, ds *ngsim.Dataset, cfg TrainConfig, rng *rand.Rand) TrainResult {
+	start := time.Now()
+	workers := parallel.Workers(cfg.Workers)
+	if max := (cfg.BatchSize + GradChunk - 1) / GradChunk; workers > max && max > 0 {
+		workers = max
+	}
+	// The replica pool: workers own a replica for the duration of one
+	// chunk; which replica computes which chunk does not matter because
+	// replicas are kept bit-identical to the master.
+	pool := make(chan DataParallel, workers)
+	for i := 0; i < workers; i++ {
+		pool <- model.Replica()
+	}
+	type chunkGrad struct {
+		loss  float64
+		grads [][]float64
+	}
+	var res TrainResult
+	prev := math.Inf(1)
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		ds.Shuffle(rng)
+		total, batches := 0.0, 0
+		for off := 0; off < ds.Len(); off += cfg.BatchSize {
+			end := off + cfg.BatchSize
+			if end > ds.Len() {
+				end = ds.Len()
+			}
+			batch := ds.Samples[off:end]
+			chunks := (len(batch) + GradChunk - 1) / GradChunk
+			parts, _ := parallel.Map(context.Background(), chunks, workers, func(c int) (chunkGrad, error) {
+				lo := c * GradChunk
+				hi := lo + GradChunk
+				if hi > len(batch) {
+					hi = len(batch)
+				}
+				r := <-pool
+				defer func() { pool <- r }()
+				loss := r.GradBatch(batch[lo:hi])
+				return chunkGrad{loss: loss, grads: nn.Gradients(r)}, nil
+			})
+			nn.ZeroGrads(model)
+			batchLoss := 0.0
+			for _, p := range parts {
+				batchLoss += p.loss
+				nn.AddGradients(model, p.grads)
+			}
+			model.ApplyGrads()
+			total += batchLoss / float64(len(batch))
+			batches++
+			// Resynchronize the replicas with the stepped master.
+			for i := 0; i < workers; i++ {
+				r := <-pool
+				nn.CopyParams(r, model)
+				pool <- r
+			}
 		}
 		if batches == 0 {
 			break

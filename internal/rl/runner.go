@@ -1,8 +1,11 @@
 package rl
 
 import (
+	"context"
 	"math"
 	"time"
+
+	"head/internal/parallel"
 )
 
 // EpisodeResult summarizes one episode.
@@ -80,6 +83,53 @@ func EvaluateAgent(agent Agent, env Env, episodes, maxSteps int) RewardStats {
 				break
 			}
 		}
+	}
+	if stats.Steps > 0 {
+		stats.Avg = total / float64(stats.Steps)
+	} else {
+		stats.Min, stats.Max = 0, 0
+	}
+	return stats
+}
+
+// EvaluateAgentParallel runs greedy test episodes concurrently on at most
+// workers goroutines (0 means all cores). setup(ep) must return an agent
+// replica and environment owned by that episode alone — the networks
+// cache forward activations, so a trained agent must be copied (same
+// constructor plus nn.CopyParams) rather than shared — with the
+// environment RNG derived from the episode index. Per-episode statistics
+// are reduced in episode order, so the result is bit-identical for every
+// worker count.
+func EvaluateAgentParallel(episodes, maxSteps, workers int, setup func(episode int) (Agent, Env)) RewardStats {
+	type partial struct {
+		min, max, total float64
+		steps           int
+	}
+	parts, _ := parallel.Map(context.Background(), episodes, workers, func(ep int) (partial, error) {
+		agent, env := setup(ep)
+		p := partial{min: math.Inf(1), max: math.Inf(-1)}
+		state := env.Reset()
+		for step := 0; step < maxSteps; step++ {
+			act := agent.Act(state, false)
+			next, r, done := env.Step(act.B, act.A)
+			p.min = math.Min(p.min, r)
+			p.max = math.Max(p.max, r)
+			p.total += r
+			p.steps++
+			state = next
+			if done {
+				break
+			}
+		}
+		return p, nil
+	})
+	stats := RewardStats{Min: math.Inf(1), Max: math.Inf(-1)}
+	total := 0.0
+	for _, p := range parts {
+		stats.Min = math.Min(stats.Min, p.min)
+		stats.Max = math.Max(stats.Max, p.max)
+		total += p.total
+		stats.Steps += p.steps
 	}
 	if stats.Steps > 0 {
 		stats.Avg = total / float64(stats.Steps)
