@@ -3,10 +3,17 @@
 // later runs (or other tools) can reload the trained weights instead of
 // retraining.
 //
+// Training mode also writes a run manifest (manifest.json: seed, scale,
+// workers, config hash, wall-clock bounds, final metrics) and a metrics
+// time series (metrics.jsonl, one registry snapshot per epoch/episode)
+// next to the checkpoints, and can serve live Prometheus metrics and
+// pprof profiles while it runs (-debug-addr).
+//
 // Usage:
 //
-//	headtrain -out dir [-scale quick|record|paper] [-seed N] [-workers N]   # train + save
-//	headtrain -load dir [-episodes N] [-workers N]                          # load + evaluate
+//	headtrain -out dir [-scale quick|record|paper] [-train N] [-seed N] [-workers N]  # train + save
+//	headtrain -load dir [-episodes N] [-workers N]                                    # load + evaluate
+//	headtrain ... [-debug-addr :8080] [-progress]                                     # observe either mode
 package main
 
 import (
@@ -16,11 +23,14 @@ import (
 	"math/rand"
 	"os"
 	"path/filepath"
+	"runtime"
+	"time"
 
 	"head/internal/eval"
 	"head/internal/experiments"
 	"head/internal/head"
 	"head/internal/nn"
+	"head/internal/obs"
 	"head/internal/parallel"
 	"head/internal/predict"
 	"head/internal/rl"
@@ -33,9 +43,12 @@ func main() {
 		out       = flag.String("out", "", "directory to save checkpoints into (training mode)")
 		load      = flag.String("load", "", "directory to load checkpoints from (evaluation mode)")
 		scaleName = flag.String("scale", "quick", "experiment scale: quick, record or paper")
+		train     = flag.Int("train", 0, "override the number of training episodes")
 		episodes  = flag.Int("episodes", 0, "override the number of test episodes")
 		seed      = flag.Int64("seed", 0, "override the random seed")
 		workers   = flag.Int("workers", 0, "max parallel workers (0 = all cores; results are identical for any value)")
+		debugAddr = flag.String("debug-addr", "", "serve /metrics, /debug/pprof/* and /debug/vars on this address (e.g. :8080; empty disables)")
+		progress  = flag.Bool("progress", false, "print a live heartbeat line per episode/epoch to stderr")
 	)
 	flag.Parse()
 
@@ -53,14 +66,25 @@ func main() {
 	if *seed != 0 {
 		s.Seed = *seed
 	}
+	if *train > 0 {
+		s.TrainEpisodes = *train
+	}
 	if *episodes > 0 {
 		s.TestEpisodes = *episodes
 	}
 	s.Workers = *workers
+	srv, err := s.ObserveDefault(*progress, *debugAddr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if srv != nil {
+		defer srv.Close()
+		log.Printf("debug server on http://%s (/metrics, /debug/pprof/, /debug/vars)", srv.Addr())
+	}
 
 	switch {
 	case *out != "":
-		if err := train(s, *out); err != nil {
+		if err := trainRun(s, *out, *scaleName); err != nil {
 			log.Fatal(err)
 		}
 	case *load != "":
@@ -92,13 +116,23 @@ func envConfig(s experiments.Scale) head.EnvConfig {
 	return cfg
 }
 
-func train(s experiments.Scale, dir string) error {
+func trainRun(s experiments.Scale, dir, scaleName string) error {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return err
 	}
+	start := time.Now()
+	mf, err := os.Create(filepath.Join(dir, "metrics.jsonl"))
+	if err != nil {
+		return err
+	}
+	defer mf.Close()
+	snap := obs.NewSnapshotWriter(mf)
+
 	rng := rand.New(rand.NewSource(s.Seed))
 	fmt.Println("training LST-GAT perception model...")
-	predictor, err := experiments.TrainedPredictor(s, rng)
+	predictor, err := experiments.TrainedPredictorObserved(s, rng, func(epoch int, loss float64) {
+		snap.Snap(s.Metrics, map[string]any{"phase": "predict", "epoch": epoch, "loss": loss})
+	})
 	if err != nil {
 		return err
 	}
@@ -110,9 +144,35 @@ func train(s experiments.Scale, dir string) error {
 	_, rc := modelConfigs(s)
 	env := head.NewEnv(envConfig(s), predictor, rng)
 	agent := rl.NewBPDQN(rc, env.Spec(), env.AMax(), s.RLHidden, rng)
-	res := rl.Train(agent, env, s.TrainEpisodes, s.MaxSteps)
+	res := rl.TrainObserved(agent, env, s.TrainEpisodes, s.MaxSteps, rl.Instrumentation{
+		Metrics:  s.Metrics,
+		Progress: s.Progress,
+		OnEpisode: func(st rl.EpisodeStats) {
+			snap.Snap(s.Metrics, map[string]any{"phase": "rl", "episode": st.Episode, "reward": st.Reward})
+		},
+	})
 	fmt.Printf("trained in %v\n", res.TCT.Round(1e9))
 	if err := saveModule(filepath.Join(dir, "bpdqn.ckpt"), agent); err != nil {
+		return err
+	}
+
+	// The manifest hash covers the effective configuration, not the
+	// attached sinks — two runs with the same knobs hash equal whether or
+	// not they were observed.
+	hs := s
+	hs.Metrics, hs.Progress = nil, nil
+	man := obs.Manifest{
+		Tool:       "headtrain",
+		Scale:      scaleName,
+		Seed:       s.Seed,
+		Workers:    s.Workers,
+		ConfigHash: obs.Hash(hs),
+		GoVersion:  runtime.Version(),
+		Start:      start,
+		End:        time.Now(),
+		Final:      s.Metrics.Snapshot(),
+	}
+	if err := man.Write(dir); err != nil {
 		return err
 	}
 	fmt.Println("checkpoints written to", dir)
@@ -135,7 +195,7 @@ func evaluate(s experiments.Scale, dir string) error {
 	}
 	// Each test episode gets private replicas of the loaded models; the
 	// metrics are identical for any -workers value.
-	m := eval.RunEpisodesParallel(s.TestEpisodes, s.Workers, func(ep int) (head.Controller, *head.Env) {
+	m := eval.RunEpisodesObserved(s.TestEpisodes, s.Workers, s.Metrics, func(ep int) (head.Controller, *head.Env) {
 		env := head.NewEnv(cfg, predictor.Clone(), parallel.Rand(s.Seed+1000, int64(ep)))
 		a := rl.NewBPDQN(rc, spec, aMax, s.RLHidden, rand.New(rand.NewSource(0)))
 		nn.CopyParams(a, agent)

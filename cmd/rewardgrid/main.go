@@ -6,7 +6,7 @@
 //
 // Usage:
 //
-//	rewardgrid [-scale quick|record|paper] [-train N] [-seed N] [-workers N]
+//	rewardgrid [-scale quick|record|paper] [-train N] [-seed N] [-workers N] [-debug-addr :8080] [-progress]
 package main
 
 import (
@@ -26,6 +26,8 @@ func main() {
 		train     = flag.Int("train", 0, "override the number of training episodes per grid point")
 		seed      = flag.Int64("seed", 0, "override the random seed")
 		workers   = flag.Int("workers", 0, "max parallel workers (0 = all cores; results are identical for any value)")
+		debugAddr = flag.String("debug-addr", "", "serve /metrics, /debug/pprof/* and /debug/vars on this address (e.g. :8080; empty disables)")
+		progress  = flag.Bool("progress", false, "print a live heartbeat line per episode/epoch to stderr")
 	)
 	flag.Parse()
 
@@ -47,6 +49,14 @@ func main() {
 		s.Seed = *seed
 	}
 	s.Workers = *workers
+	srv, err := s.ObserveDefault(*progress, *debugAddr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if srv != nil {
+		defer srv.Close()
+		log.Printf("debug server on http://%s (/metrics, /debug/pprof/, /debug/vars)", srv.Addr())
+	}
 
 	rows, err := experiments.TableVII(s)
 	if err != nil {

@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	rlbench [-scale quick|record|paper] [-train N] [-episodes N] [-seed N] [-workers N]
+//	rlbench [-scale quick|record|paper] [-train N] [-episodes N] [-seed N] [-workers N] [-debug-addr :8080] [-progress]
 package main
 
 import (
@@ -25,6 +25,8 @@ func main() {
 		episodes  = flag.Int("episodes", 0, "override the number of test episodes")
 		seed      = flag.Int64("seed", 0, "override the random seed")
 		workers   = flag.Int("workers", 0, "max parallel workers (0 = all cores; results are identical for any value)")
+		debugAddr = flag.String("debug-addr", "", "serve /metrics, /debug/pprof/* and /debug/vars on this address (e.g. :8080; empty disables)")
+		progress  = flag.Bool("progress", false, "print a live heartbeat line per episode/epoch to stderr")
 	)
 	flag.Parse()
 
@@ -49,6 +51,14 @@ func main() {
 		s.Seed = *seed
 	}
 	s.Workers = *workers
+	srv, err := s.ObserveDefault(*progress, *debugAddr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if srv != nil {
+		defer srv.Close()
+		log.Printf("debug server on http://%s (/metrics, /debug/pprof/, /debug/vars)", srv.Addr())
+	}
 
 	rows, err := experiments.TableVVI(s)
 	if err != nil {

@@ -11,6 +11,7 @@ import (
 	"sort"
 
 	"head/internal/head"
+	"head/internal/obs"
 	"head/internal/parallel"
 	"head/internal/world"
 )
@@ -38,6 +39,37 @@ type Metrics struct {
 // count toward AvgDT-C (the paper uses 100 m).
 const followRadius = 100.0
 
+// Safety-metric histogram bounds: ttcBuckets spans the TTC range the
+// safety reward cares about (seconds), rearDecelBuckets the rear-vehicle
+// velocity drops the impact term penalizes (m/s per step).
+var (
+	ttcBuckets       = []float64{0.5, 1, 1.5, 2, 3, 4, 5, 7, 10, 15}
+	rearDecelBuckets = []float64{0.05, 0.1, 0.2, 0.5, 1, 2, 3, 5}
+)
+
+// episodeObs holds the pre-resolved metric handles one evaluation episode
+// records into; the zero value disables recording. Handles are resolved
+// once per episode so the per-step path is two atomic adds, and every
+// metric is write-only — the returned Metrics never depend on it.
+type episodeObs struct {
+	ttc, rearDecel                        *obs.Histogram
+	episodes, steps, collisions, finished *obs.Counter
+}
+
+func newEpisodeObs(reg *obs.Registry) episodeObs {
+	if reg == nil {
+		return episodeObs{}
+	}
+	return episodeObs{
+		ttc:        reg.Histogram("eval.ttc_seconds", ttcBuckets...),
+		rearDecel:  reg.Histogram("eval.rear_decel", rearDecelBuckets...),
+		episodes:   reg.Counter("eval.episodes"),
+		steps:      reg.Counter("eval.steps"),
+		collisions: reg.Counter("eval.collisions"),
+		finished:   reg.Counter("eval.finished"),
+	}
+}
+
 // episodeTotals is one episode's partial aggregate. Episodes accumulate
 // independently and are reduced in episode order, so the final Metrics do
 // not depend on which worker ran which episode.
@@ -51,7 +83,7 @@ type episodeTotals struct {
 }
 
 // runEpisode rolls one evaluation episode and returns its partial sums.
-func runEpisode(ctrl head.Controller, env *head.Env) episodeTotals {
+func runEpisode(ctrl head.Controller, env *head.Env, eo episodeObs) episodeTotals {
 	w := env.Cfg.Traffic.World
 	t := episodeTotals{minTTC: math.Inf(1)}
 	env.Reset()
@@ -68,12 +100,18 @@ func runEpisode(ctrl head.Controller, env *head.Env) episodeTotals {
 		t.nJ++
 		if out.TTCValid {
 			t.minTTC = math.Min(t.minTTC, out.TTC)
+			if eo.ttc != nil {
+				eo.ttc.Observe(out.TTC)
+			}
 		}
 		if out.RearExists {
 			t.sumD += out.RearDecel
 			t.nD++
 			if out.RearDecel > env.Cfg.Reward.VThr {
 				t.ca++
+			}
+			if eo.rearDecel != nil {
+				eo.rearDecel.Observe(out.RearDecel)
 			}
 		}
 		for _, v := range env.Sim().Vehicles {
@@ -96,6 +134,12 @@ func runEpisode(ctrl head.Controller, env *head.Env) episodeTotals {
 			t.sumDTA += float64(env.Steps()) * w.Dt
 			t.nDTA++
 		}
+	}
+	if eo.episodes != nil {
+		eo.episodes.Inc()
+		eo.steps.Add(int64(t.nV))
+		eo.collisions.Add(int64(t.collisions))
+		eo.finished.Add(int64(t.finished))
 	}
 	t.hasTTC = !math.IsInf(t.minTTC, 1)
 	// Sum follower driving times in vehicle-ID order: map iteration order
@@ -184,7 +228,7 @@ func reduce(method string, w world.Config, parts []episodeTotals) Metrics {
 func RunEpisodes(ctrl head.Controller, env *head.Env, episodes int) Metrics {
 	parts := make([]episodeTotals, 0, episodes)
 	for ep := 0; ep < episodes; ep++ {
-		parts = append(parts, runEpisode(ctrl, env))
+		parts = append(parts, runEpisode(ctrl, env, episodeObs{}))
 	}
 	return reduce(ctrl.Name(), env.Cfg.Traffic.World, parts)
 }
@@ -197,9 +241,19 @@ func RunEpisodes(ctrl head.Controller, env *head.Env, episodes int) Metrics {
 // parallel.Rand). Per-episode results are reduced in episode order, so the
 // returned Metrics are bit-identical for every worker count.
 func RunEpisodesParallel(episodes, workers int, setup func(episode int) (head.Controller, *head.Env)) Metrics {
+	return RunEpisodesObserved(episodes, workers, nil, setup)
+}
+
+// RunEpisodesObserved is RunEpisodesParallel with live observability:
+// per-step TTC and rear-deceleration histograms plus episode counters
+// stream into reg while the evaluation runs (nil disables). The metrics
+// are write-only and atomic, so the returned Metrics stay bit-identical
+// for every worker count with or without a registry.
+func RunEpisodesObserved(episodes, workers int, reg *obs.Registry, setup func(episode int) (head.Controller, *head.Env)) Metrics {
 	if episodes <= 0 {
 		return Metrics{}
 	}
+	eo := newEpisodeObs(reg)
 	type epResult struct {
 		totals episodeTotals
 		name   string
@@ -208,7 +262,7 @@ func RunEpisodesParallel(episodes, workers int, setup func(episode int) (head.Co
 	parts, _ := parallel.Map(context.Background(), episodes, workers, func(ep int) (epResult, error) {
 		ctrl, env := setup(ep)
 		return epResult{
-			totals: runEpisode(ctrl, env),
+			totals: runEpisode(ctrl, env, eo),
 			name:   ctrl.Name(),
 			world:  env.Cfg.Traffic.World,
 		}, nil

@@ -19,12 +19,14 @@ import (
 	"fmt"
 	"io"
 	"math/rand"
+	"os"
 	"time"
 
 	"head/internal/eval"
 	"head/internal/head"
 	"head/internal/ngsim"
 	"head/internal/nn"
+	"head/internal/obs"
 	"head/internal/parallel"
 	"head/internal/policy"
 	"head/internal/predict"
@@ -65,6 +67,36 @@ type Scale struct {
 	// in unit order, so the table metrics do not depend on this knob —
 	// only wall-clock time does.
 	Workers int
+
+	// Metrics and Progress attach run observability to every training and
+	// evaluation loop the suite executes; both are optional (nil disables)
+	// and strictly out of band — table output is bit-identical with or
+	// without them, which TestParallelDeterminism continues to gate.
+	Metrics  *obs.Registry
+	Progress *obs.Progress
+}
+
+// instr bundles the scale's observability sinks for rl training loops.
+func (s Scale) instr() rl.Instrumentation {
+	return rl.Instrumentation{Metrics: s.Metrics, Progress: s.Progress}
+}
+
+// ObserveDefault is the CLI wiring shared by the cmd/ executables: it
+// attaches the process-wide obs.Default registry to the scale and to the
+// parallel pool, adds a stderr heartbeat when progress is set, and — when
+// addr is non-empty — starts the debug HTTP server (/metrics,
+// /debug/pprof/*, /debug/vars) on it. The returned server is nil when addr
+// is empty; the caller owns Close.
+func (s *Scale) ObserveDefault(progress bool, addr string) (*obs.Server, error) {
+	s.Metrics = obs.Default
+	if progress {
+		s.Progress = obs.NewProgress(os.Stderr)
+	}
+	parallel.SetMetrics(obs.Default)
+	if addr == "" {
+		return nil, nil
+	}
+	return obs.Serve(addr, obs.Default)
 }
 
 // Quick returns a laptop-scale preset (seconds to minutes per table).
@@ -197,6 +229,13 @@ func (s Scale) dataset(rng *rand.Rand) (*ngsim.Dataset, error) {
 // TrainedPredictor trains an LST-GAT predictor for use inside HEAD
 // environments.
 func TrainedPredictor(s Scale, rng *rand.Rand) (*predict.LSTGAT, error) {
+	return TrainedPredictorObserved(s, rng, nil)
+}
+
+// TrainedPredictorObserved is TrainedPredictor with a per-epoch callback
+// (nil disables) on top of the scale's Metrics/Progress sinks. The sink is
+// observation-only; the trained weights are identical with or without it.
+func TrainedPredictorObserved(s Scale, rng *rand.Rand, epochSink func(epoch int, loss float64)) (*predict.LSTGAT, error) {
 	ds, err := s.dataset(rng)
 	if err != nil {
 		return nil, err
@@ -209,6 +248,7 @@ func TrainedPredictor(s Scale, rng *rand.Rand) (*predict.LSTGAT, error) {
 	model := predict.NewLSTGAT(cfg, rng)
 	predict.Train(model, train, predict.TrainConfig{
 		Epochs: s.PredEpochs, BatchSize: s.PredBatch, Workers: s.Workers,
+		Metrics: s.Metrics, Progress: s.Progress, EpochSink: epochSink,
 	}, rng)
 	return model, nil
 }
@@ -224,7 +264,7 @@ func (s Scale) trainHEADAgent(v head.Variant, predictor *predict.LSTGAT, unit in
 	}
 	env := head.NewEnv(cfg, p, s.unitRand(unit, streamTrainEnv))
 	agent := head.NewVariantAgent(v, s.rlConfig(), env.Spec(), env.AMax(), s.RLHidden, s.unitRand(unit, streamAgent))
-	rl.Train(agent, env, s.TrainEpisodes, s.MaxSteps)
+	rl.TrainObserved(agent, env, s.TrainEpisodes, s.MaxSteps, s.instr())
 	return agent, cfg
 }
 
@@ -234,7 +274,7 @@ func (s Scale) trainHEADAgent(v head.Variant, predictor *predict.LSTGAT, unit in
 // trained models must be cloned per call, never shared across episodes.
 func (s Scale) evalController(cfg head.EnvConfig, predictor *predict.LSTGAT, mkCtrl func(episode int) head.Controller) eval.Metrics {
 	evalSeed := s.evalSeed()
-	return eval.RunEpisodesParallel(s.TestEpisodes, s.Workers, func(ep int) (head.Controller, *head.Env) {
+	return eval.RunEpisodesObserved(s.TestEpisodes, s.Workers, s.Metrics, func(ep int) (head.Controller, *head.Env) {
 		var p predict.Model
 		if predictor != nil {
 			p = predictor.Clone()
@@ -278,7 +318,7 @@ func TableI(s Scale) ([]eval.Metrics, error) {
 		func(unit int64) eval.Metrics {
 			trainEnv := head.NewEnv(base, predictor.Clone(), s.unitRand(unit, streamTrainEnv))
 			agent := policy.NewDRLSC(rlCfg, spec, world.AMax, s.RLHidden, s.unitRand(unit, streamAgent))
-			rl.Train(agent, trainEnv, s.TrainEpisodes, s.MaxSteps)
+			rl.TrainObserved(agent, trainEnv, s.TrainEpisodes, s.MaxSteps, s.instr())
 			return s.evalController(base, predictor, func(int) head.Controller {
 				c := policy.NewDRLSC(rlCfg, spec, world.AMax, s.RLHidden, rand.New(rand.NewSource(0)))
 				nn.CopyParams(c, agent)
@@ -434,7 +474,7 @@ func TableVVI(s Scale) ([]RLRow, error) {
 		unit := int64(u)
 		agent := b.mk(s.unitSeed(unit, streamAgent))
 		trainEnv := head.NewEnv(base, predictor.Clone(), s.unitRand(unit, streamTrainEnv))
-		res := rl.Train(agent, trainEnv, s.TrainEpisodes, s.MaxSteps)
+		res := rl.TrainObserved(agent, trainEnv, s.TrainEpisodes, s.MaxSteps, s.instr())
 		stats := rl.EvaluateAgentParallel(s.TestEpisodes, s.MaxSteps, s.Workers, func(ep int) (rl.Agent, rl.Env) {
 			replica := b.mk(0)
 			nn.CopyParams(replica.(nn.Module), agent.(nn.Module))
@@ -487,7 +527,7 @@ func TableVII(s Scale) ([]eval.AxisResult, error) {
 		cfg.Reward.Weights = w
 		env := head.NewEnv(cfg, predictor.Clone(), s.unitRand(0, streamTrainEnv))
 		agent := rl.NewBPDQN(s.rlConfig(), env.Spec(), env.AMax(), s.RLHidden, s.unitRand(0, streamAgent))
-		rl.Train(agent, env, s.TrainEpisodes, s.MaxSteps)
+		rl.TrainObserved(agent, env, s.TrainEpisodes, s.MaxSteps, s.instr())
 		testEnv := head.NewEnv(cfg, predictor.Clone(), rand.New(rand.NewSource(s.evalSeed())))
 		// Score under the default weights so coefficient vectors are
 		// comparable (the trained behavior differs, the yardstick not).

@@ -75,6 +75,7 @@ type Env struct {
 	prevAccel float64
 	steps     int
 	done      bool
+	collided  bool
 }
 
 // NewEnv builds an environment. The predictor may be nil, in which case
@@ -113,6 +114,10 @@ func (e *Env) Prediction() predict.Prediction { return e.pred }
 // Done reports whether the current episode has terminated.
 func (e *Env) Done() bool { return e.done }
 
+// Collided implements rl.CollisionReporter: whether the current episode
+// has (so far) ended in a collision. It resets with the episode.
+func (e *Env) Collided() bool { return e.collided }
+
 // Steps returns the number of decision steps taken this episode.
 func (e *Env) Steps() int { return e.steps }
 
@@ -130,6 +135,7 @@ func (e *Env) Reset() []float64 {
 	e.prevAccel = 0
 	e.steps = 0
 	e.done = false
+	e.collided = false
 	// Warm up the sensor history: the AV holds its lane with a mild IDM
 	// controller while the first z frames accumulate.
 	params := traffic.DriverParams{
@@ -273,6 +279,9 @@ func (e *Env) StepManeuver(m world.Maneuver) StepOutcome {
 	var out StepOutcome
 	out.Collision = res.AVCollision
 	out.Finished = res.AVFinished
+	if out.Collision {
+		e.collided = true
+	}
 	out.Jerk = math.Abs(m.A - e.prevAccel)
 
 	// Post-step reward inputs.

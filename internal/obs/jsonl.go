@@ -1,0 +1,43 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+)
+
+// SnapshotWriter appends registry snapshots to a stream as JSON Lines —
+// the time-series sink written alongside checkpoints. Each line is
+//
+//	{"tags":{...},"metrics":{"rl.episodes":3,"rl.epsilon":0.7,...}}
+//
+// where tags are caller-supplied coordinates (phase, episode, epoch, ...)
+// and metrics is Registry.Snapshot (histograms flattened to .count/.sum).
+// Object keys are emitted in sorted order, so consecutive lines diff
+// cleanly. The writer is safe for concurrent Snap calls.
+type SnapshotWriter struct {
+	mu  sync.Mutex
+	enc *json.Encoder
+}
+
+// NewSnapshotWriter wraps w; the caller retains ownership of w (and
+// closes it).
+func NewSnapshotWriter(w io.Writer) *SnapshotWriter {
+	return &SnapshotWriter{enc: json.NewEncoder(w)}
+}
+
+type snapshotLine struct {
+	Tags    map[string]any     `json:"tags,omitempty"`
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+// Snap writes one snapshot line. A nil writer or nil registry is a no-op,
+// so instrumentation call sites need no guards.
+func (s *SnapshotWriter) Snap(reg *Registry, tags map[string]any) error {
+	if s == nil || reg == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.enc.Encode(snapshotLine{Tags: tags, Metrics: reg.Snapshot()})
+}

@@ -1,0 +1,255 @@
+// Package obs is the repository's runtime observability layer: typed
+// counters, gauges, and fixed-bucket histograms in a named registry, plus
+// scoped timers, with three export sinks — Prometheus text exposition
+// (WritePrometheus / Serve), JSON Lines time-series snapshots
+// (SnapshotWriter), and a human heartbeat line (Progress).
+//
+// The layer is strictly out of band: instrumented code records wall-clock
+// time and occupancy counts but never feeds them back into any
+// computation, so table output and trained weights are bit-identical with
+// or without a registry attached. Every metric is lock-free on the write
+// path (atomics only) and safe for concurrent writers, which is what lets
+// the parallel worker pools report without serializing.
+package obs
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing integer metric.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n (n must be non-negative; negative deltas are ignored so a
+// counter can never decrease).
+func (c *Counter) Add(n int64) {
+	if n > 0 {
+		c.v.Add(n)
+	}
+}
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is a float metric that can go up and down.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Add shifts the gauge by delta (atomic compare-and-swap loop).
+func (g *Gauge) Add(delta float64) {
+	for {
+		old := g.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + delta)
+		if g.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Value returns the current gauge value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// Histogram counts observations into fixed buckets. A bucket's bound is
+// its inclusive upper edge (Prometheus "le" semantics); one implicit
+// overflow bucket catches everything above the last bound. Bounds are
+// fixed at creation — observation is allocation-free and lock-free.
+type Histogram struct {
+	bounds []float64
+	counts []atomic.Int64 // len(bounds)+1; last is the +Inf overflow
+	sum    Gauge
+}
+
+// DurationBuckets are the default bounds Timer histograms use, spanning
+// microsecond kernels to tens-of-seconds training phases.
+var DurationBuckets = []float64{1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 0.1, 1, 10}
+
+func newHistogram(bounds []float64) *Histogram {
+	bs := append([]float64(nil), bounds...)
+	sort.Float64s(bs)
+	return &Histogram{bounds: bs, counts: make([]atomic.Int64, len(bs)+1)}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	// First bound >= v, i.e. the lowest bucket whose inclusive upper edge
+	// admits v; len(bounds) is the overflow bucket.
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i].Add(1)
+	h.sum.Add(v)
+}
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() int64 {
+	var n int64
+	for i := range h.counts {
+		n += h.counts[i].Load()
+	}
+	return n
+}
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 { return h.sum.Value() }
+
+// Bounds returns the bucket upper bounds (without the implicit +Inf).
+func (h *Histogram) Bounds() []float64 { return append([]float64(nil), h.bounds...) }
+
+// BucketCounts returns the per-bucket counts; the last entry is the
+// overflow bucket.
+func (h *Histogram) BucketCounts() []int64 {
+	out := make([]int64, len(h.counts))
+	for i := range h.counts {
+		out[i] = h.counts[i].Load()
+	}
+	return out
+}
+
+// Registry is a named collection of metrics. Lookups get-or-create, so
+// instrumented code needs no registration phase; a name is permanently
+// bound to the kind of its first use (reusing it as another kind panics —
+// that is a programming error, not a runtime condition).
+type Registry struct {
+	mu       sync.RWMutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: map[string]*Counter{},
+		gauges:   map[string]*Gauge{},
+		hists:    map[string]*Histogram{},
+	}
+}
+
+// Default is the process-wide registry the cmd/ executables export.
+var Default = NewRegistry()
+
+func (r *Registry) checkKind(name, want string) {
+	if _, ok := r.counters[name]; ok && want != "counter" {
+		panic(fmt.Sprintf("obs: metric %q already registered as counter, requested as %s", name, want))
+	}
+	if _, ok := r.gauges[name]; ok && want != "gauge" {
+		panic(fmt.Sprintf("obs: metric %q already registered as gauge, requested as %s", name, want))
+	}
+	if _, ok := r.hists[name]; ok && want != "histogram" {
+		panic(fmt.Sprintf("obs: metric %q already registered as histogram, requested as %s", name, want))
+	}
+}
+
+// Counter returns the counter with the given name, creating it on first
+// use.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.RLock()
+	c, ok := r.counters[name]
+	r.mu.RUnlock()
+	if ok {
+		return c
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c, ok := r.counters[name]; ok {
+		return c
+	}
+	r.checkKind(name, "counter")
+	c = &Counter{}
+	r.counters[name] = c
+	return c
+}
+
+// Gauge returns the gauge with the given name, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.RLock()
+	g, ok := r.gauges[name]
+	r.mu.RUnlock()
+	if ok {
+		return g
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if g, ok := r.gauges[name]; ok {
+		return g
+	}
+	r.checkKind(name, "gauge")
+	g = &Gauge{}
+	r.gauges[name] = g
+	return g
+}
+
+// Histogram returns the histogram with the given name, creating it with
+// the given bucket bounds on first use (DurationBuckets when none are
+// given). Later calls return the existing histogram regardless of bounds.
+func (r *Registry) Histogram(name string, bounds ...float64) *Histogram {
+	r.mu.RLock()
+	h, ok := r.hists[name]
+	r.mu.RUnlock()
+	if ok {
+		return h
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h, ok := r.hists[name]; ok {
+		return h
+	}
+	r.checkKind(name, "histogram")
+	if len(bounds) == 0 {
+		bounds = DurationBuckets
+	}
+	h = newHistogram(bounds)
+	r.hists[name] = h
+	return h
+}
+
+// Timer starts a scoped timer recording into the histogram of the given
+// name (DurationBuckets, seconds). Use it as
+//
+//	defer reg.Timer("lstgat.forward")()
+//
+// or hold the returned stop function across the timed region.
+func (r *Registry) Timer(name string) func() {
+	h := r.Histogram(name)
+	start := time.Now()
+	return func() { h.Observe(time.Since(start).Seconds()) }
+}
+
+// Timer is Registry.Timer on the Default registry.
+func Timer(name string) func() { return Default.Timer(name) }
+
+// Snapshot flattens the registry into a name → value map: counters and
+// gauges map to their value, a histogram h maps to h.count and h.sum
+// entries (enough to track rates and means as a time series; full bucket
+// vectors are exported by WritePrometheus). Keys are stable, so encoded
+// snapshots diff cleanly line-to-line.
+func (r *Registry) Snapshot() map[string]float64 {
+	out := map[string]float64{}
+	if r == nil {
+		return out
+	}
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	for name, c := range r.counters {
+		out[name] = float64(c.Value())
+	}
+	for name, g := range r.gauges {
+		out[name] = g.Value()
+	}
+	for name, h := range r.hists {
+		out[name+".count"] = float64(h.Count())
+		out[name+".sum"] = h.Sum()
+	}
+	return out
+}

@@ -1,0 +1,156 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounter(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("x")
+	c.Inc()
+	c.Add(4)
+	c.Add(-3) // negative deltas are ignored: counters are monotone
+	if got := c.Value(); got != 5 {
+		t.Errorf("counter = %d, want 5", got)
+	}
+	if r.Counter("x") != c {
+		t.Error("second lookup returned a different counter")
+	}
+}
+
+func TestGauge(t *testing.T) {
+	r := NewRegistry()
+	g := r.Gauge("v")
+	g.Set(1.5)
+	g.Add(-0.5)
+	if got := g.Value(); got != 1.0 {
+		t.Errorf("gauge = %g, want 1", got)
+	}
+}
+
+// TestHistogramBucketBoundaries pins the "le" semantics: a value exactly
+// on a bucket's upper bound lands in that bucket, values above the last
+// bound land in the overflow bucket.
+func TestHistogramBucketBoundaries(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("h", 1, 2, 5)
+	for _, v := range []float64{0.5, 1, 1.0000001, 2, 5, 6, -3} {
+		h.Observe(v)
+	}
+	want := []int64{
+		3, // le=1: 0.5, 1, -3 (below the first bound counts too)
+		2, // le=2: 1.0000001, 2
+		1, // le=5: 5
+		1, // +Inf overflow: 6
+	}
+	got := h.BucketCounts()
+	if len(got) != len(want) {
+		t.Fatalf("bucket count vector has %d entries, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("bucket %d = %d, want %d (full: %v)", i, got[i], want[i], got)
+		}
+	}
+	if h.Count() != 7 {
+		t.Errorf("Count = %d, want 7", h.Count())
+	}
+	if diff := h.Sum() - (0.5 + 1 + 1.0000001 + 2 + 5 + 6 - 3); diff > 1e-9 || diff < -1e-9 {
+		t.Errorf("Sum = %g", h.Sum())
+	}
+}
+
+func TestHistogramUnsortedBoundsAreSorted(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("u", 5, 1, 2)
+	b := h.Bounds()
+	if len(b) != 3 || b[0] != 1 || b[1] != 2 || b[2] != 5 {
+		t.Errorf("bounds = %v, want [1 2 5]", b)
+	}
+}
+
+func TestKindMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("m")
+	defer func() {
+		if recover() == nil {
+			t.Error("reusing a counter name as a gauge did not panic")
+		}
+	}()
+	r.Gauge("m")
+}
+
+func TestTimerRecordsSeconds(t *testing.T) {
+	r := NewRegistry()
+	stop := r.Timer("op")
+	time.Sleep(2 * time.Millisecond)
+	stop()
+	h := r.Histogram("op")
+	if h.Count() != 1 {
+		t.Fatalf("timer recorded %d observations, want 1", h.Count())
+	}
+	if s := h.Sum(); s <= 0 || s > 5 {
+		t.Errorf("timer sum = %gs, want a small positive duration", s)
+	}
+}
+
+func TestSnapshotFlattening(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("c").Add(3)
+	r.Gauge("g").Set(2.5)
+	h := r.Histogram("h", 1, 2)
+	h.Observe(0.5)
+	h.Observe(3)
+	snap := r.Snapshot()
+	for k, want := range map[string]float64{"c": 3, "g": 2.5, "h.count": 2, "h.sum": 3.5} {
+		if got := snap[k]; got != want {
+			t.Errorf("snapshot[%q] = %g, want %g", k, got, want)
+		}
+	}
+	var nilReg *Registry
+	if got := nilReg.Snapshot(); len(got) != 0 {
+		t.Errorf("nil registry snapshot = %v, want empty", got)
+	}
+}
+
+// TestConcurrentWriters hammers one registry from many goroutines — the
+// get-or-create path, every metric kind, and the read-side exporters all
+// at once. Run under -race this is the acceptance gate for the lock-free
+// write path.
+func TestConcurrentWriters(t *testing.T) {
+	r := NewRegistry()
+	const goroutines = 16
+	const perG = 500
+	var wg sync.WaitGroup
+	wg.Add(goroutines)
+	for g := 0; g < goroutines; g++ {
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				r.Counter("shared.counter").Inc()
+				r.Gauge("shared.gauge").Add(1)
+				r.Histogram("shared.hist", 1, 10, 100).Observe(float64(i))
+				if i%50 == 0 {
+					r.Snapshot()
+					r.WritePrometheus(discard{})
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("shared.counter").Value(); got != goroutines*perG {
+		t.Errorf("counter = %d, want %d", got, goroutines*perG)
+	}
+	if got := r.Gauge("shared.gauge").Value(); got != goroutines*perG {
+		t.Errorf("gauge = %g, want %d", got, goroutines*perG)
+	}
+	if got := r.Histogram("shared.hist").Count(); got != goroutines*perG {
+		t.Errorf("histogram count = %d, want %d", got, goroutines*perG)
+	}
+}
+
+type discard struct{}
+
+func (discard) Write(p []byte) (int, error) { return len(p), nil }

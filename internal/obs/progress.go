@@ -1,0 +1,58 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// Progress is the human sink: a throttled heartbeat line on a writer
+// (normally stderr, so table output on stdout stays clean). A nil
+// *Progress is valid and silent, which lets instrumented loops call it
+// unconditionally.
+type Progress struct {
+	mu       sync.Mutex
+	w        io.Writer
+	start    time.Time
+	last     time.Time
+	interval time.Duration
+}
+
+// NewProgress returns a progress reporter writing to w with a 1 s
+// heartbeat interval.
+func NewProgress(w io.Writer) *Progress {
+	return &Progress{w: w, start: time.Now(), interval: time.Second}
+}
+
+// SetInterval changes the minimum spacing between heartbeat lines.
+func (p *Progress) SetInterval(d time.Duration) {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	p.interval = d
+	p.mu.Unlock()
+}
+
+// Logf writes one line unconditionally.
+func (p *Progress) Logf(format string, args ...any) { p.emit(true, format, args) }
+
+// Heartbeat writes one line unless the previous line was emitted less
+// than the heartbeat interval ago — the form hot loops call once per
+// episode or epoch without flooding the terminal.
+func (p *Progress) Heartbeat(format string, args ...any) { p.emit(false, format, args) }
+
+func (p *Progress) emit(force bool, format string, args []any) {
+	if p == nil || p.w == nil {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	now := time.Now()
+	if !force && now.Sub(p.last) < p.interval {
+		return
+	}
+	p.last = now
+	fmt.Fprintf(p.w, "[%8.1fs] %s\n", now.Sub(p.start).Seconds(), fmt.Sprintf(format, args...))
+}

@@ -1,0 +1,100 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+)
+
+// promName maps a registry name onto the Prometheus metric-name charset:
+// every byte outside [a-zA-Z0-9_:] becomes '_', and a leading digit is
+// prefixed with '_' (so "rl.episode_reward" exports as
+// "rl_episode_reward").
+func promName(s string) string {
+	b := make([]byte, 0, len(s)+1)
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				b = append(b, '_')
+			}
+		default:
+			c = '_'
+		}
+		b = append(b, c)
+	}
+	return string(b)
+}
+
+func promFloat(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+// WritePrometheus renders the registry in the Prometheus text exposition
+// format (version 0.0.4): one # TYPE comment per metric, histogram
+// cumulative _bucket{le=...} series with the implicit +Inf bucket, _sum,
+// and _count. Metrics are emitted in sorted name order, so successive
+// scrapes of an unchanged registry are byte-identical.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.RLock()
+	counters := make([]string, 0, len(r.counters))
+	for name := range r.counters {
+		counters = append(counters, name)
+	}
+	gauges := make([]string, 0, len(r.gauges))
+	for name := range r.gauges {
+		gauges = append(gauges, name)
+	}
+	hists := make([]string, 0, len(r.hists))
+	for name := range r.hists {
+		hists = append(hists, name)
+	}
+	r.mu.RUnlock()
+	sort.Strings(counters)
+	sort.Strings(gauges)
+	sort.Strings(hists)
+
+	// The header makes /metrics non-empty even before the first metric is
+	// registered, so scrapers and smoke tests can distinguish "up, nothing
+	// recorded yet" from "dead".
+	if _, err := fmt.Fprintf(w, "# head observability registry: %d metrics\n",
+		len(counters)+len(gauges)+len(hists)); err != nil {
+		return err
+	}
+	for _, name := range counters {
+		c := r.Counter(name)
+		pn := promName(name)
+		if _, err := fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", pn, pn, c.Value()); err != nil {
+			return err
+		}
+	}
+	for _, name := range gauges {
+		g := r.Gauge(name)
+		pn := promName(name)
+		if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s %s\n", pn, pn, promFloat(g.Value())); err != nil {
+			return err
+		}
+	}
+	for _, name := range hists {
+		h := r.Histogram(name)
+		pn := promName(name)
+		if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", pn); err != nil {
+			return err
+		}
+		counts := h.BucketCounts()
+		var cum int64
+		for i, bound := range h.bounds {
+			cum += counts[i]
+			if _, err := fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", pn, promFloat(bound), cum); err != nil {
+				return err
+			}
+		}
+		cum += counts[len(counts)-1]
+		if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n%s_sum %s\n%s_count %d\n",
+			pn, cum, pn, promFloat(h.Sum()), pn, cum); err != nil {
+			return err
+		}
+	}
+	return nil
+}

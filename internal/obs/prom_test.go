@@ -1,0 +1,68 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestPromNameSanitization(t *testing.T) {
+	for in, want := range map[string]string{
+		"rl.episode_reward":   "rl_episode_reward",
+		"lstgat.forward":      "lstgat_forward",
+		"2fast":               "_2fast",
+		"ok_name:with_colons": "ok_name:with_colons",
+		"space here":          "space_here",
+	} {
+		if got := promName(in); got != want {
+			t.Errorf("promName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestWritePrometheus(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("rl.episodes").Add(3)
+	r.Gauge("rl.epsilon").Set(0.25)
+	h := r.Histogram("eval.ttc", 1, 2)
+	h.Observe(0.5)
+	h.Observe(1.5)
+	h.Observe(9)
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# TYPE rl_episodes counter\nrl_episodes 3\n",
+		"# TYPE rl_epsilon gauge\nrl_epsilon 0.25\n",
+		"# TYPE eval_ttc histogram\n",
+		"eval_ttc_bucket{le=\"1\"} 1\n",
+		"eval_ttc_bucket{le=\"2\"} 2\n",
+		"eval_ttc_bucket{le=\"+Inf\"} 3\n",
+		"eval_ttc_sum 11\n",
+		"eval_ttc_count 3\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	// Two scrapes of an unchanged registry must be byte-identical.
+	var again bytes.Buffer
+	if err := r.WritePrometheus(&again); err != nil {
+		t.Fatal(err)
+	}
+	if again.String() != out {
+		t.Error("second scrape differs from the first")
+	}
+}
+
+func TestWritePrometheusEmptyRegistryIsNonEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := NewRegistry().WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() == 0 {
+		t.Error("empty registry produced an empty exposition; scrapers need the header line")
+	}
+}

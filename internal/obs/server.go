@@ -1,0 +1,53 @@
+package obs
+
+import (
+	"expvar"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+)
+
+// Server is the opt-in debug endpoint behind the CLIs' -debug-addr flag:
+// live Prometheus exposition on /metrics, the full net/http/pprof suite
+// under /debug/pprof/, and expvar on /debug/vars. It serves on its own
+// mux, so nothing leaks onto http.DefaultServeMux.
+type Server struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+var publishOnce sync.Once
+
+// Serve starts the debug server on addr (":0" picks a free port; query
+// Addr for the bound address) exporting reg. It returns once the listener
+// is up; requests are handled on a background goroutine until Close.
+func Serve(addr string, reg *Registry) (*Server, error) {
+	publishOnce.Do(func() {
+		expvar.Publish("obs_metrics", expvar.Func(func() any { return reg.Snapshot() }))
+	})
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		reg.WritePrometheus(w)
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/debug/vars", expvar.Handler())
+	s := &Server{ln: ln, srv: &http.Server{Handler: mux}}
+	go s.srv.Serve(ln)
+	return s, nil
+}
+
+// Addr returns the bound listen address (useful with ":0").
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the server and releases the listener.
+func (s *Server) Close() error { return s.srv.Close() }

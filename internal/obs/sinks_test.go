@@ -1,0 +1,127 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestSnapshotWriterLines(t *testing.T) {
+	r := NewRegistry()
+	var buf bytes.Buffer
+	sw := NewSnapshotWriter(&buf)
+	r.Counter("ep").Inc()
+	if err := sw.Snap(r, map[string]any{"phase": "rl", "episode": 0}); err != nil {
+		t.Fatal(err)
+	}
+	r.Counter("ep").Inc()
+	if err := sw.Snap(r, nil); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("%d lines, want 2", len(lines))
+	}
+	var first struct {
+		Tags    map[string]any     `json:"tags"`
+		Metrics map[string]float64 `json:"metrics"`
+	}
+	if err := json.Unmarshal([]byte(lines[0]), &first); err != nil {
+		t.Fatalf("line 1 is not JSON: %v", err)
+	}
+	if first.Tags["phase"] != "rl" || first.Metrics["ep"] != 1 {
+		t.Errorf("line 1 = %+v", first)
+	}
+	var second struct {
+		Metrics map[string]float64 `json:"metrics"`
+	}
+	if err := json.Unmarshal([]byte(lines[1]), &second); err != nil {
+		t.Fatalf("line 2 is not JSON: %v", err)
+	}
+	if second.Metrics["ep"] != 2 {
+		t.Errorf("line 2 metrics = %v", second.Metrics)
+	}
+}
+
+func TestSnapshotWriterNilSafety(t *testing.T) {
+	var sw *SnapshotWriter
+	if err := sw.Snap(NewRegistry(), nil); err != nil {
+		t.Errorf("nil writer: %v", err)
+	}
+	if err := NewSnapshotWriter(&bytes.Buffer{}).Snap(nil, nil); err != nil {
+		t.Errorf("nil registry: %v", err)
+	}
+}
+
+func TestProgressHeartbeatThrottles(t *testing.T) {
+	var buf bytes.Buffer
+	p := NewProgress(&buf)
+	p.SetInterval(time.Hour)
+	p.Heartbeat("first %d", 1)
+	p.Heartbeat("suppressed")
+	p.Logf("forced")
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("lines = %q, want heartbeat + forced only", lines)
+	}
+	if !strings.Contains(lines[0], "first 1") || !strings.Contains(lines[1], "forced") {
+		t.Errorf("lines = %q", lines)
+	}
+}
+
+func TestProgressNilSafety(t *testing.T) {
+	var p *Progress
+	p.SetInterval(time.Second) // must not panic
+	p.Logf("into the void")
+	p.Heartbeat("still nothing")
+}
+
+func TestManifestRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	start := time.Date(2026, 8, 5, 10, 0, 0, 0, time.UTC)
+	m := Manifest{
+		Tool:       "headtrain",
+		Scale:      "quick",
+		Seed:       7,
+		Workers:    4,
+		ConfigHash: Hash(map[string]int{"a": 1}),
+		Start:      start,
+		End:        start.Add(90 * time.Second),
+		Final:      map[string]float64{"rl.episodes": 60},
+	}
+	if err := m.Write(dir); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadManifest(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Tool != m.Tool || back.Scale != m.Scale || back.Seed != m.Seed || back.Workers != m.Workers {
+		t.Errorf("round trip: %+v", back)
+	}
+	if back.DurationS != 90 {
+		t.Errorf("DurationS = %g, want 90 (derived from Start/End)", back.DurationS)
+	}
+	if back.Final["rl.episodes"] != 60 {
+		t.Errorf("final metrics lost: %v", back.Final)
+	}
+}
+
+func TestHashStability(t *testing.T) {
+	type cfg struct{ Seed, Workers int }
+	a, b := Hash(cfg{7, 4}), Hash(cfg{7, 4})
+	if a != b {
+		t.Errorf("hash unstable: %q vs %q", a, b)
+	}
+	if c := Hash(cfg{8, 4}); c == a {
+		t.Error("different configs hashed equal")
+	}
+	if len(a) != 16 {
+		t.Errorf("hash length = %d, want 16 hex chars", len(a))
+	}
+	if Hash(make(chan int)) != "unhashable" {
+		t.Error("unmarshalable value did not degrade gracefully")
+	}
+}

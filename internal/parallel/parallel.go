@@ -18,7 +18,57 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
+
+	"head/internal/obs"
 )
+
+// metricsReg holds the optional observability registry every fan-out
+// reports into; nil (the default) disables all instrumentation. An atomic
+// pointer because SetMetrics may race with in-flight fan-outs.
+var metricsReg atomic.Pointer[obs.Registry]
+
+// SetMetrics attaches a registry to the package: subsequent ForEach/Map
+// calls record per-unit runtime, queue wait (time from fan-out start to a
+// unit's claim), and the live busy-worker count. Pass nil to detach.
+// Instrumentation is timing-only and write-only: results, reduction
+// order, and random streams are untouched, so the determinism contract is
+// unaffected.
+func SetMetrics(r *obs.Registry) { metricsReg.Store(r) }
+
+// unitWaitBuckets and unitRunBuckets span microsecond gradient chunks to
+// multi-minute training-run units.
+var (
+	unitWaitBuckets = []float64{1e-5, 1e-4, 1e-3, 1e-2, 0.1, 1, 10, 60, 300}
+	unitRunBuckets  = []float64{1e-4, 1e-3, 1e-2, 0.1, 1, 10, 60, 300, 1800}
+)
+
+// instrument wraps fn with per-unit metric recording; it returns fn
+// unchanged when no registry is attached.
+func instrument(fn func(i int) error, workers int) func(i int) error {
+	reg := metricsReg.Load()
+	if reg == nil {
+		return fn
+	}
+	var (
+		start = time.Now()
+		units = reg.Counter("parallel.units")
+		wait  = reg.Histogram("parallel.queue_wait_seconds", unitWaitBuckets...)
+		run   = reg.Histogram("parallel.unit_seconds", unitRunBuckets...)
+		busy  = reg.Gauge("parallel.busy_workers")
+	)
+	reg.Gauge("parallel.pool_workers").Set(float64(workers))
+	return func(i int) error {
+		wait.Observe(time.Since(start).Seconds())
+		busy.Add(1)
+		t0 := time.Now()
+		err := fn(i)
+		run.Observe(time.Since(t0).Seconds())
+		busy.Add(-1)
+		units.Inc()
+		return err
+	}
+}
 
 // Workers resolves a worker-count knob: values above zero are returned
 // unchanged, anything else means "use every core" (runtime.GOMAXPROCS(0)).
@@ -64,6 +114,7 @@ func ForEach(ctx context.Context, n, workers int, fn func(i int) error) error {
 	if w > n {
 		w = n
 	}
+	fn = instrument(fn, w)
 	if w == 1 {
 		for i := 0; i < n; i++ {
 			if err := ctx.Err(); err != nil {

@@ -5,6 +5,8 @@ import (
 	"errors"
 	"sync/atomic"
 	"testing"
+
+	"head/internal/obs"
 )
 
 func TestSeedStableAndSplit(t *testing.T) {
@@ -114,5 +116,66 @@ func TestWorkersResolution(t *testing.T) {
 	}
 	if Workers(0) < 1 || Workers(-1) < 1 {
 		t.Error("non-positive worker counts must resolve to at least one")
+	}
+}
+
+func TestForEachInstrumentation(t *testing.T) {
+	reg := obs.NewRegistry()
+	SetMetrics(reg)
+	defer SetMetrics(nil)
+	const n = 12
+	err := ForEach(context.Background(), n, 3, func(i int) error { return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := reg.Snapshot()
+	if snap["parallel.units"] != n {
+		t.Errorf("parallel.units = %g, want %d", snap["parallel.units"], n)
+	}
+	if snap["parallel.unit_seconds.count"] != n {
+		t.Errorf("parallel.unit_seconds.count = %g, want %d", snap["parallel.unit_seconds.count"], n)
+	}
+	if snap["parallel.queue_wait_seconds.count"] != n {
+		t.Errorf("parallel.queue_wait_seconds.count = %g, want %d", snap["parallel.queue_wait_seconds.count"], n)
+	}
+	if snap["parallel.pool_workers"] != 3 {
+		t.Errorf("parallel.pool_workers = %g, want 3", snap["parallel.pool_workers"])
+	}
+	if snap["parallel.busy_workers"] != 0 {
+		t.Errorf("parallel.busy_workers = %g after quiescence, want 0", snap["parallel.busy_workers"])
+	}
+
+	// Detached again: further fan-outs must not record.
+	SetMetrics(nil)
+	if err := ForEach(context.Background(), 4, 2, func(i int) error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if got := reg.Snapshot()["parallel.units"]; got != n {
+		t.Errorf("detached ForEach still recorded: units = %g", got)
+	}
+}
+
+func TestMapInstrumentationWorkerInvariant(t *testing.T) {
+	// The registry only observes; Map results stay bit-identical for any
+	// worker count with metrics attached.
+	reg := obs.NewRegistry()
+	SetMetrics(reg)
+	defer SetMetrics(nil)
+	want, err := Map(context.Background(), 16, 1, func(i int) (int64, error) {
+		return Seed(99, int64(i)), nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Map(context.Background(), 16, 8, func(i int) (int64, error) {
+		return Seed(99, int64(i)), nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if want[i] != got[i] {
+			t.Fatalf("result %d differs across worker counts", i)
+		}
 	}
 }

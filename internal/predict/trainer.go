@@ -8,6 +8,7 @@ import (
 
 	"head/internal/ngsim"
 	"head/internal/nn"
+	"head/internal/obs"
 	"head/internal/parallel"
 )
 
@@ -24,6 +25,27 @@ type TrainConfig struct {
 	// always computed per GradChunk-sample chunk and reduced in chunk
 	// order, so the worker count changes wall-clock time only.
 	Workers int
+
+	// Out-of-band observability; all nil-safe and zero by default.
+	// Metrics receives predict.* gauges/counters plus the
+	// predict.grad_chunk timing histogram; Progress a per-epoch heartbeat;
+	// EpochSink a callback per completed epoch. None of them feed back
+	// into training: the trained weights are identical with or without.
+	Metrics   *obs.Registry
+	Progress  *obs.Progress
+	EpochSink func(epoch int, loss float64)
+}
+
+// observeEpoch fans one completed epoch out to the configured sinks.
+func (cfg TrainConfig) observeEpoch(epoch int, loss float64) {
+	if cfg.Metrics != nil {
+		cfg.Metrics.Counter("predict.epochs").Inc()
+		cfg.Metrics.Gauge("predict.epoch_loss").Set(loss)
+	}
+	cfg.Progress.Heartbeat("predict: epoch %d/%d  loss %.5f", epoch+1, cfg.Epochs, loss)
+	if cfg.EpochSink != nil {
+		cfg.EpochSink(epoch, loss)
+	}
 }
 
 // DefaultTrainConfig mirrors the paper's 15 epochs with batch size 64.
@@ -91,6 +113,7 @@ func Train(model Model, ds *ngsim.Dataset, cfg TrainConfig, rng *rand.Rand) Trai
 		}
 		loss := total / float64(batches)
 		res.EpochLosses = append(res.EpochLosses, loss)
+		cfg.observeEpoch(epoch, loss)
 		if cfg.ConvergeTol > 0 && prev-loss < cfg.ConvergeTol*math.Abs(prev) {
 			break
 		}
@@ -141,6 +164,9 @@ func trainParallel(model DataParallel, ds *ngsim.Dataset, cfg TrainConfig, rng *
 				}
 				r := <-pool
 				defer func() { pool <- r }()
+				if cfg.Metrics != nil {
+					defer cfg.Metrics.Timer("predict.grad_chunk")()
+				}
 				loss := r.GradBatch(batch[lo:hi])
 				return chunkGrad{loss: loss, grads: nn.Gradients(r)}, nil
 			})
@@ -165,6 +191,7 @@ func trainParallel(model DataParallel, ds *ngsim.Dataset, cfg TrainConfig, rng *
 		}
 		loss := total / float64(batches)
 		res.EpochLosses = append(res.EpochLosses, loss)
+		cfg.observeEpoch(epoch, loss)
 		if cfg.ConvergeTol > 0 && prev-loss < cfg.ConvergeTol*math.Abs(prev) {
 			break
 		}

@@ -1,0 +1,106 @@
+package rl
+
+import (
+	"math/rand"
+	"testing"
+
+	"head/internal/obs"
+)
+
+// countingEnv wraps an Env and counts Reset/Step calls.
+type countingEnv struct {
+	Env
+	resets, steps int
+}
+
+func (e *countingEnv) Reset() []float64 {
+	e.resets++
+	return e.Env.Reset()
+}
+
+func (e *countingEnv) Step(b int, a float64) ([]float64, float64, bool) {
+	e.steps++
+	return e.Env.Step(b, a)
+}
+
+func TestTrainObservedMetrics(t *testing.T) {
+	env := newToyEnv(31)
+	a := NewBPDQN(fastCfg(), env.Spec(), 3, 8, rand.New(rand.NewSource(32)))
+	reg := obs.NewRegistry()
+	var stats []EpisodeStats
+	res := TrainObserved(a, env, 5, 20, Instrumentation{
+		Metrics:   reg,
+		OnEpisode: func(st EpisodeStats) { stats = append(stats, st) },
+	})
+	if len(res.EpisodeRewards) != 5 {
+		t.Fatalf("%d episode rewards, want 5", len(res.EpisodeRewards))
+	}
+	if len(stats) != 5 {
+		t.Fatalf("OnEpisode fired %d times, want 5", len(stats))
+	}
+	for i, st := range stats {
+		if st.Episode != i {
+			t.Errorf("stats[%d].Episode = %d", i, st.Episode)
+		}
+		if st.Reward != res.EpisodeRewards[i] {
+			t.Errorf("stats[%d].Reward = %g, result says %g", i, st.Reward, res.EpisodeRewards[i])
+		}
+	}
+	// BP-DQN implements the reporter interfaces, so the introspective
+	// fields must be live, not zero.
+	last := stats[len(stats)-1]
+	if last.Epsilon <= 0 || last.Epsilon > 1 {
+		t.Errorf("Epsilon = %g", last.Epsilon)
+	}
+	if last.ReplayLen != 100 { // 5 episodes × 20 steps, capacity 2000
+		t.Errorf("ReplayLen = %d, want 100", last.ReplayLen)
+	}
+	snap := reg.Snapshot()
+	if snap["rl.episodes"] != 5 {
+		t.Errorf("rl.episodes = %g", snap["rl.episodes"])
+	}
+	if snap["rl.steps"] != 100 {
+		t.Errorf("rl.steps = %g", snap["rl.steps"])
+	}
+	if snap["rl.episode_reward.count"] != 5 {
+		t.Errorf("rl.episode_reward.count = %g", snap["rl.episode_reward.count"])
+	}
+	if snap["rl.replay_len"] != 100 {
+		t.Errorf("rl.replay_len gauge = %g", snap["rl.replay_len"])
+	}
+}
+
+func TestTrainObservedOutOfBand(t *testing.T) {
+	// Instrumented and plain training must produce identical rewards:
+	// metrics are write-only and never feed back.
+	run := func(ins Instrumentation) TrainResult {
+		env := newToyEnv(33)
+		a := NewBPDQN(fastCfg(), env.Spec(), 3, 8, rand.New(rand.NewSource(34)))
+		return TrainObserved(a, env, 6, 20, ins)
+	}
+	plain := run(Instrumentation{})
+	observed := run(Instrumentation{Metrics: obs.NewRegistry(), OnEpisode: func(EpisodeStats) {}})
+	for i := range plain.EpisodeRewards {
+		if plain.EpisodeRewards[i] != observed.EpisodeRewards[i] {
+			t.Fatalf("episode %d reward diverged: %g vs %g",
+				i, plain.EpisodeRewards[i], observed.EpisodeRewards[i])
+		}
+	}
+}
+
+func TestAvgInferenceTimeStepsEnv(t *testing.T) {
+	base := newToyEnv(35)
+	env := &countingEnv{Env: base}
+	a := NewBPDQN(fastCfg(), base.Spec(), 3, 8, rand.New(rand.NewSource(36)))
+	const samples = 45 // > 2 toy episodes (20 steps each) so mid-run Resets fire
+	if d := AvgInferenceTime(a, env, samples); d <= 0 {
+		t.Errorf("AvgInferenceTime = %v", d)
+	}
+	if env.steps != samples {
+		t.Errorf("env stepped %d times, want one step per sample (%d)", env.steps, samples)
+	}
+	// One initial Reset plus one per episode end (steps 20 and 40).
+	if env.resets != 3 {
+		t.Errorf("env reset %d times, want 3", env.resets)
+	}
+}

@@ -29,6 +29,7 @@ type PDDPG struct {
 	buf              *Replay
 	rng              *rand.Rand
 	steps            int
+	lastLoss         float64
 }
 
 // NewPDDPG builds the P-DDPG baseline with hidden width h.
@@ -73,6 +74,16 @@ func NewPDDPG(cfg PDQNConfig, spec StateSpec, aMax float64, h int, rng *rand.Ran
 
 // Name implements Agent.
 func (p *PDDPG) Name() string { return "P-DDPG" }
+
+// Epsilon implements EpsilonReporter: the current ε-greedy rate.
+func (p *PDDPG) Epsilon() float64 { return p.cfg.Eps.At(p.steps) }
+
+// ReplayLen implements ReplayReporter: the replay-buffer occupancy.
+func (p *PDDPG) ReplayLen() int { return p.buf.Len() }
+
+// LastLoss implements LossReporter: the mean squared TD error of the most
+// recent critic minibatch (0 before the first training step).
+func (p *PDDPG) LastLoss() float64 { return p.lastLoss }
 
 // Params implements nn.Module over every network (online and target), so
 // a trained agent can be checkpointed with nn.Save and restored with
@@ -157,6 +168,7 @@ func (p *PDDPG) trainStep() {
 	batch := p.buf.Sample(p.cfg.BatchSize, p.rng)
 	// Critic update.
 	nn.ZeroGrads(p.critic)
+	sqErr := 0.0
 	for _, tr := range batch {
 		y := tr.Reward
 		if !tr.Done {
@@ -165,12 +177,15 @@ func (p *PDDPG) trainStep() {
 		}
 		act := tensor.FromSlice(1, actionDim, tr.Action.Raw)
 		qv := p.criticForward(p.critic, tr.State, act)
+		diff := qv.At(0, 0) - y
+		sqErr += diff * diff
 		d := tensor.New(1, 1)
-		d.Set(0, 0, (qv.At(0, 0)-y)/float64(len(batch)))
+		d.Set(0, 0, diff/float64(len(batch)))
 		p.critic.Backward(d)
 	}
 	nn.ClipGradNorm(p.critic, p.cfg.ClipNorm)
 	p.optCrt.Step(p.critic)
+	p.lastLoss = sqErr / float64(len(batch))
 
 	// Actor update: maximize Q(s, actor(s)).
 	nn.ZeroGrads(p.actor)

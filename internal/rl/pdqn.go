@@ -70,6 +70,7 @@ type PDQN struct {
 	rng        *rand.Rand
 	steps      int
 	trainSteps int
+	lastLoss   float64
 }
 
 // NewPDQN assembles an agent from freshly constructed online and target
@@ -136,6 +137,21 @@ func NewPQP(cfg PDQNConfig, spec StateSpec, aMax float64, h int, rng *rand.Rand)
 
 // Name implements Agent.
 func (p *PDQN) Name() string { return p.name }
+
+// Epsilon implements EpsilonReporter: the current ε-greedy rate.
+func (p *PDQN) Epsilon() float64 { return p.cfg.Eps.At(p.steps) }
+
+// ReplayLen implements ReplayReporter: the replay-buffer occupancy.
+func (p *PDQN) ReplayLen() int {
+	if p.bufP != nil {
+		return p.bufP.Len()
+	}
+	return p.buf.Len()
+}
+
+// LastLoss implements LossReporter: the mean squared TD error of the most
+// recent critic minibatch (0 before the first training step).
+func (p *PDQN) LastLoss() float64 { return p.lastLoss }
 
 // Params implements nn.Module over every network (online and target), so
 // a trained agent can be checkpointed with nn.Save and restored with
@@ -232,6 +248,7 @@ func (p *PDQN) trainStep() {
 	if trainQ {
 		nn.ZeroGrads(p.qn)
 		tdErrs := make([]float64, len(batch))
+		sqErr := 0.0
 		for k, tr := range batch {
 			y := tr.Reward
 			if !tr.Done {
@@ -244,6 +261,7 @@ func (p *PDQN) trainStep() {
 			qv := p.qn.Forward(tr.State, raw)
 			diff := qv.At(0, tr.Action.B) - y
 			tdErrs[k] = diff
+			sqErr += diff * diff
 			w := 1.0
 			if perWeights != nil {
 				w = perWeights[k]
@@ -254,6 +272,7 @@ func (p *PDQN) trainStep() {
 		}
 		nn.ClipGradNorm(p.qn, p.cfg.ClipNorm)
 		p.optQ.Step(p.qn)
+		p.lastLoss = sqErr / float64(len(batch))
 		if p.bufP != nil {
 			p.bufP.UpdatePriorities(perIdxs, tdErrs)
 		}

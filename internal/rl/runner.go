@@ -5,6 +5,7 @@ import (
 	"math"
 	"time"
 
+	"head/internal/obs"
 	"head/internal/parallel"
 )
 
@@ -46,13 +47,102 @@ type TrainResult struct {
 	TCT time.Duration
 }
 
+// Optional introspection interfaces instrumentation probes for. Agents and
+// environments implement whichever are cheap; TrainObserved type-asserts
+// and reports zero for the rest.
+type (
+	// EpsilonReporter exposes the current ε-greedy exploration rate.
+	EpsilonReporter interface{ Epsilon() float64 }
+	// ReplayReporter exposes the replay-buffer occupancy.
+	ReplayReporter interface{ ReplayLen() int }
+	// LossReporter exposes the loss of the most recent training minibatch.
+	LossReporter interface{ LastLoss() float64 }
+	// CollisionReporter exposes whether the current episode collided; HEAD
+	// environments implement it so training curves can count crashes.
+	CollisionReporter interface{ Collided() bool }
+)
+
+// EpisodeStats is the per-episode observation TrainObserved hands to its
+// sink: the training curve a run is diagnosed from.
+type EpisodeStats struct {
+	Episode   int
+	Reward    float64
+	Steps     int
+	Done      bool
+	Collision bool
+	Epsilon   float64
+	Loss      float64
+	ReplayLen int
+}
+
+// Instrumentation is the out-of-band observation config for TrainObserved.
+// The zero value disables everything; any subset of the sinks may be set.
+// Nothing recorded here feeds back into training — instrumented and plain
+// runs produce bit-identical weights and episode rewards.
+type Instrumentation struct {
+	// Metrics receives rl.* counters, gauges, and histograms.
+	Metrics *obs.Registry
+	// Progress receives a throttled per-episode heartbeat line.
+	Progress *obs.Progress
+	// OnEpisode is called after every episode (e.g. to snapshot a JSONL
+	// time series alongside checkpoints).
+	OnEpisode func(EpisodeStats)
+}
+
+// episodeRewardBuckets span the per-episode total rewards seen across the
+// quick/record/paper scales.
+var episodeRewardBuckets = []float64{-200, -100, -50, -20, -10, -5, 0, 5, 10, 20, 50, 100, 200, 500}
+
 // Train runs learning episodes and records each episode's total reward.
 func Train(agent Agent, env Env, episodes, maxSteps int) TrainResult {
+	return TrainObserved(agent, env, episodes, maxSteps, Instrumentation{})
+}
+
+// TrainObserved is Train with live observability: per-episode reward,
+// steps, epsilon, loss, replay occupancy, and collisions flow to the
+// configured sinks while the run is still going.
+func TrainObserved(agent Agent, env Env, episodes, maxSteps int, ins Instrumentation) TrainResult {
 	start := time.Now()
 	var res TrainResult
+	observed := ins.Metrics != nil || ins.Progress != nil || ins.OnEpisode != nil
 	for e := 0; e < episodes; e++ {
+		epStart := time.Now()
 		r := RunEpisode(agent, env, maxSteps, true)
 		res.EpisodeRewards = append(res.EpisodeRewards, r.TotalReward)
+		if !observed {
+			continue
+		}
+		st := EpisodeStats{Episode: e, Reward: r.TotalReward, Steps: r.Steps, Done: r.Done}
+		if er, ok := agent.(EpsilonReporter); ok {
+			st.Epsilon = er.Epsilon()
+		}
+		if lr, ok := agent.(LossReporter); ok {
+			st.Loss = lr.LastLoss()
+		}
+		if rr, ok := agent.(ReplayReporter); ok {
+			st.ReplayLen = rr.ReplayLen()
+		}
+		if cr, ok := env.(CollisionReporter); ok {
+			st.Collision = cr.Collided()
+		}
+		if m := ins.Metrics; m != nil {
+			m.Counter("rl.episodes").Inc()
+			m.Counter("rl.steps").Add(int64(st.Steps))
+			if st.Collision {
+				m.Counter("rl.collisions").Inc()
+			}
+			m.Gauge("rl.epsilon").Set(st.Epsilon)
+			m.Gauge("rl.loss").Set(st.Loss)
+			m.Gauge("rl.replay_len").Set(float64(st.ReplayLen))
+			m.Gauge("rl.last_episode_reward").Set(st.Reward)
+			m.Histogram("rl.episode_reward", episodeRewardBuckets...).Observe(st.Reward)
+			m.Histogram("rl.episode_seconds").Observe(time.Since(epStart).Seconds())
+		}
+		ins.Progress.Heartbeat("rl: episode %d/%d  reward %.2f  steps %d  eps %.3f  loss %.4f  buffer %d",
+			e+1, episodes, st.Reward, st.Steps, st.Epsilon, st.Loss, st.ReplayLen)
+		if ins.OnEpisode != nil {
+			ins.OnEpisode(st)
+		}
 	}
 	res.TCT = time.Since(start)
 	return res
@@ -140,15 +230,29 @@ func EvaluateAgentParallel(episodes, maxSteps, workers int, setup func(episode i
 }
 
 // AvgInferenceTime measures the mean wall-clock duration of one greedy
-// action selection — the AvgIT metric of Table VI.
+// action selection — the AvgIT metric of Table VI. The first selection is
+// a discarded warm-up (it pays one-time allocation and cache-fill costs),
+// and the environment is stepped between samples so the mean reflects
+// steady-state inference over the state distribution the policy actually
+// visits, not repeated evaluation of one initial state. Only the Act calls
+// are timed; environment stepping is excluded.
 func AvgInferenceTime(agent Agent, env Env, samples int) time.Duration {
 	if samples <= 0 {
 		return 0
 	}
 	state := env.Reset()
-	start := time.Now()
+	agent.Act(state, false) // warm-up, excluded from the average
+	var total time.Duration
 	for i := 0; i < samples; i++ {
-		agent.Act(state, false)
+		t0 := time.Now()
+		act := agent.Act(state, false)
+		total += time.Since(t0)
+		next, _, done := env.Step(act.B, act.A)
+		if done {
+			state = env.Reset()
+		} else {
+			state = next
+		}
 	}
-	return time.Since(start) / time.Duration(samples)
+	return total / time.Duration(samples)
 }

@@ -130,7 +130,19 @@ func (t Trace) WriteCSV(w io.Writer) error {
 	return cw.Error()
 }
 
-// WriteJSONL exports the trace as JSON Lines, one step per line.
+// episodeEnd is the trailing JSONL record carrying the episode-level
+// flags, which step lines cannot: without it Collision/Finished were
+// silently dropped on a Write/Read round trip. Step has no "episode_end"
+// key, so the marker unambiguously separates the footer from step lines.
+type episodeEnd struct {
+	EpisodeEnd bool `json:"episode_end"`
+	Collision  bool `json:"collision"`
+	Finished   bool `json:"finished"`
+}
+
+// WriteJSONL exports the trace as JSON Lines: one step per line, then one
+// trailing {"episode_end":true,...} record with the episode-level
+// Collision/Finished flags so ReadJSONL reconstructs the Trace exactly.
 func (t Trace) WriteJSONL(w io.Writer) error {
 	enc := json.NewEncoder(w)
 	for _, s := range t.Steps {
@@ -138,19 +150,33 @@ func (t Trace) WriteJSONL(w io.Writer) error {
 			return fmt.Errorf("trace: jsonl: %w", err)
 		}
 	}
+	end := episodeEnd{EpisodeEnd: true, Collision: t.Collision, Finished: t.Finished}
+	if err := enc.Encode(end); err != nil {
+		return fmt.Errorf("trace: jsonl footer: %w", err)
+	}
 	return nil
 }
 
-// ReadJSONL parses a JSON Lines stream produced by WriteJSONL.
+// ReadJSONL parses a JSON Lines stream produced by WriteJSONL. Streams
+// written before the episode_end footer existed still parse; their
+// episode flags simply stay false.
 func ReadJSONL(r io.Reader) (Trace, error) {
 	var t Trace
 	dec := json.NewDecoder(r)
 	for dec.More() {
-		var s Step
-		if err := dec.Decode(&s); err != nil {
+		var line struct {
+			Step
+			episodeEnd
+		}
+		if err := dec.Decode(&line); err != nil {
 			return t, fmt.Errorf("trace: jsonl decode: %w", err)
 		}
-		t.Steps = append(t.Steps, s)
+		if line.EpisodeEnd {
+			t.Collision = t.Collision || line.Collision
+			t.Finished = t.Finished || line.Finished
+			continue
+		}
+		t.Steps = append(t.Steps, line.Step)
 	}
 	return t, nil
 }

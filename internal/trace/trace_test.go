@@ -77,6 +77,48 @@ func TestJSONLRoundTrip(t *testing.T) {
 	}
 }
 
+func TestJSONLRoundTripFlags(t *testing.T) {
+	// Episode-level flags must survive the round trip regardless of what
+	// the steps say (they used to be dropped entirely).
+	for _, tr := range []Trace{
+		{Steps: []Step{{Step: 1, V: 10}}, Collision: true},
+		{Steps: []Step{{Step: 1, V: 10}, {Step: 2, V: 11}}, Finished: true},
+		{Collision: true, Finished: true}, // step-less trace
+	} {
+		var buf bytes.Buffer
+		if err := tr.WriteJSONL(&buf); err != nil {
+			t.Fatal(err)
+		}
+		back, err := ReadJSONL(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if back.Collision != tr.Collision || back.Finished != tr.Finished {
+			t.Errorf("flags lost: wrote collision=%v finished=%v, read %v/%v",
+				tr.Collision, tr.Finished, back.Collision, back.Finished)
+		}
+		if len(back.Steps) != len(tr.Steps) {
+			t.Errorf("round trip: %d steps, want %d", len(back.Steps), len(tr.Steps))
+		}
+	}
+}
+
+func TestReadJSONLLegacy(t *testing.T) {
+	// Streams written before the episode_end footer existed have only step
+	// lines; they must still parse, with the flags defaulting to false.
+	legacy := `{"step":1,"time":0.1,"lane":0,"v":12}` + "\n" + `{"step":2,"time":0.2,"lane":1,"v":13}` + "\n"
+	tr, err := ReadJSONL(strings.NewReader(legacy))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Steps) != 2 {
+		t.Fatalf("got %d steps, want 2", len(tr.Steps))
+	}
+	if tr.Collision || tr.Finished {
+		t.Errorf("legacy stream set flags: collision=%v finished=%v", tr.Collision, tr.Finished)
+	}
+}
+
 func TestReadJSONLGarbage(t *testing.T) {
 	if _, err := ReadJSONL(strings.NewReader("{broken")); err == nil {
 		t.Error("expected decode error")
@@ -99,6 +141,58 @@ func TestSummarize(t *testing.T) {
 	empty := Trace{}.Summarize()
 	if empty.Steps != 0 || empty.MeanV != 0 {
 		t.Errorf("empty summary: %+v", empty)
+	}
+}
+
+func TestSummarizeSingleStep(t *testing.T) {
+	tr := Trace{Steps: []Step{{Step: 1, Time: 0.1, V: 15, Accel: 2, Reward: 0.5, TTC: 3}}}
+	s := tr.Summarize()
+	if s.Steps != 1 {
+		t.Errorf("Steps = %d", s.Steps)
+	}
+	if s.MeanV != 15 || s.Duration != 0.1 || s.TotalReward != 0.5 {
+		t.Errorf("summary: %+v", s)
+	}
+	// Jerk and lane changes need at least two steps.
+	if s.MeanJerk != 0 || s.LaneChanges != 0 {
+		t.Errorf("single step produced jerk %g, lane changes %d", s.MeanJerk, s.LaneChanges)
+	}
+	if s.MinTTC != 3 {
+		t.Errorf("MinTTC = %g", s.MinTTC)
+	}
+}
+
+func TestSummarizeInvalidTTC(t *testing.T) {
+	// TTC 0 means "no valid TTC this step"; a trace with no valid TTC at
+	// all must report MinTTC 0, not treat 0 as an observed minimum.
+	tr := Trace{Steps: []Step{{Step: 1, V: 10}, {Step: 2, V: 10}, {Step: 3, V: 10}}}
+	if got := tr.Summarize().MinTTC; got != 0 {
+		t.Errorf("MinTTC = %g, want 0 for all-invalid TTC", got)
+	}
+	// A single valid observation dominates regardless of position.
+	tr.Steps[1].TTC = 4.2
+	if got := tr.Summarize().MinTTC; got != 4.2 {
+		t.Errorf("MinTTC = %g, want 4.2", got)
+	}
+}
+
+func TestSummarizeLaneChanges(t *testing.T) {
+	lanes := []int{0, 0, 1, 1, 2}
+	var tr Trace
+	for i, l := range lanes {
+		tr.Steps = append(tr.Steps, Step{Step: i + 1, Lane: l})
+	}
+	if got := tr.Summarize().LaneChanges; got != 2 {
+		t.Errorf("LaneChanges = %d, want 2 for lanes %v", got, lanes)
+	}
+	// An immediate return counts as two distinct changes.
+	back := []int{1, 2, 1}
+	tr = Trace{}
+	for i, l := range back {
+		tr.Steps = append(tr.Steps, Step{Step: i + 1, Lane: l})
+	}
+	if got := tr.Summarize().LaneChanges; got != 2 {
+		t.Errorf("LaneChanges = %d, want 2 for lanes %v", got, back)
 	}
 }
 
