@@ -1,0 +1,193 @@
+// Command headtrace analyzes a flight-recorder directory written by the
+// -trace-out flag of the experiment CLIs: latency attribution per phase,
+// per-episode critical paths, a coverage check of the tracer's self-time
+// accounting, and a summary of the per-step decision records.
+//
+// Usage:
+//
+//	headtrace [-check] [-top N] dir                    # dir holding trace.json + decisions.jsonl
+//	headtrace [-check] -trace t.json [-decisions d.jsonl]
+//
+// With -check the exit status is non-zero when the phase durations plus
+// the steps' self time fail to reproduce the step totals within 1% — the
+// accounting identity the tracer guarantees.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"head/internal/obs/span"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("headtrace: ")
+	var (
+		tracePath = flag.String("trace", "", "Chrome trace-event JSON file (overrides the positional dir)")
+		decPath   = flag.String("decisions", "", "decision-record JSONL file (overrides the positional dir)")
+		check     = flag.Bool("check", false, "exit non-zero if phase+self time misses the step totals by more than 1%")
+		top       = flag.Int("top", 0, "show only the N slowest phases and episodes (0 = all)")
+	)
+	flag.Parse()
+	if dir := flag.Arg(0); dir != "" {
+		if *tracePath == "" {
+			*tracePath = filepath.Join(dir, "trace.json")
+		}
+		if *decPath == "" {
+			if p := filepath.Join(dir, "decisions.jsonl"); exists(p) {
+				*decPath = p
+			}
+		}
+	}
+	if *tracePath == "" {
+		log.Fatal("pass a trace directory or -trace file.json (see -h)")
+	}
+
+	a, err := readTrace(*tracePath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if a.Dropped > 0 {
+		fmt.Printf("warning: %d spans dropped to ring wrap-around; totals undercount\n\n", a.Dropped)
+	}
+
+	printPhases(a, *top)
+	ok := printCoverage(a)
+	printEpisodes(a, *top)
+
+	if *decPath != "" {
+		ds, err := readDecisions(*decPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		printDecisions(ds)
+	}
+	if *check && !ok {
+		os.Exit(1)
+	}
+}
+
+func exists(path string) bool {
+	_, err := os.Stat(path)
+	return err == nil
+}
+
+func readTrace(path string) (*span.Analysis, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return span.ReadChrome(f)
+}
+
+func readDecisions(path string) ([]span.Decision, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return span.ReadDecisions(f)
+}
+
+func printPhases(a *span.Analysis, top int) {
+	phases := a.Phases()
+	if top > 0 && len(phases) > top {
+		phases = phases[:top]
+	}
+	fmt.Println("Phase latency attribution")
+	fmt.Printf("  %-18s %8s %12s %12s %12s %12s\n", "phase", "count", "total", "self", "mean", "max")
+	for _, p := range phases {
+		fmt.Printf("  %-18s %8d %12s %12s %12s %12s\n",
+			p.Name, p.Count, us(p.Total), us(p.Self), us(p.Mean), us(p.Max))
+	}
+	fmt.Println()
+}
+
+// printCoverage reports the accounting identity and returns whether it
+// holds within 1%.
+func printCoverage(a *span.Analysis) bool {
+	steps, phases, self, relErr := a.Coverage()
+	fmt.Println("Coverage (phases under step + step self vs step totals)")
+	fmt.Printf("  steps %s  phases %s  step-self %s  error %.3f%%\n\n",
+		us(steps), us(phases), us(self), relErr*100)
+	if steps == 0 {
+		return true
+	}
+	return relErr <= 0.01
+}
+
+func printEpisodes(a *span.Analysis, top int) {
+	eps := a.Episodes()
+	if len(eps) == 0 {
+		return
+	}
+	if top > 0 && len(eps) > top {
+		// Keep the slowest episodes, then restore lane/episode order.
+		sort.SliceStable(eps, func(i, j int) bool { return eps[i].Dur > eps[j].Dur })
+		eps = eps[:top]
+		sort.Slice(eps, func(i, j int) bool {
+			if eps[i].Tid != eps[j].Tid {
+				return eps[i].Tid < eps[j].Tid
+			}
+			return eps[i].Ep < eps[j].Ep
+		})
+	}
+	fmt.Println("Per-episode critical paths")
+	fmt.Printf("  %-14s %4s %12s %6s %12s %12s  %s\n", "lane", "ep", "dur", "steps", "max step", "top dur", "top phase")
+	for _, e := range eps {
+		lane := e.Lane
+		if lane == "" {
+			lane = fmt.Sprintf("tid %d", e.Tid)
+		}
+		fmt.Printf("  %-14s %4d %12s %6d %12s %12s  %s\n",
+			lane, e.Ep, us(e.Dur), e.Steps, us(e.MaxStep), us(e.TopDur), e.TopPhase)
+	}
+	fmt.Println()
+}
+
+func printDecisions(ds []span.Decision) {
+	s := span.SummarizeDecisions(ds)
+	fmt.Printf("Decision summary (%d records)\n", s.N)
+	if s.N == 0 {
+		return
+	}
+	fmt.Print("  maneuver mix: ")
+	names := make([]string, 0, len(s.Behaviors))
+	for b := range s.Behaviors {
+		names = append(names, b)
+	}
+	sort.Strings(names)
+	for i, b := range names {
+		if i > 0 {
+			fmt.Print("  ")
+		}
+		fmt.Printf("%s %.1f%%", b, 100*float64(s.Behaviors[b])/float64(s.N))
+	}
+	fmt.Println()
+	fmt.Printf("  reward %.4f = safety %.4f + efficiency %.4f + comfort %.4f + impact %.4f (per-term means)\n",
+		s.MeanReward, s.MeanSafety, s.MeanEff, s.MeanComf, s.MeanImpact)
+	if s.MinTTC > 0 {
+		fmt.Printf("  min TTC %.2fs\n", s.MinTTC)
+	}
+	if s.AttnRows > 0 {
+		fmt.Printf("  attention entropy %.3f nats over %d rows\n", s.MeanAttnEntropy, s.AttnRows)
+	}
+}
+
+// us renders a microsecond quantity with an adaptive unit.
+func us(v float64) string {
+	switch {
+	case v >= 1e6:
+		return fmt.Sprintf("%.2fs", v/1e6)
+	case v >= 1e3:
+		return fmt.Sprintf("%.2fms", v/1e3)
+	default:
+		return fmt.Sprintf("%.0fµs", v)
+	}
+}

@@ -14,6 +14,7 @@
 //	headtrain -out dir [-scale quick|record|paper] [-train N] [-seed N] [-workers N]  # train + save
 //	headtrain -load dir [-episodes N] [-workers N]                                    # load + evaluate
 //	headtrain ... [-debug-addr :8080] [-progress]                                     # observe either mode
+//	headtrain ... [-trace-out dir] [-trace-sample 0.1]                                # flight-record either mode
 package main
 
 import (
@@ -49,6 +50,8 @@ func main() {
 		workers   = flag.Int("workers", 0, "max parallel workers (0 = all cores; results are identical for any value)")
 		debugAddr = flag.String("debug-addr", "", "serve /metrics, /debug/pprof/* and /debug/vars on this address (e.g. :8080; empty disables)")
 		progress  = flag.Bool("progress", false, "print a live heartbeat line per episode/epoch to stderr")
+		traceOut  = flag.String("trace-out", "", "directory to write trace.json (Chrome trace-event JSON) and decisions.jsonl into (empty disables tracing)")
+		traceSmpl = flag.Float64("trace-sample", 1, "fraction of steps traced, deterministic per (lane, episode, step); 0 or 1 traces every step")
 	)
 	flag.Parse()
 
@@ -73,13 +76,13 @@ func main() {
 		s.TestEpisodes = *episodes
 	}
 	s.Workers = *workers
-	srv, err := s.ObserveDefault(*progress, *debugAddr)
+	srv, finishTrace, err := s.ObserveDefault(*progress, *debugAddr, *traceOut, *traceSmpl)
 	if err != nil {
 		log.Fatal(err)
 	}
 	if srv != nil {
 		defer srv.Close()
-		log.Printf("debug server on http://%s (/metrics, /debug/pprof/, /debug/vars)", srv.Addr())
+		log.Printf("debug server on http://%s (/metrics, /debug/pprof/, /debug/vars, /debug/trace)", srv.Addr())
 	}
 
 	switch {
@@ -93,6 +96,9 @@ func main() {
 		}
 	default:
 		log.Fatal("pass -out dir to train or -load dir to evaluate")
+	}
+	if err := finishTrace(); err != nil {
+		log.Fatal("trace: ", err)
 	}
 }
 
@@ -150,23 +156,19 @@ func trainRun(s experiments.Scale, dir, scaleName string) error {
 		OnEpisode: func(st rl.EpisodeStats) {
 			snap.Snap(s.Metrics, map[string]any{"phase": "rl", "episode": st.Episode, "reward": st.Reward})
 		},
+		Trace: s.Trace.Lane("train"),
 	})
 	fmt.Printf("trained in %v\n", res.TCT.Round(1e9))
 	if err := saveModule(filepath.Join(dir, "bpdqn.ckpt"), agent); err != nil {
 		return err
 	}
 
-	// The manifest hash covers the effective configuration, not the
-	// attached sinks — two runs with the same knobs hash equal whether or
-	// not they were observed.
-	hs := s
-	hs.Metrics, hs.Progress = nil, nil
 	man := obs.Manifest{
 		Tool:       "headtrain",
 		Scale:      scaleName,
 		Seed:       s.Seed,
 		Workers:    s.Workers,
-		ConfigHash: obs.Hash(hs),
+		ConfigHash: s.ConfigHash(),
 		GoVersion:  runtime.Version(),
 		Start:      start,
 		End:        time.Now(),
@@ -195,7 +197,7 @@ func evaluate(s experiments.Scale, dir string) error {
 	}
 	// Each test episode gets private replicas of the loaded models; the
 	// metrics are identical for any -workers value.
-	m := eval.RunEpisodesObserved(s.TestEpisodes, s.Workers, s.Metrics, func(ep int) (head.Controller, *head.Env) {
+	m := eval.RunEpisodesObserved(s.TestEpisodes, s.Workers, s.Metrics, s.Trace, func(ep int) (head.Controller, *head.Env) {
 		env := head.NewEnv(cfg, predictor.Clone(), parallel.Rand(s.Seed+1000, int64(ep)))
 		a := rl.NewBPDQN(rc, spec, aMax, s.RLHidden, rand.New(rand.NewSource(0)))
 		nn.CopyParams(a, agent)

@@ -6,6 +6,7 @@
 //
 //	headviz [-controller idm|acc|tpbts|head] [-frames N] [-every N]
 //	        [-csv file] [-jsonl file] [-seed N]
+//	headviz -replay trace.jsonl   # summarize a previously exported trace
 package main
 
 import (
@@ -35,8 +36,16 @@ func main() {
 		csvPath    = flag.String("csv", "", "write the full trace as CSV to this file")
 		jsonlPath  = flag.String("jsonl", "", "write the full trace as JSON Lines to this file")
 		seed       = flag.Int64("seed", 7, "random seed")
+		replay     = flag.String("replay", "", "summarize a JSONL trace exported earlier with -jsonl instead of driving an episode")
 	)
 	flag.Parse()
+
+	if *replay != "" {
+		if err := replayTrace(*replay); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
 
 	cfg := head.DefaultEnvConfig()
 	cfg.Traffic.World.RoadLength = 800
@@ -63,17 +72,8 @@ func main() {
 		}
 	}
 	tr := rec.Trace()
-	s := tr.Summarize()
-	fmt.Printf("\nepisode: %d steps (%.1fs), mean v %.1f m/s, %d lane changes, total reward %.1f",
-		s.Steps, s.Duration, s.MeanV, s.LaneChanges, s.TotalReward)
-	switch {
-	case tr.Collision:
-		fmt.Println(" — COLLISION")
-	case tr.Finished:
-		fmt.Println(" — reached destination")
-	default:
-		fmt.Println(" — step budget exhausted")
-	}
+	fmt.Println()
+	printSummary(tr)
 
 	if *csvPath != "" {
 		if err := writeFile(*csvPath, tr.WriteCSV); err != nil {
@@ -87,6 +87,38 @@ func main() {
 		}
 		fmt.Println("trace written to", *jsonlPath)
 	}
+}
+
+// printSummary renders the episode summary line plus the episode-level
+// outcome flags (in replay mode these come from the trace's episode_end
+// footer, not from a live environment).
+func printSummary(tr trace.Trace) {
+	s := tr.Summarize()
+	fmt.Printf("episode: %d steps (%.1fs), mean v %.1f m/s, %d lane changes, total reward %.1f",
+		s.Steps, s.Duration, s.MeanV, s.LaneChanges, s.TotalReward)
+	switch {
+	case tr.Collision:
+		fmt.Println(" — COLLISION")
+	case tr.Finished:
+		fmt.Println(" — reached destination")
+	default:
+		fmt.Println(" — step budget exhausted")
+	}
+}
+
+// replayTrace summarizes a JSONL trace exported with -jsonl.
+func replayTrace(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	tr, err := trace.ReadJSONL(f)
+	if err != nil {
+		return err
+	}
+	printSummary(tr)
+	return nil
 }
 
 func buildController(name string, cfg head.EnvConfig, seed int64) (head.Controller, error) {

@@ -6,12 +6,15 @@
 // Usage:
 //
 //	predictbench [-scale quick|record|paper] [-epochs N] [-seed N] [-workers N] [-debug-addr :8080] [-progress]
+//	predictbench ... [-trace-out dir] [-trace-sample 0.1]  # flight-record the run
+//	predictbench ... [-bench-json]                         # also write BENCH_predict.json
 package main
 
 import (
 	"flag"
 	"log"
 	"os"
+	"time"
 
 	"head/internal/experiments"
 )
@@ -26,6 +29,9 @@ func main() {
 		workers   = flag.Int("workers", 0, "max parallel workers (0 = all cores; results are identical for any value)")
 		debugAddr = flag.String("debug-addr", "", "serve /metrics, /debug/pprof/* and /debug/vars on this address (e.g. :8080; empty disables)")
 		progress  = flag.Bool("progress", false, "print a live heartbeat line per episode/epoch to stderr")
+		traceOut  = flag.String("trace-out", "", "directory to write trace.json (Chrome trace-event JSON) and decisions.jsonl into (empty disables tracing)")
+		traceSmpl = flag.Float64("trace-sample", 1, "fraction of steps traced, deterministic per (lane, episode, step); 0 or 1 traces every step")
+		benchJSON = flag.Bool("bench-json", false, "write a machine-readable BENCH_predict.json snapshot of the table rows")
 	)
 	flag.Parse()
 
@@ -47,19 +53,29 @@ func main() {
 		s.Seed = *seed
 	}
 	s.Workers = *workers
-	srv, err := s.ObserveDefault(*progress, *debugAddr)
+	srv, finishTrace, err := s.ObserveDefault(*progress, *debugAddr, *traceOut, *traceSmpl)
 	if err != nil {
 		log.Fatal(err)
 	}
 	if srv != nil {
 		defer srv.Close()
-		log.Printf("debug server on http://%s (/metrics, /debug/pprof/, /debug/vars)", srv.Addr())
+		log.Printf("debug server on http://%s (/metrics, /debug/pprof/, /debug/vars, /debug/trace)", srv.Addr())
 	}
 
+	start := time.Now()
 	rows, err := experiments.TableIIIIV(s)
 	if err != nil {
 		log.Fatal(err)
 	}
 	os.Stdout.WriteString("Tables III & IV — Accuracy and Efficiency of State Predictors on REAL\n")
 	experiments.PrintPredRows(os.Stdout, rows)
+	if *benchJSON {
+		if err := experiments.WriteBenchJSON("BENCH_predict.json", "predictbench", *scaleName, s, start, rows); err != nil {
+			log.Fatal(err)
+		}
+		log.Print("wrote BENCH_predict.json")
+	}
+	if err := finishTrace(); err != nil {
+		log.Fatal("trace: ", err)
+	}
 }

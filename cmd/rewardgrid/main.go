@@ -6,7 +6,7 @@
 //
 // Usage:
 //
-//	rewardgrid [-scale quick|record|paper] [-train N] [-seed N] [-workers N] [-debug-addr :8080] [-progress]
+//	rewardgrid [-scale quick|record|paper] [-train N] [-seed N] [-workers N] [-debug-addr :8080] [-progress] [-trace-out dir] [-trace-sample 0.1]
 package main
 
 import (
@@ -28,6 +28,8 @@ func main() {
 		workers   = flag.Int("workers", 0, "max parallel workers (0 = all cores; results are identical for any value)")
 		debugAddr = flag.String("debug-addr", "", "serve /metrics, /debug/pprof/* and /debug/vars on this address (e.g. :8080; empty disables)")
 		progress  = flag.Bool("progress", false, "print a live heartbeat line per episode/epoch to stderr")
+		traceOut  = flag.String("trace-out", "", "directory to write trace.json (Chrome trace-event JSON) and decisions.jsonl into (empty disables tracing)")
+		traceSmpl = flag.Float64("trace-sample", 1, "fraction of steps traced, deterministic per (lane, episode, step); 0 or 1 traces every step")
 	)
 	flag.Parse()
 
@@ -49,13 +51,13 @@ func main() {
 		s.Seed = *seed
 	}
 	s.Workers = *workers
-	srv, err := s.ObserveDefault(*progress, *debugAddr)
+	srv, finishTrace, err := s.ObserveDefault(*progress, *debugAddr, *traceOut, *traceSmpl)
 	if err != nil {
 		log.Fatal(err)
 	}
 	if srv != nil {
 		defer srv.Close()
-		log.Printf("debug server on http://%s (/metrics, /debug/pprof/, /debug/vars)", srv.Addr())
+		log.Printf("debug server on http://%s (/metrics, /debug/pprof/, /debug/vars, /debug/trace)", srv.Addr())
 	}
 
 	rows, err := experiments.TableVII(s)
@@ -64,4 +66,7 @@ func main() {
 	}
 	fmt.Println("Table VII — Effect of Coefficients in the Hybrid Reward Function")
 	experiments.PrintAxisResults(os.Stdout, rows)
+	if err := finishTrace(); err != nil {
+		log.Fatal("trace: ", err)
+	}
 }

@@ -7,11 +7,13 @@ package eval
 
 import (
 	"context"
+	"fmt"
 	"math"
 	"sort"
 
 	"head/internal/head"
 	"head/internal/obs"
+	"head/internal/obs/span"
 	"head/internal/parallel"
 	"head/internal/world"
 )
@@ -83,16 +85,26 @@ type episodeTotals struct {
 }
 
 // runEpisode rolls one evaluation episode and returns its partial sums.
-func runEpisode(ctrl head.Controller, env *head.Env, eo episodeObs) episodeTotals {
+// A non-nil lane records the episode/step/phase spans and per-step
+// decision records (the environment is attached for the duration).
+func runEpisode(ctrl head.Controller, env *head.Env, eo episodeObs, episode int, lane *span.Lane) episodeTotals {
+	er := lane.StartEpisode(episode)
+	defer er.End()
+	env.SetTrace(lane)
+	defer env.SetTrace(nil)
 	w := env.Cfg.Traffic.World
 	t := episodeTotals{minTTC: math.Inf(1)}
 	env.Reset()
 	ctrl.Reset()
 	// Per-vehicle mean velocity of trailing conventional vehicles.
 	followV := map[int]*[2]float64{} // id → {sumV, count}
-	for !env.Done() {
+	for step := 0; !env.Done(); step++ {
+		sr := lane.StartStep(step)
+		fw := lane.Start("bpdqn_forward")
 		man := ctrl.Decide(env)
+		fw.End()
 		out := env.StepManeuver(man)
+		sr.End()
 		av := env.Sim().AV.State
 		t.sumV += av.V
 		t.nV++
@@ -228,7 +240,7 @@ func reduce(method string, w world.Config, parts []episodeTotals) Metrics {
 func RunEpisodes(ctrl head.Controller, env *head.Env, episodes int) Metrics {
 	parts := make([]episodeTotals, 0, episodes)
 	for ep := 0; ep < episodes; ep++ {
-		parts = append(parts, runEpisode(ctrl, env, episodeObs{}))
+		parts = append(parts, runEpisode(ctrl, env, episodeObs{}, ep, nil))
 	}
 	return reduce(ctrl.Name(), env.Cfg.Traffic.World, parts)
 }
@@ -241,15 +253,16 @@ func RunEpisodes(ctrl head.Controller, env *head.Env, episodes int) Metrics {
 // parallel.Rand). Per-episode results are reduced in episode order, so the
 // returned Metrics are bit-identical for every worker count.
 func RunEpisodesParallel(episodes, workers int, setup func(episode int) (head.Controller, *head.Env)) Metrics {
-	return RunEpisodesObserved(episodes, workers, nil, setup)
+	return RunEpisodesObserved(episodes, workers, nil, nil, setup)
 }
 
 // RunEpisodesObserved is RunEpisodesParallel with live observability:
 // per-step TTC and rear-deceleration histograms plus episode counters
-// stream into reg while the evaluation runs (nil disables). The metrics
-// are write-only and atomic, so the returned Metrics stay bit-identical
-// for every worker count with or without a registry.
-func RunEpisodesObserved(episodes, workers int, reg *obs.Registry, setup func(episode int) (head.Controller, *head.Env)) Metrics {
+// stream into reg, and episode/step/phase spans plus decision records
+// onto a fresh per-episode lane of tr, while the evaluation runs (either
+// may be nil). Both sinks are write-only, so the returned Metrics stay
+// bit-identical for every worker count with or without them.
+func RunEpisodesObserved(episodes, workers int, reg *obs.Registry, tr *span.Tracer, setup func(episode int) (head.Controller, *head.Env)) Metrics {
 	if episodes <= 0 {
 		return Metrics{}
 	}
@@ -261,8 +274,11 @@ func RunEpisodesObserved(episodes, workers int, reg *obs.Registry, setup func(ep
 	}
 	parts, _ := parallel.Map(context.Background(), episodes, workers, func(ep int) (epResult, error) {
 		ctrl, env := setup(ep)
+		// A fresh lane per episode: episodes run concurrently and a Lane
+		// is single-goroutine; a nil tracer yields a nil (silent) lane.
+		lane := tr.Lane(fmt.Sprintf("eval-%03d", ep))
 		return epResult{
-			totals: runEpisode(ctrl, env, eo),
+			totals: runEpisode(ctrl, env, eo, ep, lane),
 			name:   ctrl.Name(),
 			world:  env.Cfg.Traffic.World,
 		}, nil

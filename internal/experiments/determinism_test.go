@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"math"
 	"testing"
+
+	"head/internal/obs/span"
 )
 
 // TestParallelDeterminism is the suite's determinism gate: the rendered
@@ -29,6 +31,42 @@ func TestParallelDeterminism(t *testing.T) {
 		if got := render(w); got != want {
 			t.Errorf("workers=%d output differs from workers=1:\n--- workers=1 ---\n%s--- workers=%d ---\n%s", w, want, w, got)
 		}
+	}
+}
+
+// TestTracingOutOfBand is the flight recorder's determinism gate: the
+// rendered Table I report must be byte-identical with tracing disabled,
+// tracing every step, and sampling 10% of steps. Sampling hashes the step
+// coordinates instead of drawing randomness, and no recorded value feeds
+// back — this test fails if either property regresses.
+func TestTracingOutOfBand(t *testing.T) {
+	var decisions bytes.Buffer
+	render := func(tr *span.Tracer) string {
+		s := micro()
+		s.Trace = tr
+		rows, err := TableI(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		PrintEndToEnd(&buf, "Table I", rows)
+		return buf.String()
+	}
+	want := render(nil)
+	full := span.New(span.Config{Sample: 1, Decisions: &decisions})
+	if got := render(full); got != want {
+		t.Errorf("full tracing changed the output:\n--- untraced ---\n%s--- traced ---\n%s", want, got)
+	}
+	if got := render(span.New(span.Config{Sample: 0.1})); got != want {
+		t.Errorf("sampled tracing changed the output:\n--- untraced ---\n%s--- sampled ---\n%s", want, got)
+	}
+	// The traced run really recorded: spans in the ring and decision lines
+	// on the sink — identity above is out-of-band-ness, not a dead tracer.
+	if spans, _ := full.Snapshot(); len(spans) == 0 {
+		t.Error("full tracer recorded no spans")
+	}
+	if decisions.Len() == 0 {
+		t.Error("full tracer wrote no decision records")
 	}
 }
 

@@ -15,11 +15,13 @@
 package experiments
 
 import (
+	"bufio"
 	"context"
 	"fmt"
 	"io"
 	"math/rand"
 	"os"
+	"path/filepath"
 	"time"
 
 	"head/internal/eval"
@@ -27,6 +29,7 @@ import (
 	"head/internal/ngsim"
 	"head/internal/nn"
 	"head/internal/obs"
+	"head/internal/obs/span"
 	"head/internal/parallel"
 	"head/internal/policy"
 	"head/internal/predict"
@@ -74,29 +77,86 @@ type Scale struct {
 	// without them, which TestParallelDeterminism continues to gate.
 	Metrics  *obs.Registry
 	Progress *obs.Progress
+	// Trace is the span flight recorder: every training run and evaluation
+	// episode the suite executes records hierarchical latency spans and
+	// per-step decision records onto fresh lanes of it. Optional (nil
+	// disables) and strictly out of band like the other sinks — table
+	// output and checkpoints are bit-identical with tracing on, off, or
+	// sampled, which the determinism tests gate.
+	Trace *span.Tracer
 }
 
-// instr bundles the scale's observability sinks for rl training loops.
-func (s Scale) instr() rl.Instrumentation {
-	return rl.Instrumentation{Metrics: s.Metrics, Progress: s.Progress}
+// instrUnit bundles the scale's observability sinks for one rl training
+// loop. Each call opens a fresh trace lane (nil tracer → nil lane), so
+// concurrent units never share lane state.
+func (s Scale) instrUnit(unit int64) rl.Instrumentation {
+	return rl.Instrumentation{
+		Metrics:  s.Metrics,
+		Progress: s.Progress,
+		Trace:    s.Trace.Lane(fmt.Sprintf("train-%02d", unit)),
+	}
 }
 
 // ObserveDefault is the CLI wiring shared by the cmd/ executables: it
 // attaches the process-wide obs.Default registry to the scale and to the
-// parallel pool, adds a stderr heartbeat when progress is set, and — when
-// addr is non-empty — starts the debug HTTP server (/metrics,
-// /debug/pprof/*, /debug/vars) on it. The returned server is nil when addr
-// is empty; the caller owns Close.
-func (s *Scale) ObserveDefault(progress bool, addr string) (*obs.Server, error) {
+// parallel pool, adds a stderr heartbeat when progress is set, starts the
+// debug HTTP server (/metrics, /debug/pprof/*, /debug/vars, and — when
+// tracing — /debug/trace) when addr is non-empty, and attaches the span
+// flight recorder when traceOut is non-empty: traceOut names a directory
+// that receives trace.json (Chrome trace-event JSON, Perfetto-loadable)
+// and decisions.jsonl (per-step decision records), with traceSample the
+// fraction of steps traced (0 or 1 = all). The returned server is nil
+// when addr is empty and the caller owns Close; finish is never nil and
+// must be called once after the run to write the trace artifacts.
+func (s *Scale) ObserveDefault(progress bool, addr, traceOut string, traceSample float64) (*obs.Server, func() error, error) {
 	s.Metrics = obs.Default
 	if progress {
 		s.Progress = obs.NewProgress(os.Stderr)
 	}
 	parallel.SetMetrics(obs.Default)
-	if addr == "" {
-		return nil, nil
+	finish := func() error { return nil }
+	if traceOut != "" {
+		if err := os.MkdirAll(traceOut, 0o755); err != nil {
+			return nil, nil, err
+		}
+		df, err := os.Create(filepath.Join(traceOut, "decisions.jsonl"))
+		if err != nil {
+			return nil, nil, err
+		}
+		bw := bufio.NewWriter(df)
+		s.Trace = span.New(span.Config{Sample: traceSample, Decisions: bw})
+		tr := s.Trace
+		finish = func() error {
+			if err := bw.Flush(); err != nil {
+				df.Close()
+				return err
+			}
+			if err := df.Close(); err != nil {
+				return err
+			}
+			tf, err := os.Create(filepath.Join(traceOut, "trace.json"))
+			if err != nil {
+				return err
+			}
+			if err := tr.WriteChrome(tf); err != nil {
+				tf.Close()
+				return err
+			}
+			return tf.Close()
+		}
 	}
-	return obs.Serve(addr, obs.Default)
+	if addr == "" {
+		return nil, finish, nil
+	}
+	var extra []obs.Endpoint
+	if s.Trace != nil {
+		extra = append(extra, obs.Endpoint{Path: "/debug/trace", Handler: s.Trace})
+	}
+	srv, err := obs.Serve(addr, obs.Default, extra...)
+	if err != nil {
+		return nil, nil, err
+	}
+	return srv, finish, nil
 }
 
 // Quick returns a laptop-scale preset (seconds to minutes per table).
@@ -249,6 +309,7 @@ func TrainedPredictorObserved(s Scale, rng *rand.Rand, epochSink func(epoch int,
 	predict.Train(model, train, predict.TrainConfig{
 		Epochs: s.PredEpochs, BatchSize: s.PredBatch, Workers: s.Workers,
 		Metrics: s.Metrics, Progress: s.Progress, EpochSink: epochSink,
+		Trace: s.Trace.Lane("predict"),
 	}, rng)
 	return model, nil
 }
@@ -264,7 +325,7 @@ func (s Scale) trainHEADAgent(v head.Variant, predictor *predict.LSTGAT, unit in
 	}
 	env := head.NewEnv(cfg, p, s.unitRand(unit, streamTrainEnv))
 	agent := head.NewVariantAgent(v, s.rlConfig(), env.Spec(), env.AMax(), s.RLHidden, s.unitRand(unit, streamAgent))
-	rl.TrainObserved(agent, env, s.TrainEpisodes, s.MaxSteps, s.instr())
+	rl.TrainObserved(agent, env, s.TrainEpisodes, s.MaxSteps, s.instrUnit(unit))
 	return agent, cfg
 }
 
@@ -274,7 +335,7 @@ func (s Scale) trainHEADAgent(v head.Variant, predictor *predict.LSTGAT, unit in
 // trained models must be cloned per call, never shared across episodes.
 func (s Scale) evalController(cfg head.EnvConfig, predictor *predict.LSTGAT, mkCtrl func(episode int) head.Controller) eval.Metrics {
 	evalSeed := s.evalSeed()
-	return eval.RunEpisodesObserved(s.TestEpisodes, s.Workers, s.Metrics, func(ep int) (head.Controller, *head.Env) {
+	return eval.RunEpisodesObserved(s.TestEpisodes, s.Workers, s.Metrics, s.Trace, func(ep int) (head.Controller, *head.Env) {
 		var p predict.Model
 		if predictor != nil {
 			p = predictor.Clone()
@@ -318,7 +379,7 @@ func TableI(s Scale) ([]eval.Metrics, error) {
 		func(unit int64) eval.Metrics {
 			trainEnv := head.NewEnv(base, predictor.Clone(), s.unitRand(unit, streamTrainEnv))
 			agent := policy.NewDRLSC(rlCfg, spec, world.AMax, s.RLHidden, s.unitRand(unit, streamAgent))
-			rl.TrainObserved(agent, trainEnv, s.TrainEpisodes, s.MaxSteps, s.instr())
+			rl.TrainObserved(agent, trainEnv, s.TrainEpisodes, s.MaxSteps, s.instrUnit(unit))
 			return s.evalController(base, predictor, func(int) head.Controller {
 				c := policy.NewDRLSC(rlCfg, spec, world.AMax, s.RLHidden, rand.New(rand.NewSource(0)))
 				nn.CopyParams(c, agent)
@@ -408,9 +469,12 @@ func TableIIIIV(s Scale) ([]PredRow, error) {
 	return parallel.Map(context.Background(), len(builders), s.Workers, func(i int) (PredRow, error) {
 		m := builders[i](s.unitRand(int64(i), streamModel))
 		// Each unit shuffles a private view of the shared training split
-		// (the samples themselves are read-only during training).
+		// (the samples themselves are read-only during training), and gets
+		// a private copy of the train config with its own trace lane.
 		local := &ngsim.Dataset{Samples: append([]*ngsim.Sample(nil), train.Samples...)}
-		res := predict.Train(m, local, tc, s.unitRand(int64(i), streamTrainEnv))
+		utc := tc
+		utc.Trace = s.Trace.Lane(fmt.Sprintf("predict-%02d", i))
+		res := predict.Train(m, local, utc, s.unitRand(int64(i), streamTrainEnv))
 		return PredRow{
 			Name:  m.Name(),
 			Model: predict.Evaluate(m, test),
@@ -474,7 +538,7 @@ func TableVVI(s Scale) ([]RLRow, error) {
 		unit := int64(u)
 		agent := b.mk(s.unitSeed(unit, streamAgent))
 		trainEnv := head.NewEnv(base, predictor.Clone(), s.unitRand(unit, streamTrainEnv))
-		res := rl.TrainObserved(agent, trainEnv, s.TrainEpisodes, s.MaxSteps, s.instr())
+		res := rl.TrainObserved(agent, trainEnv, s.TrainEpisodes, s.MaxSteps, s.instrUnit(unit))
 		stats := rl.EvaluateAgentParallel(s.TestEpisodes, s.MaxSteps, s.Workers, func(ep int) (rl.Agent, rl.Env) {
 			replica := b.mk(0)
 			nn.CopyParams(replica.(nn.Module), agent.(nn.Module))
@@ -527,7 +591,10 @@ func TableVII(s Scale) ([]eval.AxisResult, error) {
 		cfg.Reward.Weights = w
 		env := head.NewEnv(cfg, predictor.Clone(), s.unitRand(0, streamTrainEnv))
 		agent := rl.NewBPDQN(s.rlConfig(), env.Spec(), env.AMax(), s.RLHidden, s.unitRand(0, streamAgent))
-		rl.TrainObserved(agent, env, s.TrainEpisodes, s.MaxSteps, s.instr())
+		// Unit 0 for every grid point: score calls run concurrently, but
+		// instrUnit opens a fresh lane per call, so sharing the label is
+		// safe and keeps grid-point lanes grouped in the trace.
+		rl.TrainObserved(agent, env, s.TrainEpisodes, s.MaxSteps, s.instrUnit(0))
 		testEnv := head.NewEnv(cfg, predictor.Clone(), rand.New(rand.NewSource(s.evalSeed())))
 		// Score under the default weights so coefficient vectors are
 		// comparable (the trained behavior differs, the yardstick not).

@@ -11,6 +11,7 @@ import (
 	"math"
 	"math/rand"
 
+	"head/internal/obs/span"
 	"head/internal/phantom"
 	"head/internal/predict"
 	"head/internal/reward"
@@ -76,6 +77,7 @@ type Env struct {
 	steps     int
 	done      bool
 	collided  bool
+	trace     *span.Lane
 }
 
 // NewEnv builds an environment. The predictor may be nil, in which case
@@ -120,6 +122,34 @@ func (e *Env) Collided() bool { return e.collided }
 
 // Steps returns the number of decision steps taken this episode.
 func (e *Env) Steps() int { return e.steps }
+
+// SetTrace implements span.Traceable: phase spans (env physics, reward
+// computation, sensor scan, phantom construction, LST-GAT inference) and
+// per-step decision records flow onto the lane. Strictly out of band; nil
+// detaches.
+func (e *Env) SetTrace(l *span.Lane) { e.trace = l }
+
+// attentionReporter is the optional predictor interface the decision
+// records pull LST-GAT attention rows from.
+type attentionReporter interface{ LastAttention() [][]float64 }
+
+// decisionAttention deep-copies the predictor's current attention rows
+// (they alias forward caches that the next Predict overwrites).
+func (e *Env) decisionAttention() [][]float64 {
+	ar, ok := e.Predictor.(attentionReporter)
+	if !ok {
+		return nil
+	}
+	rows := ar.LastAttention()
+	if rows == nil {
+		return nil
+	}
+	out := make([][]float64, len(rows))
+	for i, r := range rows {
+		out[i] = append([]float64(nil), r...)
+	}
+	return out
+}
 
 // Reset implements rl.Env: it builds a fresh traffic scene, warms the
 // sensor history with z internally controlled steps, and returns the
@@ -166,12 +196,16 @@ func (e *Env) Reset() []float64 {
 // refreshPerception rebuilds the spatial-temporal graph and the future
 // state prediction from the current sensor history.
 func (e *Env) refreshPerception() {
+	pb := e.trace.Start("phantom_build")
 	e.graph = e.builder.Build(e.sens.History())
 	if e.graph != nil && !e.Cfg.UsePhantom {
 		zeroPhantoms(e.graph)
 	}
+	pb.End()
 	if e.graph != nil && e.Cfg.UsePrediction && e.Predictor != nil {
+		li := e.trace.Start("lstgat_infer")
 		e.pred = e.Predictor.Predict(e.graph)
+		li.End()
 	} else {
 		e.pred = predict.Prediction{}
 	}
@@ -273,7 +307,17 @@ func (e *Env) StepManeuver(m world.Maneuver) StepOutcome {
 	frontPhantom := e.graph != nil && e.graph.Info[phantom.Front].Kind != phantom.NotMissing
 	rearPhantom := e.graph != nil && e.graph.Info[phantom.Rear].Kind != phantom.NotMissing
 
+	// The decision's attention evidence must be captured before the step:
+	// refreshPerception below overwrites the predictor's attention caches
+	// with the next state's rows.
+	var attn [][]float64
+	if e.trace.Sampled() {
+		attn = e.decisionAttention()
+	}
+
+	ph := e.trace.Start("env_physics")
 	res := e.sim.Step(m)
+	ph.End()
 	e.steps++
 
 	var out StepOutcome
@@ -313,15 +357,27 @@ func (e *Env) StepManeuver(m world.Maneuver) StepOutcome {
 			}
 		}
 	}
+	rc := e.trace.Start("reward_compute")
 	out.Reward, out.Terms = e.Cfg.Reward.Evaluate(in)
+	rc.End()
 	e.prevAccel = m.A
 
 	if out.Collision || out.Finished || e.steps >= e.Cfg.MaxSteps {
 		e.done = true
 	} else {
+		sc := e.trace.Start("sensor_scan")
 		e.sens.Observe(e.sim.AV.State, e.sim.Vehicles)
+		sc.End()
 		e.refreshPerception()
 	}
 	out.Done = e.done
+	e.trace.Decision(span.Decision{
+		Behavior: m.B.String(), Accel: m.A,
+		Reward: out.Reward,
+		Safety: out.Terms.Safety, Eff: out.Terms.Efficiency,
+		Comfort: out.Terms.Comfort, Impact: out.Terms.Impact,
+		TTC:       out.TTC,
+		Attention: attn,
+	})
 	return out
 }

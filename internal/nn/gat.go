@@ -73,6 +73,12 @@ func (g *GAT) Share() *GAT {
 		Uniform: g.Uniform, Phi1: g.Phi1, Phi2: g.Phi2, Phi3: g.Phi3}
 }
 
+// Alphas returns the normalized attention weights of the most recent
+// Forward: one row per target, one weight per neighbor (uniform 1/|N(i)|
+// in Uniform mode). The rows alias the forward cache — copy before
+// retaining past the next Forward. Nil before the first Forward.
+func (g *GAT) Alphas() [][]float64 { return g.alphas }
+
 // Forward aggregates neighborhoods. nodes is N×In; targets selects the
 // target node indices; neighbors[i] lists the node indices attended by
 // targets[i] and must include the target itself (the self-loop edge ③ of

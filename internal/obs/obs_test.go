@@ -151,6 +151,55 @@ func TestConcurrentWriters(t *testing.T) {
 	}
 }
 
+// TestSnapshotUnderConcurrentWriters takes snapshots continuously while
+// writers hammer the registry, asserting every snapshot is internally
+// coherent: counter values never go backwards between successive
+// snapshots, and the final snapshot equals the exact totals.
+func TestSnapshotUnderConcurrentWriters(t *testing.T) {
+	r := NewRegistry()
+	const goroutines = 8
+	const perG = 400
+	var wg sync.WaitGroup
+	wg.Add(goroutines)
+	for g := 0; g < goroutines; g++ {
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				r.Counter("snap.counter").Inc()
+				r.Histogram("snap.hist", 1, 10).Observe(float64(i % 20))
+			}
+		}()
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	prevC, prevH := 0.0, 0.0
+	for {
+		snap := r.Snapshot()
+		if c := snap["snap.counter"]; c < prevC {
+			t.Errorf("counter went backwards: %g after %g", c, prevC)
+		} else {
+			prevC = c
+		}
+		if h := snap["snap.hist.count"]; h < prevH {
+			t.Errorf("histogram count went backwards: %g after %g", h, prevH)
+		} else {
+			prevH = h
+		}
+		select {
+		case <-done:
+			final := r.Snapshot()
+			if got := final["snap.counter"]; got != goroutines*perG {
+				t.Errorf("final counter = %g, want %d", got, goroutines*perG)
+			}
+			if got := final["snap.hist.count"]; got != goroutines*perG {
+				t.Errorf("final histogram count = %g, want %d", got, goroutines*perG)
+			}
+			return
+		default:
+		}
+	}
+}
+
 type discard struct{}
 
 func (discard) Write(p []byte) (int, error) { return len(p), nil }

@@ -14,6 +14,7 @@ import (
 type Progress struct {
 	mu       sync.Mutex
 	w        io.Writer
+	now      func() time.Time // injected clock; time.Now in production
 	start    time.Time
 	last     time.Time
 	interval time.Duration
@@ -22,7 +23,13 @@ type Progress struct {
 // NewProgress returns a progress reporter writing to w with a 1 s
 // heartbeat interval.
 func NewProgress(w io.Writer) *Progress {
-	return &Progress{w: w, start: time.Now(), interval: time.Second}
+	return newProgress(w, time.Now)
+}
+
+// newProgress is the constructor with an injectable clock, so
+// heartbeat-throttling tests control time instead of sleeping.
+func newProgress(w io.Writer, now func() time.Time) *Progress {
+	return &Progress{w: w, now: now, start: now(), interval: time.Second}
 }
 
 // SetInterval changes the minimum spacing between heartbeat lines.
@@ -49,7 +56,7 @@ func (p *Progress) emit(force bool, format string, args []any) {
 	}
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	now := time.Now()
+	now := p.now()
 	if !force && now.Sub(p.last) < p.interval {
 		return
 	}

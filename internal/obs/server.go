@@ -19,10 +19,19 @@ type Server struct {
 
 var publishOnce sync.Once
 
+// Endpoint mounts one extra handler on the debug server — how callers
+// attach endpoints (e.g. a /debug/trace dump) without obs importing their
+// packages.
+type Endpoint struct {
+	Path    string
+	Handler http.Handler
+}
+
 // Serve starts the debug server on addr (":0" picks a free port; query
-// Addr for the bound address) exporting reg. It returns once the listener
-// is up; requests are handled on a background goroutine until Close.
-func Serve(addr string, reg *Registry) (*Server, error) {
+// Addr for the bound address) exporting reg, plus any extra endpoints. It
+// returns once the listener is up; requests are handled on a background
+// goroutine until Close.
+func Serve(addr string, reg *Registry, extra ...Endpoint) (*Server, error) {
 	publishOnce.Do(func() {
 		expvar.Publish("obs_metrics", expvar.Func(func() any { return reg.Snapshot() }))
 	})
@@ -41,6 +50,9 @@ func Serve(addr string, reg *Registry) (*Server, error) {
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	mux.Handle("/debug/vars", expvar.Handler())
+	for _, e := range extra {
+		mux.Handle(e.Path, e.Handler)
+	}
 	s := &Server{ln: ln, srv: &http.Server{Handler: mux}}
 	go s.srv.Serve(ln)
 	return s, nil

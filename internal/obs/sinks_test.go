@@ -55,11 +55,20 @@ func TestSnapshotWriterNilSafety(t *testing.T) {
 	}
 }
 
+// fakeClock is a manually advanced clock for deterministic throttling
+// tests — no sleeping, no wall-clock dependence.
+type fakeClock struct{ t time.Time }
+
+func (c *fakeClock) now() time.Time          { return c.t }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+
 func TestProgressHeartbeatThrottles(t *testing.T) {
 	var buf bytes.Buffer
-	p := NewProgress(&buf)
-	p.SetInterval(time.Hour)
+	clk := &fakeClock{t: time.Date(2026, 8, 5, 10, 0, 0, 0, time.UTC)}
+	p := newProgress(&buf, clk.now)
+	p.SetInterval(time.Second)
 	p.Heartbeat("first %d", 1)
+	clk.advance(300 * time.Millisecond)
 	p.Heartbeat("suppressed")
 	p.Logf("forced")
 	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
@@ -68,6 +77,26 @@ func TestProgressHeartbeatThrottles(t *testing.T) {
 	}
 	if !strings.Contains(lines[0], "first 1") || !strings.Contains(lines[1], "forced") {
 		t.Errorf("lines = %q", lines)
+	}
+}
+
+func TestProgressHeartbeatResumesAfterInterval(t *testing.T) {
+	var buf bytes.Buffer
+	clk := &fakeClock{t: time.Date(2026, 8, 5, 10, 0, 0, 0, time.UTC)}
+	p := newProgress(&buf, clk.now)
+	p.SetInterval(time.Second)
+	p.Heartbeat("one")
+	clk.advance(999 * time.Millisecond)
+	p.Heartbeat("still throttled")
+	clk.advance(time.Millisecond)
+	p.Heartbeat("two")
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 || !strings.Contains(lines[0], "one") || !strings.Contains(lines[1], "two") {
+		t.Fatalf("lines = %q, want exactly [one two]", lines)
+	}
+	// The elapsed-seconds prefix derives from the same injected clock.
+	if !strings.Contains(lines[1], "1.0s") {
+		t.Errorf("line 2 = %q, want 1.0s elapsed prefix", lines[1])
 	}
 }
 
@@ -123,5 +152,28 @@ func TestHashStability(t *testing.T) {
 	}
 	if Hash(make(chan int)) != "unhashable" {
 		t.Error("unmarshalable value did not degrade gracefully")
+	}
+}
+
+func TestHashFieldOrderIndependence(t *testing.T) {
+	// Map-valued configs must hash by content, not by insertion order:
+	// the manifest's ConfigHash is compared across runs, and Go maps
+	// iterate in randomized order.
+	a := map[string]any{}
+	a["seed"] = 7
+	a["workers"] = 4
+	a["scale"] = "quick"
+	b := map[string]any{}
+	b["scale"] = "quick"
+	b["workers"] = 4
+	b["seed"] = 7
+	if Hash(a) != Hash(b) {
+		t.Errorf("insertion order changed the hash: %q vs %q", Hash(a), Hash(b))
+	}
+	// Nested maps too.
+	n1 := map[string]any{"outer": map[string]int{"x": 1, "y": 2}, "z": 3}
+	n2 := map[string]any{"z": 3, "outer": map[string]int{"y": 2, "x": 1}}
+	if Hash(n1) != Hash(n2) {
+		t.Errorf("nested insertion order changed the hash: %q vs %q", Hash(n1), Hash(n2))
 	}
 }

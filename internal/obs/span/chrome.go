@@ -1,0 +1,93 @@
+package span
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+)
+
+// chromeEvent is one Chrome trace-event object. Complete spans use ph "X"
+// with ts/dur in microseconds; metadata events (process/thread names) use
+// ph "M".
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Pid  int64          `json:"pid"`
+	Tid  int64          `json:"tid"`
+	Ts   float64        `json:"ts,omitempty"`
+	Dur  float64        `json:"dur,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// chromeTrace is the JSON-object form of the Chrome trace-event format,
+// loadable in Perfetto and chrome://tracing.
+type chromeTrace struct {
+	TraceEvents []chromeEvent `json:"traceEvents"`
+	// Dropped counts spans lost to ring wrap-around (0 for a complete
+	// trace); analyzers should warn when attribution is partial.
+	Dropped int64 `json:"droppedSpans"`
+}
+
+const chromePid = 1
+
+// WriteChrome exports the retained spans as Chrome trace-event JSON. Each
+// lane becomes one named thread track; every span carries its episode and
+// step coordinates plus its self time (duration minus direct children) in
+// args, so analyzers can attribute latency without rebuilding the tree.
+func (t *Tracer) WriteChrome(w io.Writer) error {
+	if t == nil {
+		_, err := io.WriteString(w, `{"traceEvents":[]}`)
+		return err
+	}
+	spans, total := t.Snapshot()
+	ct := chromeTrace{
+		TraceEvents: make([]chromeEvent, 0, len(spans)+8),
+		Dropped:     total - int64(len(spans)),
+	}
+	ct.TraceEvents = append(ct.TraceEvents, chromeEvent{
+		Name: "process_name", Ph: "M", Pid: chromePid,
+		Args: map[string]any{"name": "head"},
+	})
+	t.laneMu.Lock()
+	lanes := append([]laneInfo(nil), t.lanes...)
+	t.laneMu.Unlock()
+	for _, li := range lanes {
+		ct.TraceEvents = append(ct.TraceEvents, chromeEvent{
+			Name: "thread_name", Ph: "M", Pid: chromePid, Tid: li.ID,
+			Args: map[string]any{"name": fmt.Sprintf("%s (lane %d)", li.Name, li.ID)},
+		})
+	}
+	for _, s := range spans {
+		args := map[string]any{
+			"self_us": float64(s.Dur-s.Child) / 1e3,
+			"parent":  s.Parent,
+		}
+		if s.Ep >= 0 {
+			args["ep"] = s.Ep
+		}
+		if s.Step >= 0 {
+			args["step"] = s.Step
+		}
+		ct.TraceEvents = append(ct.TraceEvents, chromeEvent{
+			Name: s.Name, Ph: "X", Pid: chromePid, Tid: s.Lane,
+			Ts: float64(s.Start) / 1e3, Dur: float64(s.Dur) / 1e3,
+			Args: args,
+		})
+	}
+	enc := json.NewEncoder(w)
+	if err := enc.Encode(ct); err != nil {
+		return fmt.Errorf("span: chrome export: %w", err)
+	}
+	return nil
+}
+
+// ServeHTTP dumps the current trace as Chrome trace-event JSON, making
+// the tracer mountable at /debug/trace on the obs debug server. The trace
+// can be fetched mid-run; it reflects the spans completed so far.
+func (t *Tracer) ServeHTTP(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := t.WriteChrome(w); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}

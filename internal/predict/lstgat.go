@@ -24,6 +24,7 @@ type LSTGAT struct {
 	opt   *nn.Adam
 	scale scaler
 	z     int
+	lastT int // index of the most recent history step run through forward
 }
 
 // LSTGATConfig sizes the network. The paper uses Dφ1 = Dφ3 = Dl = 64.
@@ -141,7 +142,19 @@ func (m *LSTGAT) forward(g *phantom.Graph) *tensor.Matrix {
 		seq[t] = tensor.ConcatCols(self, ctx)
 	}
 	hs := m.lstm.Forward(seq)
+	m.lastT = z - 1
 	return m.out.Forward(hs[len(hs)-1])
+}
+
+// LastAttention returns the graph-attention weights of the most recent
+// prediction's final (decision-relevant) history step: one row per target
+// slot, one weight per attended neighbor. The rows alias the forward
+// cache — copy before retaining. Nil before the first Predict.
+func (m *LSTGAT) LastAttention() [][]float64 {
+	if m.lastT < 0 || m.lastT >= len(m.gats) {
+		return nil
+	}
+	return m.gats[m.lastT].Alphas()
 }
 
 // Predict implements Model. All six targets are predicted in one parallel

@@ -9,6 +9,7 @@ import (
 	"head/internal/ngsim"
 	"head/internal/nn"
 	"head/internal/obs"
+	"head/internal/obs/span"
 	"head/internal/parallel"
 )
 
@@ -34,6 +35,10 @@ type TrainConfig struct {
 	Metrics   *obs.Registry
 	Progress  *obs.Progress
 	EpochSink func(epoch int, loss float64)
+	// Trace records per-epoch and per-minibatch spans onto a lane (the
+	// master training goroutine only; gradient chunks run on pool workers
+	// and stay untraced). Nil disables.
+	Trace *span.Lane
 }
 
 // observeEpoch fans one completed epoch out to the configured sinks.
@@ -98,6 +103,7 @@ func Train(model Model, ds *ngsim.Dataset, cfg TrainConfig, rng *rand.Rand) Trai
 	var res TrainResult
 	prev := math.Inf(1)
 	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		er := cfg.Trace.StartEpisode(epoch)
 		ds.Shuffle(rng)
 		total, batches := 0.0, 0
 		for off := 0; off < ds.Len(); off += cfg.BatchSize {
@@ -105,9 +111,12 @@ func Train(model Model, ds *ngsim.Dataset, cfg TrainConfig, rng *rand.Rand) Trai
 			if end > ds.Len() {
 				end = ds.Len()
 			}
+			mb := cfg.Trace.Start("minibatch_update")
 			total += model.TrainBatch(ds.Samples[off:end])
+			mb.End()
 			batches++
 		}
+		er.End()
 		if batches == 0 {
 			break
 		}
@@ -147,6 +156,7 @@ func trainParallel(model DataParallel, ds *ngsim.Dataset, cfg TrainConfig, rng *
 	var res TrainResult
 	prev := math.Inf(1)
 	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		er := cfg.Trace.StartEpisode(epoch)
 		ds.Shuffle(rng)
 		total, batches := 0.0, 0
 		for off := 0; off < ds.Len(); off += cfg.BatchSize {
@@ -156,6 +166,8 @@ func trainParallel(model DataParallel, ds *ngsim.Dataset, cfg TrainConfig, rng *
 			}
 			batch := ds.Samples[off:end]
 			chunks := (len(batch) + GradChunk - 1) / GradChunk
+			mb := cfg.Trace.Start("minibatch_update")
+			gf := cfg.Trace.Start("grad_fanout")
 			parts, _ := parallel.Map(context.Background(), chunks, workers, func(c int) (chunkGrad, error) {
 				lo := c * GradChunk
 				hi := lo + GradChunk
@@ -170,6 +182,7 @@ func trainParallel(model DataParallel, ds *ngsim.Dataset, cfg TrainConfig, rng *
 				loss := r.GradBatch(batch[lo:hi])
 				return chunkGrad{loss: loss, grads: nn.Gradients(r)}, nil
 			})
+			gf.End()
 			nn.ZeroGrads(model)
 			batchLoss := 0.0
 			for _, p := range parts {
@@ -185,7 +198,9 @@ func trainParallel(model DataParallel, ds *ngsim.Dataset, cfg TrainConfig, rng *
 				nn.CopyParams(r, model)
 				pool <- r
 			}
+			mb.End()
 		}
+		er.End()
 		if batches == 0 {
 			break
 		}

@@ -1,10 +1,13 @@
 package rl
 
 import (
+	"bytes"
 	"math/rand"
 	"testing"
 
+	"head/internal/nn"
 	"head/internal/obs"
+	"head/internal/obs/span"
 )
 
 // countingEnv wraps an Env and counts Reset/Step calls.
@@ -84,6 +87,47 @@ func TestTrainObservedOutOfBand(t *testing.T) {
 		if plain.EpisodeRewards[i] != observed.EpisodeRewards[i] {
 			t.Fatalf("episode %d reward diverged: %g vs %g",
 				i, plain.EpisodeRewards[i], observed.EpisodeRewards[i])
+		}
+	}
+}
+
+// TestTrainTracedBitIdentical trains two identically-seeded agents — one
+// under a full tracer with a decision sink, one untraced — and compares
+// the learned parameters bit for bit. Tracing must be a pure observer of
+// the training computation.
+func TestTrainTracedBitIdentical(t *testing.T) {
+	run := func(ins Instrumentation) ([]byte, TrainResult) {
+		env := newToyEnv(41)
+		a := NewBPDQN(fastCfg(), env.Spec(), 3, 8, rand.New(rand.NewSource(42)))
+		res := TrainObserved(a, env, 6, 20, ins)
+		var buf bytes.Buffer
+		if err := nn.Save(&buf, a); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes(), res
+	}
+	plain, plainRes := run(Instrumentation{})
+	tr := span.New(span.Config{Sample: 1, Decisions: &bytes.Buffer{}})
+	traced, tracedRes := run(Instrumentation{Trace: tr.Lane("train")})
+	if !bytes.Equal(plain, traced) {
+		t.Error("traced training produced different parameters")
+	}
+	for i := range plainRes.EpisodeRewards {
+		if plainRes.EpisodeRewards[i] != tracedRes.EpisodeRewards[i] {
+			t.Fatalf("episode %d reward diverged: %g vs %g",
+				i, plainRes.EpisodeRewards[i], tracedRes.EpisodeRewards[i])
+		}
+	}
+	// The traced run really recorded phase spans (the agent's replay and
+	// update phases type-assert through span.Traceable).
+	spans, _ := tr.Snapshot()
+	seen := map[string]bool{}
+	for _, s := range spans {
+		seen[s.Name] = true
+	}
+	for _, want := range []string{"episode", "step", "bpdqn_forward", "replay_sample", "minibatch_update"} {
+		if !seen[want] {
+			t.Errorf("no %q span recorded", want)
 		}
 	}
 }

@@ -4,6 +4,7 @@ import (
 	"math/rand"
 
 	"head/internal/nn"
+	"head/internal/obs/span"
 	"head/internal/tensor"
 )
 
@@ -71,6 +72,7 @@ type PDQN struct {
 	steps      int
 	trainSteps int
 	lastLoss   float64
+	trace      *span.Lane
 }
 
 // NewPDQN assembles an agent from freshly constructed online and target
@@ -153,6 +155,10 @@ func (p *PDQN) ReplayLen() int {
 // recent critic minibatch (0 before the first training step).
 func (p *PDQN) LastLoss() float64 { return p.lastLoss }
 
+// SetTrace implements span.Traceable: replay sampling and minibatch
+// updates become phase spans on the lane. Nil detaches.
+func (p *PDQN) SetTrace(l *span.Lane) { p.trace = l }
+
 // Params implements nn.Module over every network (online and target), so
 // a trained agent can be checkpointed with nn.Save and restored with
 // nn.Load into an identically constructed agent.
@@ -230,6 +236,7 @@ func (p *PDQN) phase() (trainQ, trainX bool) {
 // trainStep performs one minibatch update of L2 (Equation (22)) and L3
 // (Equation (23)), then soft-updates the target networks.
 func (p *PDQN) trainStep() {
+	rs := p.trace.Start("replay_sample")
 	var batch []Transition
 	var perIdxs []int
 	var perWeights []float64
@@ -242,6 +249,9 @@ func (p *PDQN) trainStep() {
 	} else {
 		batch = p.buf.Sample(p.cfg.BatchSize, p.rng)
 	}
+	rs.End()
+	mu := p.trace.Start("minibatch_update")
+	defer mu.End()
 	trainQ, trainX := p.phase()
 	p.trainSteps++
 

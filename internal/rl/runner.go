@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"head/internal/obs"
+	"head/internal/obs/span"
 	"head/internal/parallel"
 )
 
@@ -20,14 +21,28 @@ type EpisodeResult struct {
 // observes every transition; otherwise it acts greedily and learns
 // nothing.
 func RunEpisode(agent Agent, env Env, maxSteps int, learn bool) EpisodeResult {
+	return runEpisodeTraced(agent, env, 0, maxSteps, learn, nil)
+}
+
+// runEpisodeTraced is RunEpisode with an optional span lane: the episode
+// becomes an episode span, each step a (sampled) step span with the
+// agent's action selection as a bpdqn_forward phase; the environment and
+// agent contribute their own phases through span.Traceable. A nil lane
+// costs nothing.
+func runEpisodeTraced(agent Agent, env Env, episode, maxSteps int, learn bool, lane *span.Lane) EpisodeResult {
+	er := lane.StartEpisode(episode)
 	state := env.Reset()
 	var res EpisodeResult
 	for step := 0; step < maxSteps; step++ {
+		sr := lane.StartStep(step)
+		fw := lane.Start("bpdqn_forward")
 		act := agent.Act(state, learn)
+		fw.End()
 		next, r, done := env.Step(act.B, act.A)
 		if learn {
 			agent.Observe(Transition{State: state, Action: act, Reward: r, Next: next, Done: done})
 		}
+		sr.End()
 		res.TotalReward += r
 		res.Steps++
 		state = next
@@ -36,6 +51,7 @@ func RunEpisode(agent Agent, env Env, maxSteps int, learn bool) EpisodeResult {
 			break
 		}
 	}
+	er.End()
 	return res
 }
 
@@ -87,6 +103,11 @@ type Instrumentation struct {
 	// OnEpisode is called after every episode (e.g. to snapshot a JSONL
 	// time series alongside checkpoints).
 	OnEpisode func(EpisodeStats)
+	// Trace is the span lane the run's episode/step/phase spans and
+	// decision records flow onto; agents and environments implementing
+	// span.Traceable are attached to it for the duration of the run. Like
+	// the other sinks it is strictly out of band.
+	Trace *span.Lane
 }
 
 // episodeRewardBuckets span the per-episode total rewards seen across the
@@ -105,9 +126,19 @@ func TrainObserved(agent Agent, env Env, episodes, maxSteps int, ins Instrumenta
 	start := time.Now()
 	var res TrainResult
 	observed := ins.Metrics != nil || ins.Progress != nil || ins.OnEpisode != nil
+	if ins.Trace != nil {
+		if t, ok := agent.(span.Traceable); ok {
+			t.SetTrace(ins.Trace)
+			defer t.SetTrace(nil)
+		}
+		if t, ok := env.(span.Traceable); ok {
+			t.SetTrace(ins.Trace)
+			defer t.SetTrace(nil)
+		}
+	}
 	for e := 0; e < episodes; e++ {
 		epStart := time.Now()
-		r := RunEpisode(agent, env, maxSteps, true)
+		r := runEpisodeTraced(agent, env, e, maxSteps, true, ins.Trace)
 		res.EpisodeRewards = append(res.EpisodeRewards, r.TotalReward)
 		if !observed {
 			continue
