@@ -124,25 +124,24 @@ func BenchmarkTableVRLEffectiveness(b *testing.B) {
 	cfg.Warmup = 32
 	cfg.BatchSize = 32
 	agent := rl.NewBPDQN(cfg, env.Spec(), env.AMax(), 32, rand.New(rand.NewSource(5)))
-	state := env.Reset()
-	for i := 0; i < 40; i++ {
+	// The env reuses its state buffer, so keep an owned copy of sᵗ (the
+	// same protocol rl.Runner follows).
+	state := append([]float64(nil), env.Reset()...)
+	step := func() {
 		act := agent.Act(state, true)
 		next, r, done := env.Step(act.B, act.A)
 		agent.Observe(rl.Transition{State: state, Action: act, Reward: r, Next: next, Done: done})
-		state = next
 		if done {
-			state = env.Reset()
+			next = env.Reset()
 		}
+		state = append(state[:0], next...)
+	}
+	for i := 0; i < 40; i++ {
+		step()
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		act := agent.Act(state, true)
-		next, r, done := env.Step(act.B, act.A)
-		agent.Observe(rl.Transition{State: state, Action: act, Reward: r, Next: next, Done: done})
-		state = next
-		if done {
-			state = env.Reset()
-		}
+		step()
 	}
 }
 

@@ -1,0 +1,152 @@
+// Command benchcheck parses `go test -bench -benchmem` output, enforces an
+// allocation ceiling on the compute core's zero-allocation benchmarks, and
+// writes the parsed rows as BENCH_alloc.json so CI archives comparable
+// numbers across commits (alongside BENCH_rl.json and BENCH_predict.json).
+//
+// Usage:
+//
+//	go test -run '^$' -bench 'LSTGATForward|BPDQNSelectAction|EnvStep' \
+//	    -benchmem -benchtime=200x . | benchcheck -out BENCH_alloc.json
+//
+// benchcheck exits non-zero when a matched benchmark exceeds -max-allocs
+// (default 0 allocs/op) or when no benchmark matched at all — a renamed or
+// deleted benchmark must fail the gate, not silently pass it.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+
+	"head/internal/experiments"
+)
+
+// AllocRow is one parsed benchmark result line.
+type AllocRow struct {
+	Name        string  `json:"name"`
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+// cpuSuffix strips the -GOMAXPROCS suffix go test appends to bench names.
+var cpuSuffix = regexp.MustCompile(`-\d+$`)
+
+// parse extracts benchmark result rows from `go test -bench` output.
+func parse(r io.Reader) ([]AllocRow, error) {
+	var rows []AllocRow
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) < 3 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		row := AllocRow{Name: cpuSuffix.ReplaceAllString(strings.TrimPrefix(fields[0], "Benchmark"), "")}
+		row.Iterations, _ = strconv.ParseInt(fields[1], 10, 64)
+		for i := 2; i+1 < len(fields); i += 2 {
+			v := fields[i]
+			switch fields[i+1] {
+			case "ns/op":
+				row.NsPerOp, _ = strconv.ParseFloat(v, 64)
+			case "B/op":
+				row.BytesPerOp, _ = strconv.ParseInt(v, 10, 64)
+			case "allocs/op":
+				row.AllocsPerOp, _ = strconv.ParseInt(v, 10, 64)
+			}
+		}
+		rows = append(rows, row)
+	}
+	return rows, sc.Err()
+}
+
+func main() {
+	in := flag.String("in", "-", "bench output to parse (- for stdin)")
+	out := flag.String("out", "BENCH_alloc.json", "snapshot path ('' disables)")
+	maxAllocs := flag.Int64("max-allocs", 0, "allocs/op ceiling per matched benchmark")
+	match := flag.String("match", "^(LSTGATForward|BPDQNSelectAction|EnvStep)$",
+		"regexp selecting the gated benchmarks")
+	flag.Parse()
+
+	start := time.Now()
+	src := os.Stdin
+	if *in != "-" {
+		f, err := os.Open(*in)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchcheck:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		src = f
+	}
+	rows, err := parse(src)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchcheck:", err)
+		os.Exit(1)
+	}
+	re, err := regexp.Compile(*match)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchcheck:", err)
+		os.Exit(1)
+	}
+
+	gated, failed := 0, 0
+	for _, row := range rows {
+		if !re.MatchString(row.Name) {
+			continue
+		}
+		gated++
+		verdict := "ok"
+		if row.AllocsPerOp > *maxAllocs {
+			verdict = fmt.Sprintf("FAIL (> %d)", *maxAllocs)
+			failed++
+		}
+		fmt.Printf("benchcheck: %-24s %12.0f ns/op %6d B/op %4d allocs/op  %s\n",
+			row.Name, row.NsPerOp, row.BytesPerOp, row.AllocsPerOp, verdict)
+	}
+
+	if *out != "" {
+		snap := experiments.BenchSnapshot{
+			Tool:      "benchcheck",
+			Scale:     "bench",
+			GoVersion: runtime.Version(),
+			DurationS: time.Since(start).Seconds(),
+			Rows:      rows,
+		}
+		if err := writeJSON(*out, snap); err != nil {
+			fmt.Fprintln(os.Stderr, "benchcheck:", err)
+			os.Exit(1)
+		}
+	}
+
+	if gated == 0 {
+		fmt.Fprintln(os.Stderr, "benchcheck: no benchmark matched", *match)
+		os.Exit(1)
+	}
+	if failed > 0 {
+		fmt.Fprintf(os.Stderr, "benchcheck: %d of %d gated benchmarks exceed the allocation ceiling\n", failed, gated)
+		os.Exit(1)
+	}
+}
+
+func writeJSON(path string, snap experiments.BenchSnapshot) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(snap); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -78,6 +78,10 @@ type Env struct {
 	done      bool
 	collided  bool
 	trace     *span.Lane
+
+	// stateBuf backs State()'s return value so the decision loop reads the
+	// augmented state without allocating; valid until the next State call.
+	stateBuf []float64
 }
 
 // NewEnv builds an environment. The predictor may be nil, in which case
@@ -108,6 +112,7 @@ func (e *Env) AMax() float64 { return e.Cfg.Traffic.World.AMax }
 func (e *Env) Sim() *traffic.Sim { return e.sim }
 
 // Graph returns the latest spatial-temporal graph (after Reset or Step).
+// The graph's storage is reused across steps — copy before retaining.
 func (e *Env) Graph() *phantom.Graph { return e.graph }
 
 // Prediction returns the latest one-step future-state prediction.
@@ -197,7 +202,7 @@ func (e *Env) Reset() []float64 {
 // state prediction from the current sensor history.
 func (e *Env) refreshPerception() {
 	pb := e.trace.Start("phantom_build")
-	e.graph = e.builder.Build(e.sens.History())
+	e.graph = e.builder.BuildInto(e.graph, e.sens.History())
 	if e.graph != nil && !e.Cfg.UsePhantom {
 		zeroPhantoms(e.graph)
 	}
@@ -224,10 +229,18 @@ func zeroPhantoms(g *phantom.Graph) {
 }
 
 // State implements the augmented state s₊ = [hᵗ, f̂ᵗ⁺¹] of Equations
-// (15)–(16), flattened row-major and normalized.
+// (15)–(16), flattened row-major and normalized. The returned slice is
+// owned by the environment and reused: it is valid until the next State,
+// Step, or Reset call (rl.Runner and the replay buffer copy accordingly).
 func (e *Env) State() []float64 {
 	spec := e.Spec()
-	out := make([]float64, spec.Dim())
+	if cap(e.stateBuf) < spec.Dim() {
+		e.stateBuf = make([]float64, spec.Dim())
+	}
+	out := e.stateBuf[:spec.Dim()]
+	for i := range out {
+		out[i] = 0
+	}
 	av := e.sim.AV.State
 	// h row 0: the AV's raw state.
 	out[0] = float64(av.Lat) / laneScale

@@ -32,7 +32,7 @@ type GAT struct {
 	Phi2    *Param // 1×2AttnDim, attention vector
 	Phi3    *Param // In×Out, feature transform for aggregation
 
-	// caches
+	// caches; matrices live in ws and stay valid until the next Forward
 	nodes     *tensor.Matrix
 	targets   []int
 	neighbors [][]int
@@ -40,6 +40,8 @@ type GAT struct {
 	w         *tensor.Matrix // nodes·Phi3
 	alphas    [][]float64    // per target, per neighbor
 	preact    [][]float64    // pre-LeakyReLU scores
+	dAlpha    []float64
+	ws        tensor.Workspace
 }
 
 // NewGAT returns a Xavier-initialized graph attention layer mapping In-dim
@@ -88,18 +90,21 @@ func (g *GAT) Forward(nodes *tensor.Matrix, targets []int, neighbors [][]int) *t
 		panic("nn: GAT targets/neighbors length mismatch")
 	}
 	g.nodes, g.targets, g.neighbors = nodes, targets, neighbors
-	g.u = tensor.MatMul(nodes, g.Phi1.W)
-	g.w = tensor.MatMul(nodes, g.Phi3.W)
+	g.ws.Reset()
+	g.u = g.ws.Get(nodes.Rows, g.AttnDim)
+	tensor.MatMulInto(g.u, nodes, g.Phi1.W)
+	g.w = g.ws.Get(nodes.Rows, g.Out)
+	tensor.MatMulInto(g.w, nodes, g.Phi3.W)
 	D := g.AttnDim
 	phi2a := g.Phi2.W.Data[:D]
 	phi2b := g.Phi2.W.Data[D:]
-	out := tensor.New(len(targets), g.Out)
-	g.alphas = make([][]float64, len(targets))
-	g.preact = make([][]float64, len(targets))
+	out := g.ws.GetZero(len(targets), g.Out)
+	g.alphas = growFloatRows(g.alphas, len(targets))
+	g.preact = growFloatRows(g.preact, len(targets))
 	for ti, t := range targets {
 		nbrs := neighbors[ti]
-		scores := make([]float64, len(nbrs))
-		pre := make([]float64, len(nbrs))
+		scores := growFloats(g.alphas[ti], len(nbrs))
+		pre := growFloats(g.preact[ti], len(nbrs))
 		ut := g.u.Row(t)
 		base := 0.0
 		for d, v := range ut {
@@ -158,9 +163,9 @@ func (g *GAT) Forward(nodes *tensor.Matrix, targets []int, neighbors [][]int) *t
 func (g *GAT) Backward(dOut *tensor.Matrix) *tensor.Matrix {
 	N := g.nodes.Rows
 	D := g.AttnDim
-	dNodes := tensor.New(N, g.In)
-	du := tensor.New(N, D)     // grad wrt u = nodes·Phi1
-	dw := tensor.New(N, g.Out) // grad wrt w = nodes·Phi3
+	dNodes := g.ws.GetZero(N, g.In)
+	du := g.ws.GetZero(N, D)     // grad wrt u = nodes·Phi1
+	dw := g.ws.GetZero(N, g.Out) // grad wrt w = nodes·Phi3
 	phi2a := g.Phi2.W.Data[:D]
 	phi2b := g.Phi2.W.Data[D:]
 	dphi2 := g.Phi2.Grad.Data
@@ -176,7 +181,8 @@ func (g *GAT) Backward(dOut *tensor.Matrix) *tensor.Matrix {
 			}
 		}
 		// dα_k = dOut_i · w_j  and  dw_j += α_k · dOut_i
-		dAlpha := make([]float64, len(nbrs))
+		dAlpha := growFloats(g.dAlpha, len(nbrs))
+		g.dAlpha = dAlpha
 		for k, j := range nbrs {
 			wj := g.w.Row(j)
 			dwj := dw.Row(j)
@@ -216,11 +222,21 @@ func (g *GAT) Backward(dOut *tensor.Matrix) *tensor.Matrix {
 			}
 		}
 	}
-	// u = nodes·Phi1 ⇒ dPhi1 += nodesᵀ·du, dNodes += du·Phi1ᵀ
-	tensor.AddInPlace(g.Phi1.Grad, tensor.MatMul(tensor.Transpose(g.nodes), du))
-	tensor.AddInPlace(dNodes, tensor.MatMul(du, tensor.Transpose(g.Phi1.W)))
+	// u = nodes·Phi1 ⇒ dPhi1 += nodesᵀ·du, dNodes += du·Phi1ᵀ. Each
+	// product is materialized in scratch before accumulating so every
+	// element receives one complete sum, matching the allocating chain.
+	dPhi1 := g.ws.Get(g.In, D)
+	tensor.MatMulTransAInto(dPhi1, g.nodes, du)
+	tensor.AddInPlace(g.Phi1.Grad, dPhi1)
+	dn1 := g.ws.Get(N, g.In)
+	tensor.MatMulTransBInto(dn1, du, g.Phi1.W)
+	tensor.AddInPlace(dNodes, dn1)
 	// w = nodes·Phi3 ⇒ dPhi3 += nodesᵀ·dw, dNodes += dw·Phi3ᵀ
-	tensor.AddInPlace(g.Phi3.Grad, tensor.MatMul(tensor.Transpose(g.nodes), dw))
-	tensor.AddInPlace(dNodes, tensor.MatMul(dw, tensor.Transpose(g.Phi3.W)))
+	dPhi3 := g.ws.Get(g.In, g.Out)
+	tensor.MatMulTransAInto(dPhi3, g.nodes, dw)
+	tensor.AddInPlace(g.Phi3.Grad, dPhi3)
+	dn3 := g.ws.Get(N, g.In)
+	tensor.MatMulTransBInto(dn3, dw, g.Phi3.W)
+	tensor.AddInPlace(dNodes, dn3)
 	return dNodes
 }

@@ -1,7 +1,6 @@
 package nn
 
 import (
-	"math"
 	"math/rand"
 
 	"head/internal/tensor"
@@ -19,12 +18,15 @@ type Layer interface {
 }
 
 // Linear is a fully connected layer y = x·W + b with W of shape in×out and
-// a broadcast bias row b of shape 1×out.
+// a broadcast bias row b of shape 1×out. Forward output and backward
+// scratch come from a per-instance workspace: both are valid until the
+// next Forward, and steady-state passes allocate nothing.
 type Linear struct {
 	In, Out int
 	Weight  *Param
 	Bias    *Param
 	lastX   *tensor.Matrix
+	ws      tensor.Workspace
 }
 
 // NewLinear returns a Xavier-initialized in→out fully connected layer.
@@ -45,43 +47,53 @@ func (l *Linear) Params() []*Param { return []*Param{l.Weight, l.Bias} }
 // Forward implements Layer.
 func (l *Linear) Forward(x *tensor.Matrix) *tensor.Matrix {
 	l.lastX = x
-	y := tensor.MatMul(x, l.Weight.W)
-	for i := 0; i < y.Rows; i++ {
-		row := y.Row(i)
-		for j, b := range l.Bias.W.Data {
-			row[j] += b
-		}
-	}
+	l.ws.Reset()
+	y := l.ws.Get(x.Rows, l.Out)
+	tensor.MatMulAddBiasInto(y, x, l.Weight.W, l.Bias.W)
 	return y
 }
 
 // Backward implements Layer.
 func (l *Linear) Backward(dy *tensor.Matrix) *tensor.Matrix {
-	// dW = xᵀ·dy, db = column sums of dy, dx = dy·Wᵀ.
-	tensor.AddInPlace(l.Weight.Grad, tensor.MatMul(tensor.Transpose(l.lastX), dy))
+	// dW = xᵀ·dy, db = column sums of dy, dx = dy·Wᵀ. The products are
+	// materialized in workspace scratch before accumulating so the grad
+	// buffers receive one complete sum per element, exactly like the
+	// allocating MatMul(Transpose(…)) chain did.
+	dW := l.ws.Get(l.In, l.Out)
+	tensor.MatMulTransAInto(dW, l.lastX, dy)
+	tensor.AddInPlace(l.Weight.Grad, dW)
 	for i := 0; i < dy.Rows; i++ {
 		row := dy.Row(i)
 		for j, g := range row {
 			l.Bias.Grad.Data[j] += g
 		}
 	}
-	return tensor.MatMul(dy, tensor.Transpose(l.Weight.W))
+	dx := l.ws.Get(dy.Rows, l.In)
+	tensor.MatMulTransBInto(dx, dy, l.Weight.W)
+	return dx
 }
 
 // ReLU is the rectified linear activation.
-type ReLU struct{ mask *tensor.Matrix }
+type ReLU struct {
+	mask *tensor.Matrix
+	ws   tensor.Workspace
+}
 
 // Params implements Module.
 func (r *ReLU) Params() []*Param { return nil }
 
 // Forward implements Layer.
 func (r *ReLU) Forward(x *tensor.Matrix) *tensor.Matrix {
-	r.mask = tensor.New(x.Rows, x.Cols)
-	y := tensor.New(x.Rows, x.Cols)
+	r.ws.Reset()
+	r.mask = r.ws.Get(x.Rows, x.Cols)
+	y := r.ws.Get(x.Rows, x.Cols)
 	for i, v := range x.Data {
 		if v > 0 {
 			y.Data[i] = v
 			r.mask.Data[i] = 1
+		} else {
+			y.Data[i] = 0
+			r.mask.Data[i] = 0
 		}
 	}
 	return y
@@ -89,7 +101,9 @@ func (r *ReLU) Forward(x *tensor.Matrix) *tensor.Matrix {
 
 // Backward implements Layer.
 func (r *ReLU) Backward(dy *tensor.Matrix) *tensor.Matrix {
-	return tensor.Mul(dy, r.mask)
+	dx := r.ws.Get(dy.Rows, dy.Cols)
+	tensor.MulInto(dx, dy, r.mask)
+	return dx
 }
 
 // LeakyReLUSlope is the negative-side slope used by the graph attention
@@ -98,15 +112,19 @@ const LeakyReLUSlope = 0.2
 
 // LeakyReLU is the leaky rectified linear activation with slope
 // LeakyReLUSlope on the negative side.
-type LeakyReLU struct{ mask *tensor.Matrix }
+type LeakyReLU struct {
+	mask *tensor.Matrix
+	ws   tensor.Workspace
+}
 
 // Params implements Module.
 func (r *LeakyReLU) Params() []*Param { return nil }
 
 // Forward implements Layer.
 func (r *LeakyReLU) Forward(x *tensor.Matrix) *tensor.Matrix {
-	r.mask = tensor.New(x.Rows, x.Cols)
-	y := tensor.New(x.Rows, x.Cols)
+	r.ws.Reset()
+	r.mask = r.ws.Get(x.Rows, x.Cols)
+	y := r.ws.Get(x.Rows, x.Cols)
 	for i, v := range x.Data {
 		if v > 0 {
 			y.Data[i] = v
@@ -121,24 +139,31 @@ func (r *LeakyReLU) Forward(x *tensor.Matrix) *tensor.Matrix {
 
 // Backward implements Layer.
 func (r *LeakyReLU) Backward(dy *tensor.Matrix) *tensor.Matrix {
-	return tensor.Mul(dy, r.mask)
+	dx := r.ws.Get(dy.Rows, dy.Cols)
+	tensor.MulInto(dx, dy, r.mask)
+	return dx
 }
 
 // Tanh is the hyperbolic tangent activation.
-type Tanh struct{ lastY *tensor.Matrix }
+type Tanh struct {
+	lastY *tensor.Matrix
+	ws    tensor.Workspace
+}
 
 // Params implements Module.
 func (t *Tanh) Params() []*Param { return nil }
 
 // Forward implements Layer.
 func (t *Tanh) Forward(x *tensor.Matrix) *tensor.Matrix {
-	t.lastY = tensor.Apply(x, math.Tanh)
+	t.ws.Reset()
+	t.lastY = t.ws.Get(x.Rows, x.Cols)
+	tensor.TanhInto(t.lastY, x)
 	return t.lastY
 }
 
 // Backward implements Layer.
 func (t *Tanh) Backward(dy *tensor.Matrix) *tensor.Matrix {
-	dx := tensor.New(dy.Rows, dy.Cols)
+	dx := t.ws.Get(dy.Rows, dy.Cols)
 	for i, g := range dy.Data {
 		y := t.lastY.Data[i]
 		dx.Data[i] = g * (1 - y*y)

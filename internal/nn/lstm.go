@@ -18,9 +18,12 @@ type LSTM struct {
 	Wh         *Param // H×4H recurrent weights
 	B          *Param // 1×4H bias
 
-	// forward caches, one entry per time step
+	// forward caches, one entry per time step; the matrices live in ws
+	// and stay valid until the next Forward resets it
 	xs, hs, cs             []*tensor.Matrix
 	ig, fg, gg, og, tanhCs []*tensor.Matrix
+	dxs                    []*tensor.Matrix
+	ws                     tensor.Workspace
 }
 
 // NewLSTM returns a Xavier-initialized LSTM with the given input and hidden
@@ -60,38 +63,41 @@ func sigmoid(x float64) float64 { return 1 / (1 + math.Exp(-x)) }
 // the batched-sequence parallelism the paper relies on for efficiency.
 func (l *LSTM) Forward(seq []*tensor.Matrix) []*tensor.Matrix {
 	n := len(seq)
+	l.ws.Reset()
 	l.xs = append(l.xs[:0], seq...)
-	l.hs = make([]*tensor.Matrix, n)
-	l.cs = make([]*tensor.Matrix, n)
-	l.ig = make([]*tensor.Matrix, n)
-	l.fg = make([]*tensor.Matrix, n)
-	l.gg = make([]*tensor.Matrix, n)
-	l.og = make([]*tensor.Matrix, n)
-	l.tanhCs = make([]*tensor.Matrix, n)
+	l.hs = growPtrs(l.hs, n)
+	l.cs = growPtrs(l.cs, n)
+	l.ig = growPtrs(l.ig, n)
+	l.fg = growPtrs(l.fg, n)
+	l.gg = growPtrs(l.gg, n)
+	l.og = growPtrs(l.og, n)
+	l.tanhCs = growPtrs(l.tanhCs, n)
 	if n == 0 {
 		return nil
 	}
 	batch := seq[0].Rows
 	H := l.Hidden
-	hPrev := tensor.New(batch, H)
-	cPrev := tensor.New(batch, H)
-	out := make([]*tensor.Matrix, n)
+	hPrev := l.ws.GetZero(batch, H)
+	cPrev := l.ws.GetZero(batch, H)
 	for t, x := range seq {
-		z := tensor.MatMul(x, l.Wx.W)
-		tensor.AddInPlace(z, tensor.MatMul(hPrev, l.Wh.W))
+		z := l.ws.Get(batch, 4*H)
+		zh := l.ws.Get(batch, 4*H)
+		tensor.MatMulInto(z, x, l.Wx.W)
+		tensor.MatMulInto(zh, hPrev, l.Wh.W)
+		tensor.AddInPlace(z, zh)
 		for r := 0; r < batch; r++ {
 			row := z.Row(r)
 			for j, b := range l.B.W.Data {
 				row[j] += b
 			}
 		}
-		i := tensor.New(batch, H)
-		f := tensor.New(batch, H)
-		g := tensor.New(batch, H)
-		o := tensor.New(batch, H)
-		c := tensor.New(batch, H)
-		tc := tensor.New(batch, H)
-		h := tensor.New(batch, H)
+		i := l.ws.Get(batch, H)
+		f := l.ws.Get(batch, H)
+		g := l.ws.Get(batch, H)
+		o := l.ws.Get(batch, H)
+		c := l.ws.Get(batch, H)
+		tc := l.ws.Get(batch, H)
+		h := l.ws.Get(batch, H)
 		for r := 0; r < batch; r++ {
 			zr := z.Row(r)
 			for j := 0; j < H; j++ {
@@ -112,10 +118,9 @@ func (l *LSTM) Forward(seq []*tensor.Matrix) []*tensor.Matrix {
 		}
 		l.ig[t], l.fg[t], l.gg[t], l.og[t] = i, f, g, o
 		l.cs[t], l.tanhCs[t], l.hs[t] = c, tc, h
-		out[t] = h
 		hPrev, cPrev = h, c
 	}
-	return out
+	return l.hs
 }
 
 // Backward runs backpropagation through time. dHidden holds the loss
@@ -130,13 +135,15 @@ func (l *LSTM) Backward(dHidden []*tensor.Matrix) []*tensor.Matrix {
 	}
 	batch := l.hs[0].Rows
 	H := l.Hidden
-	dxs := make([]*tensor.Matrix, n)
-	dhNext := tensor.New(batch, H)
-	dcNext := tensor.New(batch, H)
+	l.dxs = growPtrs(l.dxs, n)
+	dhNext := l.ws.GetZero(batch, H)
+	dcNext := l.ws.GetZero(batch, H)
 	for t := n - 1; t >= 0; t-- {
 		dh := dhNext
 		if t < len(dHidden) && dHidden[t] != nil {
-			dh = tensor.Add(dh, dHidden[t])
+			sum := l.ws.Get(batch, H)
+			tensor.AddInto(sum, dhNext, dHidden[t])
+			dh = sum
 		}
 		i, f, g, o := l.ig[t], l.fg[t], l.gg[t], l.og[t]
 		tc := l.tanhCs[t]
@@ -144,10 +151,10 @@ func (l *LSTM) Backward(dHidden []*tensor.Matrix) []*tensor.Matrix {
 		if t > 0 {
 			cPrev = l.cs[t-1]
 		} else {
-			cPrev = tensor.New(batch, H)
+			cPrev = l.ws.GetZero(batch, H)
 		}
-		dz := tensor.New(batch, 4*H)
-		dcPrev := tensor.New(batch, H)
+		dz := l.ws.Get(batch, 4*H)
+		dcPrev := l.ws.Get(batch, H)
 		for r := 0; r < batch; r++ {
 			for j := 0; j < H; j++ {
 				dhv := dh.At(r, j)
@@ -165,23 +172,31 @@ func (l *LSTM) Backward(dHidden []*tensor.Matrix) []*tensor.Matrix {
 				dz.Set(r, 3*H+j, do*ov*(1-ov))
 			}
 		}
-		tensor.AddInPlace(l.Wx.Grad, tensor.MatMul(tensor.Transpose(l.xs[t]), dz))
+		dWx := l.ws.Get(l.In, 4*H)
+		tensor.MatMulTransAInto(dWx, l.xs[t], dz)
+		tensor.AddInPlace(l.Wx.Grad, dWx)
 		var hPrev *tensor.Matrix
 		if t > 0 {
 			hPrev = l.hs[t-1]
 		} else {
-			hPrev = tensor.New(batch, H)
+			hPrev = l.ws.GetZero(batch, H)
 		}
-		tensor.AddInPlace(l.Wh.Grad, tensor.MatMul(tensor.Transpose(hPrev), dz))
+		dWh := l.ws.Get(H, 4*H)
+		tensor.MatMulTransAInto(dWh, hPrev, dz)
+		tensor.AddInPlace(l.Wh.Grad, dWh)
 		for r := 0; r < batch; r++ {
 			row := dz.Row(r)
 			for j, gv := range row {
 				l.B.Grad.Data[j] += gv
 			}
 		}
-		dxs[t] = tensor.MatMul(dz, tensor.Transpose(l.Wx.W))
-		dhNext = tensor.MatMul(dz, tensor.Transpose(l.Wh.W))
+		dx := l.ws.Get(batch, l.In)
+		tensor.MatMulTransBInto(dx, dz, l.Wx.W)
+		l.dxs[t] = dx
+		dhN := l.ws.Get(batch, H)
+		tensor.MatMulTransBInto(dhN, dz, l.Wh.W)
+		dhNext = dhN
 		dcNext = dcPrev
 	}
-	return dxs
+	return l.dxs
 }

@@ -1,0 +1,33 @@
+package nn
+
+import "head/internal/tensor"
+
+// growPtrs resizes a matrix-pointer slice to length n, reusing the backing
+// array whenever capacity allows so steady-state passes do not allocate.
+// Entries are not cleared; callers assign every slot.
+func growPtrs(s []*tensor.Matrix, n int) []*tensor.Matrix {
+	if cap(s) < n {
+		return make([]*tensor.Matrix, n)
+	}
+	return s[:n]
+}
+
+// growFloats resizes a float slice to length n, reusing capacity. Entries
+// are not cleared; callers assign every slot.
+func growFloats(s []float64, n int) []float64 {
+	if cap(s) < n {
+		return make([]float64, n)
+	}
+	return s[:n]
+}
+
+// growFloatRows resizes a slice-of-rows to length n, reusing both the
+// outer backing array and each surviving row's capacity.
+func growFloatRows(s [][]float64, n int) [][]float64 {
+	if cap(s) < n {
+		grown := make([][]float64, n)
+		copy(grown, s)
+		return grown
+	}
+	return s[:n]
+}

@@ -135,7 +135,16 @@ type Graph struct {
 type trajectory []world.State
 
 // Builder performs phantom construction over sensor histories.
-type Builder struct{ Cfg Config }
+type Builder struct {
+	Cfg Config
+
+	// trajectory pool and seen scratch, rewound at the start of every
+	// build: trajectory values are copied into the Graph, never retained,
+	// so the pool is safe to share across Build and BuildInto calls.
+	trajs    []trajectory
+	trajNext int
+	seen     []bool
+}
 
 // NewBuilder returns a Builder for the given geometry.
 func NewBuilder(cfg Config) *Builder { return &Builder{Cfg: cfg} }
@@ -166,14 +175,37 @@ func nearestInArea(obs map[int]world.State, center world.State, slot Slot, exclu
 	return bestID, bestState, found
 }
 
+// getTraj hands out a zeroed z-step trajectory from the builder's pool.
+// Pooled trajectories are valid until the next Build or BuildInto.
+func (b *Builder) getTraj(z int) trajectory {
+	if b.trajNext == len(b.trajs) {
+		b.trajs = append(b.trajs, make(trajectory, z))
+	}
+	t := b.trajs[b.trajNext]
+	if cap(t) < z {
+		t = make(trajectory, z)
+	}
+	t = t[:z]
+	clear(t)
+	b.trajs[b.trajNext] = t
+	b.trajNext++
+	return t
+}
+
 // fillHistory builds a z-step trajectory for an observed vehicle, filling
 // frames where the vehicle was not detected by constant-velocity
 // extrapolation from the nearest frame where it was (an engineering choice;
 // the paper presets only never-observed vehicles).
-func fillHistory(frames []sensor.Frame, id int, dt float64) trajectory {
+func (b *Builder) fillHistory(frames []sensor.Frame, id int) trajectory {
 	z := len(frames)
-	traj := make(trajectory, z)
-	seen := make([]bool, z)
+	traj := b.getTraj(z)
+	if cap(b.seen) < z {
+		b.seen = make([]bool, z)
+	}
+	seen := b.seen[:z]
+	for t := range seen {
+		seen[t] = false
+	}
 	for t, f := range frames {
 		if st, ok := f.Observed[id]; ok {
 			traj[t] = st
@@ -200,7 +232,7 @@ func fillHistory(frames []sensor.Frame, id int, dt float64) trajectory {
 			continue // caller guarantees at least the last frame is seen
 		}
 		st := traj[src]
-		st.Lon += st.V * dt * float64(t-src)
+		st.Lon += st.V * b.Cfg.Dt * float64(t-src)
 		traj[t] = st
 	}
 	return traj
@@ -211,7 +243,7 @@ func fillHistory(frames []sensor.Frame, id int, dt float64) trajectory {
 // being the AV for targets, or the target itself for its surrounders).
 // kind selects range vs inherent presets.
 func (b *Builder) presetAround(center trajectory, slot Slot, kind MissingKind) trajectory {
-	traj := make(trajectory, len(center))
+	traj := b.getTraj(len(center))
 	for t, c := range center {
 		switch kind {
 		case InherentMissing:
@@ -235,7 +267,7 @@ func (b *Builder) presetAround(center trajectory, slot Slot, kind MissingKind) t
 // surrounder in slot j == i of an observed target, placed beyond the target
 // on the AV→target line (same longitudinal offset again).
 func (b *Builder) presetOccluded(target, av trajectory, slot Slot) trajectory {
-	traj := make(trajectory, len(target))
+	traj := b.getTraj(len(target))
 	for t := range target {
 		c, a := target[t], av[t]
 		traj[t] = world.State{
@@ -262,35 +294,56 @@ func (b *Builder) classifyMissing(centerLat int, slot Slot) MissingKind {
 // t). It requires a non-empty history; shorter-than-z histories produce a
 // correspondingly shorter graph.
 func (b *Builder) Build(frames []sensor.Frame) *Graph {
+	return b.build(nil, frames)
+}
+
+// BuildInto runs the same construction but reuses g's storage when its
+// shape matches, allocating nothing in steady state. The returned graph is
+// valid until the next BuildInto call with the same g; callers that retain
+// graphs (datasets) should use Build instead. A nil or wrong-shape g is
+// replaced by a fresh one.
+func (b *Builder) BuildInto(g *Graph, frames []sensor.Frame) *Graph {
+	return b.build(g, frames)
+}
+
+func (b *Builder) build(g *Graph, frames []sensor.Frame) *Graph {
 	z := len(frames)
 	if z == 0 {
 		return nil
 	}
+	b.trajNext = 0
 	now := frames[z-1]
-	avTraj := make(trajectory, z)
+	avTraj := b.getTraj(z)
 	for t, f := range frames {
 		avTraj[t] = f.AV
 	}
 
-	g := &Graph{
-		Steps:     make([][]Feature, z),
-		Targets:   make([]int, NumSlots),
-		Neighbors: make([][]int, NumSlots),
-		AV:        now.AV,
+	if g == nil || len(g.Steps) != z {
+		g = &Graph{
+			Steps:     make([][]Feature, z),
+			Targets:   make([]int, NumSlots),
+			Neighbors: make([][]int, NumSlots),
+		}
+		for t := range g.Steps {
+			g.Steps[t] = make([]Feature, NumNodes)
+		}
+	} else {
+		// Zero-padding of phantom-target surrounders relies on zeroed rows.
+		for t := range g.Steps {
+			clear(g.Steps[t])
+		}
 	}
-	for t := range g.Steps {
-		g.Steps[t] = make([]Feature, NumNodes)
-	}
+	g.AV = now.AV
 
 	// Step 1+2 for targets: select or construct each target slot.
-	targetTrajs := make([]trajectory, NumSlots)
+	var targetTrajs [NumSlots]trajectory
 	for i := Slot(0); i < NumSlots; i++ {
 		id, _, ok := nearestInArea(now.Observed, now.AV, i, -1)
 		info := TargetInfo{ID: -1, Kind: NotMissing}
 		var traj trajectory
 		if ok {
 			info.ID = id
-			traj = fillHistory(frames, id, b.Cfg.Dt)
+			traj = b.fillHistory(frames, id)
 		} else {
 			info.Kind = b.classifyMissing(now.AV.Lat, i)
 			traj = b.presetAround(avTraj, i, info.Kind)
@@ -304,7 +357,7 @@ func (b *Builder) Build(frames []sensor.Frame) *Graph {
 	for i := Slot(0); i < NumSlots; i++ {
 		tgt := g.Info[i]
 		tgtTraj := targetTrajs[i]
-		nbrs := make([]int, 0, NumSlots+1)
+		nbrs := g.Neighbors[i][:0]
 		for j := Slot(0); j < NumSlots; j++ {
 			node := SurrounderNode(i, j)
 			nbrs = append(nbrs, node)
@@ -321,7 +374,7 @@ func (b *Builder) Build(frames []sensor.Frame) *Graph {
 				continue
 			}
 			if id, _, ok := nearestInArea(now.Observed, tgt.Current, j, tgt.ID); ok {
-				traj := fillHistory(frames, id, b.Cfg.Dt)
+				traj := b.fillHistory(frames, id)
 				b.writeRelative(g, node, traj, avTraj, false)
 				continue
 			}

@@ -257,7 +257,8 @@ func TestFillHistoryExtrapolates(t *testing.T) {
 	// Erase the vehicle from the two oldest frames (occluded then).
 	delete(frames[0].Observed, 1)
 	delete(frames[1].Observed, 1)
-	traj := fillHistory(frames, 1, 0.5)
+	b := &Builder{Cfg: Config{Dt: 0.5}}
+	traj := b.fillHistory(frames, 1)
 	// Frame 2 is observed at lon 540 - 18*0.5*2 = 522; frames 1 and 0
 	// extrapolate backwards at constant velocity.
 	if math.Abs(traj[2].Lon-522) > 1e-9 {

@@ -25,6 +25,12 @@ type LSTGAT struct {
 	scale scaler
 	z     int
 	lastT int // index of the most recent history step run through forward
+
+	// steady-state scratch: per-step node/input matrices live in ws (valid
+	// until the next forward), seq and dHidden reuse their backing arrays.
+	ws      tensor.Workspace
+	seq     []*tensor.Matrix
+	dHidden []*tensor.Matrix
 }
 
 // LSTGATConfig sizes the network. The paper uses Dφ1 = Dφ3 = Dl = 64.
@@ -121,12 +127,15 @@ func (m *LSTGAT) Params() []*nn.Param {
 // state against interaction context (see BenchmarkAblationAggregator).
 func (m *LSTGAT) forward(g *phantom.Graph) *tensor.Matrix {
 	z := len(g.Steps)
-	seq := make([]*tensor.Matrix, z)
+	m.ws.Reset()
+	if cap(m.seq) < z {
+		m.seq = make([]*tensor.Matrix, z)
+	}
+	m.seq = m.seq[:z]
 	for t := 0; t < z; t++ {
-		scaled := m.scale.nodesMatrix(g.Steps[t])
-		nodes := tensor.New(scaled.Rows, gatInDim)
-		for n := 0; n < scaled.Rows; n++ {
-			copy(nodes.Row(n)[:phantom.FeatureDim], scaled.Row(n))
+		nodes := m.ws.Get(len(g.Steps[t]), gatInDim)
+		m.scale.nodesInto(nodes, g.Steps[t])
+		for n := 0; n < nodes.Rows; n++ {
 			nodes.Row(n)[phantom.FeatureDim] = slotCode[n]
 		}
 		if t >= len(m.gats) {
@@ -135,13 +144,18 @@ func (m *LSTGAT) forward(g *phantom.Graph) *tensor.Matrix {
 			m.gats = append(m.gats, m.gat.Share())
 		}
 		ctx := m.gats[t].Forward(nodes, g.Targets, g.Neighbors)
-		self := tensor.New(len(g.Targets), phantom.FeatureDim)
+		// The LSTM input concatenates each target's own scaled features
+		// with its attention aggregation, written straight into one
+		// workspace row per target.
+		cat := m.ws.Get(len(g.Targets), phantom.FeatureDim+ctx.Cols)
 		for i, node := range g.Targets {
-			copy(self.Row(i), scaled.Row(node))
+			row := cat.Row(i)
+			copy(row[:phantom.FeatureDim], nodes.Row(node)[:phantom.FeatureDim])
+			copy(row[phantom.FeatureDim:], ctx.Row(i))
 		}
-		seq[t] = tensor.ConcatCols(self, ctx)
+		m.seq[t] = cat
 	}
-	hs := m.lstm.Forward(seq)
+	hs := m.lstm.Forward(m.seq)
 	m.lastT = z - 1
 	return m.out.Forward(hs[len(hs)-1])
 }
@@ -187,7 +201,7 @@ func (m *LSTGAT) GradBatch(batch []*ngsim.Sample) float64 {
 	total := 0.0
 	for _, s := range batch {
 		y := m.forward(s.Graph)
-		target := tensor.New(phantom.NumSlots, OutputDim)
+		target := m.ws.Get(phantom.NumSlots, OutputDim)
 		for i := 0; i < phantom.NumSlots; i++ {
 			if s.Mask[i] {
 				// Masked loss: the paper sets the truth to the prediction.
@@ -200,12 +214,19 @@ func (m *LSTGAT) GradBatch(batch []*ngsim.Sample) float64 {
 		loss, grad := nn.MSE(y, target)
 		total += loss
 		dh := m.out.Backward(grad)
-		dHidden := make([]*tensor.Matrix, len(s.Graph.Steps))
-		dHidden[len(dHidden)-1] = dh
-		dxs := m.lstm.Backward(dHidden)
+		if cap(m.dHidden) < len(s.Graph.Steps) {
+			m.dHidden = make([]*tensor.Matrix, len(s.Graph.Steps))
+		}
+		m.dHidden = m.dHidden[:len(s.Graph.Steps)]
+		for i := range m.dHidden {
+			m.dHidden[i] = nil
+		}
+		m.dHidden[len(m.dHidden)-1] = dh
+		dxs := m.lstm.Backward(m.dHidden)
 		for t, dx := range dxs {
 			if t < len(m.gats) {
-				_, dCtx := tensor.SplitCols(dx, phantom.FeatureDim)
+				dCtx := m.ws.Get(dx.Rows, dx.Cols-phantom.FeatureDim)
+				tensor.SliceColsInto(dCtx, dx, phantom.FeatureDim)
 				m.gats[t].Backward(dCtx)
 			}
 		}

@@ -53,11 +53,12 @@ var avNodes = func() map[int]bool {
 	return m
 }()
 
-// nodesMatrix converts one spatial graph's features to a scaled matrix.
-func (s scaler) nodesMatrix(step []phantom.Feature) *tensor.Matrix {
-	m := tensor.New(len(step), phantom.FeatureDim)
+// nodesInto writes one spatial graph's scaled features into the first
+// FeatureDim columns of dst (one row per node; dst may be wider, extra
+// columns are left for the caller).
+func (s scaler) nodesInto(dst *tensor.Matrix, step []phantom.Feature) {
 	for n, f := range step {
-		row := m.Row(n)
+		row := dst.Row(n)
 		if avNodes[n] {
 			row[0] = f[0] / s.laneScale
 			row[1] = f[1] / s.roadScale
@@ -69,7 +70,6 @@ func (s scaler) nodesMatrix(step []phantom.Feature) *tensor.Matrix {
 		}
 		row[3] = f[3]
 	}
-	return m
 }
 
 // targetSeq extracts the scaled per-step feature rows of a single target,

@@ -70,11 +70,12 @@ func NewPrioritizedReplay(capacity int, alpha float64) *PrioritizedReplay {
 // Len returns the number of stored transitions.
 func (p *PrioritizedReplay) Len() int { return p.size }
 
-// Push stores a transition with the maximum priority seen so far (so every
-// transition is replayed at least once soon after arrival).
+// Push deep-copies a transition into the ring with the maximum priority
+// seen so far (so every transition is replayed at least once soon after
+// arrival). Callers may reuse tr's backing slices immediately.
 func (p *PrioritizedReplay) Push(tr Transition) {
 	idx := p.next
-	p.data[idx] = tr
+	copyTransition(&p.data[idx], tr)
 	p.setPriority(idx, p.maxPrio)
 	p.next = (p.next + 1) % p.capacity
 	if p.size < p.capacity {
@@ -102,13 +103,35 @@ func (p *PrioritizedReplay) total() float64 { return p.tree[0] }
 // Sample draws n transitions proportionally to priority. It returns the
 // transitions, their buffer indices (for UpdatePriorities), and their
 // importance-sampling weights normalized to max 1, computed with exponent
-// beta.
+// beta. The transitions alias ring-slot storage, valid until the next Push.
 func (p *PrioritizedReplay) Sample(n int, beta float64, rng *rand.Rand) ([]Transition, []int, []float64) {
-	trs := make([]Transition, n)
-	idxs := make([]int, n)
-	weights := make([]float64, n)
+	return p.SampleInto(nil, nil, nil, n, beta, rng)
+}
+
+// SampleInto is Sample writing into the provided slices (grown as needed),
+// so steady-state training samples without allocating.
+func (p *PrioritizedReplay) SampleInto(trs []Transition, idxs []int, weights []float64,
+	n int, beta float64, rng *rand.Rand) ([]Transition, []int, []float64) {
+	if cap(trs) < n {
+		trs = make([]Transition, n)
+	} else {
+		trs = trs[:n]
+	}
+	if cap(idxs) < n {
+		idxs = make([]int, n)
+	} else {
+		idxs = idxs[:n]
+	}
+	if cap(weights) < n {
+		weights = make([]float64, n)
+	} else {
+		weights = weights[:n]
+	}
 	total := p.total()
 	if total <= 0 || p.size == 0 {
+		for i := range trs {
+			trs[i], idxs[i], weights[i] = Transition{}, 0, 0
+		}
 		return trs, idxs, weights
 	}
 	maxW := 0.0

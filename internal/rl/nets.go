@@ -31,19 +31,31 @@ type QNet interface {
 	Backward(d *tensor.Matrix) *tensor.Matrix
 }
 
+// viewInto repoints a caller-owned matrix header at a flat slice, the
+// zero-allocation counterpart of tensor.FromSlice for the hot path. The
+// view shares data with the slice and is valid while the slice is.
+func viewInto(m *tensor.Matrix, rows, cols int, data []float64) *tensor.Matrix {
+	m.Rows, m.Cols, m.Data = rows, cols, data[:rows*cols]
+	return m
+}
+
 // splitState reshapes a flat augmented state into the h (NumH×FeatDim) and
-// f (NumF×FeatDim) matrices of the paper's branched processing.
-func splitState(spec StateSpec, state []float64) (h, f *tensor.Matrix) {
+// f (NumF×FeatDim) matrix views of the paper's branched processing,
+// repointing the caller's cached headers instead of allocating.
+func splitState(spec StateSpec, state []float64, h, f *tensor.Matrix) (*tensor.Matrix, *tensor.Matrix) {
 	hl := spec.HLen()
-	h = tensor.FromSlice(spec.NumH, spec.FeatDim, state[:hl])
-	f = tensor.FromSlice(spec.NumF, spec.FeatDim, state[hl:])
-	return h, f
+	return viewInto(h, spec.NumH, spec.FeatDim, state[:hl]),
+		viewInto(f, spec.NumF, spec.FeatDim, state[hl:])
 }
 
 // branch is the per-vehicle two-layer ReLU column reducer of Figure 6: it
 // maps an N×FeatDim matrix to a 1×N vector by applying a shared
-// FeatDim→D→1 MLP to every row.
-type branch struct{ seq *nn.Sequential }
+// FeatDim→D→1 MLP to every row. Forward output and backward scratch live
+// in a per-instance workspace, valid until the next forward.
+type branch struct {
+	seq *nn.Sequential
+	ws  tensor.Workspace
+}
 
 func newBranch(name string, in, hidden int, rng *rand.Rand) *branch {
 	return &branch{seq: nn.NewSequential(
@@ -57,11 +69,17 @@ func newBranch(name string, in, hidden int, rng *rand.Rand) *branch {
 func (b *branch) Params() []*nn.Param { return b.seq.Params() }
 
 func (b *branch) forward(x *tensor.Matrix) *tensor.Matrix {
-	return tensor.Transpose(b.seq.Forward(x)) // N×1 → 1×N
+	y := b.seq.Forward(x) // N×1
+	b.ws.Reset()
+	t := b.ws.Get(1, y.Rows)
+	tensor.TransposeInto(t, y)
+	return t
 }
 
 func (b *branch) backward(d *tensor.Matrix) *tensor.Matrix {
-	return b.seq.Backward(tensor.Transpose(d))
+	td := b.ws.Get(d.Cols, 1)
+	tensor.TransposeInto(td, d)
+	return b.seq.Backward(td)
 }
 
 // BranchedX is BP-DQN's x network (Figure 6, left): separate computational
@@ -73,6 +91,8 @@ type BranchedX struct {
 	fBranch *branch
 	merge   *nn.Linear
 	tanh    *nn.Tanh
+	h, f    tensor.Matrix // cached state views
+	ws      tensor.Workspace
 }
 
 // NewBranchedX builds the branched x network with hidden width d.
@@ -94,20 +114,31 @@ func (x *BranchedX) Params() []*nn.Param {
 	return append(ps, x.merge.Params()...)
 }
 
-// Forward implements XNet.
+// Forward implements XNet. The returned matrix lives in the network's
+// workspace and is valid until the next Forward.
 func (x *BranchedX) Forward(state []float64) *tensor.Matrix {
-	h, f := splitState(x.spec, state)
+	h, f := splitState(x.spec, state, &x.h, &x.f)
+	x.ws.Reset()
 	hv := x.hBranch.forward(h)
 	fv := x.fBranch.forward(f)
-	y := x.tanh.Forward(x.merge.Forward(tensor.ConcatCols(hv, fv)))
-	return tensor.Scale(y, x.aMax)
+	cat := x.ws.Get(1, x.spec.NumH+x.spec.NumF)
+	tensor.ConcatColsInto(cat, hv, fv)
+	y := x.tanh.Forward(x.merge.Forward(cat))
+	out := x.ws.Get(1, NumBehaviors)
+	tensor.ScaleInto(out, y, x.aMax)
+	return out
 }
 
 // Backward implements XNet.
 func (x *BranchedX) Backward(d *tensor.Matrix) {
-	dy := x.tanh.Backward(tensor.Scale(d, x.aMax))
+	sd := x.ws.Get(d.Rows, d.Cols)
+	tensor.ScaleInto(sd, d, x.aMax)
+	dy := x.tanh.Backward(sd)
 	dcat := x.merge.Backward(dy)
-	dh, df := tensor.SplitCols(dcat, x.spec.NumH)
+	dh := x.ws.Get(1, x.spec.NumH)
+	tensor.SliceColsInto(dh, dcat, 0)
+	df := x.ws.Get(1, x.spec.NumF)
+	tensor.SliceColsInto(df, dcat, x.spec.NumH)
 	x.hBranch.backward(dh)
 	x.fBranch.backward(df)
 }
@@ -120,6 +151,8 @@ type BranchedQ struct {
 	fBranch *branch
 	xBranch *nn.Sequential
 	merge   *nn.Linear
+	h, f    tensor.Matrix // cached state views
+	ws      tensor.Workspace
 }
 
 // NewBranchedQ builds the branched Q network with hidden width d.
@@ -146,20 +179,30 @@ func (q *BranchedQ) Params() []*nn.Param {
 	return append(ps, q.merge.Params()...)
 }
 
-// Forward implements QNet.
+// Forward implements QNet. The returned matrix lives in the merge layer's
+// workspace and is valid until the next Forward.
 func (q *BranchedQ) Forward(state []float64, xout *tensor.Matrix) *tensor.Matrix {
-	h, f := splitState(q.spec, state)
+	h, f := splitState(q.spec, state, &q.h, &q.f)
+	q.ws.Reset()
 	hv := q.hBranch.forward(h)
 	fv := q.fBranch.forward(f)
 	xv := q.xBranch.Forward(xout)
-	return q.merge.Forward(tensor.ConcatCols(tensor.ConcatCols(hv, fv), xv))
+	hf := q.ws.Get(1, q.spec.NumH+q.spec.NumF)
+	tensor.ConcatColsInto(hf, hv, fv)
+	cat := q.ws.Get(1, q.spec.NumH+q.spec.NumF+NumBehaviors)
+	tensor.ConcatColsInto(cat, hf, xv)
+	return q.merge.Forward(cat)
 }
 
 // Backward implements QNet.
 func (q *BranchedQ) Backward(d *tensor.Matrix) *tensor.Matrix {
 	dcat := q.merge.Backward(d)
-	dhf, dx := tensor.SplitCols(dcat, q.spec.NumH+q.spec.NumF)
-	dh, df := tensor.SplitCols(dhf, q.spec.NumH)
+	dh := q.ws.Get(1, q.spec.NumH)
+	tensor.SliceColsInto(dh, dcat, 0)
+	df := q.ws.Get(1, q.spec.NumF)
+	tensor.SliceColsInto(df, dcat, q.spec.NumH)
+	dx := q.ws.Get(1, NumBehaviors)
+	tensor.SliceColsInto(dx, dcat, q.spec.NumH+q.spec.NumF)
 	q.hBranch.backward(dh)
 	q.fBranch.backward(df)
 	return q.xBranch.Backward(dx)
@@ -173,6 +216,8 @@ type SharedX struct {
 	aMax float64
 	mlp  *nn.Sequential
 	tanh *nn.Tanh
+	in   tensor.Matrix // cached state view
+	ws   tensor.Workspace
 }
 
 // NewSharedX builds the single-branch x network with hidden width h.
@@ -194,15 +239,22 @@ func NewSharedX(spec StateSpec, h int, aMax float64, rng *rand.Rand) *SharedX {
 // Params implements nn.Module.
 func (x *SharedX) Params() []*nn.Param { return x.mlp.Params() }
 
-// Forward implements XNet.
+// Forward implements XNet. The returned matrix lives in the network's
+// workspace and is valid until the next Forward.
 func (x *SharedX) Forward(state []float64) *tensor.Matrix {
-	in := tensor.FromSlice(1, len(state), state)
-	return tensor.Scale(x.tanh.Forward(x.mlp.Forward(in)), x.aMax)
+	in := viewInto(&x.in, 1, len(state), state)
+	x.ws.Reset()
+	y := x.tanh.Forward(x.mlp.Forward(in))
+	out := x.ws.Get(1, NumBehaviors)
+	tensor.ScaleInto(out, y, x.aMax)
+	return out
 }
 
 // Backward implements XNet.
 func (x *SharedX) Backward(d *tensor.Matrix) {
-	x.mlp.Backward(x.tanh.Backward(tensor.Scale(d, x.aMax)))
+	sd := x.ws.Get(d.Rows, d.Cols)
+	tensor.ScaleInto(sd, d, x.aMax)
+	x.mlp.Backward(x.tanh.Backward(sd))
 }
 
 // SharedQ is vanilla P-DQN's Q network: one MLP over the concatenated
@@ -210,6 +262,7 @@ func (x *SharedX) Backward(d *tensor.Matrix) {
 type SharedQ struct {
 	spec StateSpec
 	mlp  *nn.Sequential
+	ws   tensor.Workspace
 }
 
 // NewSharedQ builds the single-branch Q network with hidden width h.
@@ -229,9 +282,11 @@ func NewSharedQ(spec StateSpec, h int, rng *rand.Rand) *SharedQ {
 // Params implements nn.Module.
 func (q *SharedQ) Params() []*nn.Param { return q.mlp.Params() }
 
-// Forward implements QNet.
+// Forward implements QNet. The returned matrix lives in the final layer's
+// workspace and is valid until the next Forward.
 func (q *SharedQ) Forward(state []float64, xout *tensor.Matrix) *tensor.Matrix {
-	in := tensor.New(1, len(state)+NumBehaviors)
+	q.ws.Reset()
+	in := q.ws.Get(1, len(state)+NumBehaviors)
 	copy(in.Data[:len(state)], state)
 	copy(in.Data[len(state):], xout.Data)
 	return q.mlp.Forward(in)
@@ -240,6 +295,7 @@ func (q *SharedQ) Forward(state []float64, xout *tensor.Matrix) *tensor.Matrix {
 // Backward implements QNet.
 func (q *SharedQ) Backward(d *tensor.Matrix) *tensor.Matrix {
 	din := q.mlp.Backward(d)
-	_, dx := tensor.SplitCols(din, din.Cols-NumBehaviors)
+	dx := q.ws.Get(1, NumBehaviors)
+	tensor.SliceColsInto(dx, din, din.Cols-NumBehaviors)
 	return dx
 }

@@ -30,6 +30,16 @@ type PDDPG struct {
 	rng              *rand.Rand
 	steps            int
 	lastLoss         float64
+
+	// steady-state scratch: the raw-action buffer returned via Action.Raw
+	// (valid until the next Act; replay Push deep-copies it), cached matrix
+	// headers, a per-call workspace, and train-step batch storage.
+	rawBuf   []float64
+	stIn     tensor.Matrix
+	actMat   tensor.Matrix
+	dScratch *tensor.Matrix
+	batch    []Transition
+	ws       tensor.Workspace
 }
 
 // NewPDDPG builds the P-DDPG baseline with hidden width h.
@@ -96,11 +106,13 @@ func (p *PDDPG) Params() []*nn.Param {
 }
 
 // actorForward returns the bounded action vector: accelerations scaled to
-// ±a′ and selector logits in (−1, 1).
+// ±a′ and selector logits in (−1, 1). The result lives in the agent's
+// workspace, valid until the next Act or trainStep resets it.
 func (p *PDDPG) actorForward(net *nn.Sequential, tanh *nn.Tanh, state []float64) *tensor.Matrix {
-	raw := net.Forward(tensor.FromSlice(1, len(state), state))
+	raw := net.Forward(viewInto(&p.stIn, 1, len(state), state))
 	y := tanh.Forward(raw)
-	out := y.Clone()
+	out := p.ws.Get(1, actionDim)
+	copy(out.Data, y.Data)
 	for i := 0; i < NumBehaviors; i++ {
 		out.Data[i] *= p.aMax
 	}
@@ -109,7 +121,8 @@ func (p *PDDPG) actorForward(net *nn.Sequential, tanh *nn.Tanh, state []float64)
 
 // actorBackward propagates through the scaling and Tanh.
 func (p *PDDPG) actorBackward(d *tensor.Matrix) {
-	dd := d.Clone()
+	dd := p.ws.Get(d.Rows, d.Cols)
+	copy(dd.Data, d.Data)
 	for i := 0; i < NumBehaviors; i++ {
 		dd.Data[i] *= p.aMax
 	}
@@ -118,7 +131,7 @@ func (p *PDDPG) actorBackward(d *tensor.Matrix) {
 
 // criticForward evaluates Q(s, action).
 func (p *PDDPG) criticForward(net *nn.Sequential, state []float64, action *tensor.Matrix) *tensor.Matrix {
-	in := tensor.New(1, len(state)+actionDim)
+	in := p.ws.Get(1, len(state)+actionDim)
 	copy(in.Data[:len(state)], state)
 	copy(in.Data[len(state):], action.Data)
 	return net.Forward(in)
@@ -127,8 +140,10 @@ func (p *PDDPG) criticForward(net *nn.Sequential, state []float64, action *tenso
 // Act implements Agent: the behavior is the argmax of the selector logits
 // and the executed acceleration is the matching component.
 func (p *PDDPG) Act(state []float64, explore bool) Action {
+	p.ws.Reset()
 	av := p.actorForward(p.actor, p.actorTanh, state)
-	raw := make([]float64, actionDim)
+	raw := growFloats(p.rawBuf, actionDim)
+	p.rawBuf = raw
 	copy(raw, av.Data)
 	if explore {
 		for i := 0; i < NumBehaviors; i++ {
@@ -165,7 +180,14 @@ func (p *PDDPG) Observe(tr Transition) {
 }
 
 func (p *PDDPG) trainStep() {
-	batch := p.buf.Sample(p.cfg.BatchSize, p.rng)
+	p.ws.Reset()
+	p.batch = p.buf.SampleInto(p.batch, p.cfg.BatchSize, p.rng)
+	batch := p.batch
+	d := p.dScratch
+	if d == nil {
+		d = tensor.New(1, 1)
+		p.dScratch = d
+	}
 	// Critic update.
 	nn.ZeroGrads(p.critic)
 	sqErr := 0.0
@@ -175,11 +197,10 @@ func (p *PDDPG) trainStep() {
 			aNext := p.actorForward(p.actorT, p.actorTargetTanh, tr.Next)
 			y += p.cfg.Gamma * p.criticForward(p.criticT, tr.Next, aNext).At(0, 0)
 		}
-		act := tensor.FromSlice(1, actionDim, tr.Action.Raw)
+		act := viewInto(&p.actMat, 1, actionDim, tr.Action.Raw)
 		qv := p.criticForward(p.critic, tr.State, act)
 		diff := qv.At(0, 0) - y
 		sqErr += diff * diff
-		d := tensor.New(1, 1)
 		d.Set(0, 0, diff/float64(len(batch)))
 		p.critic.Backward(d)
 	}
@@ -193,10 +214,10 @@ func (p *PDDPG) trainStep() {
 	for _, tr := range batch {
 		av := p.actorForward(p.actor, p.actorTanh, tr.State)
 		p.criticForward(p.critic, tr.State, av)
-		d := tensor.New(1, 1)
 		d.Set(0, 0, -1/float64(len(batch)))
 		din := p.critic.Backward(d)
-		_, dAct := tensor.SplitCols(din, p.spec.Dim())
+		dAct := p.ws.Get(1, actionDim)
+		tensor.SliceColsInto(dAct, din, p.spec.Dim())
 		p.actorBackward(dAct)
 	}
 	nn.ClipGradNorm(p.actor, p.cfg.ClipNorm)

@@ -73,6 +73,18 @@ type PDQN struct {
 	trainSteps int
 	lastLoss   float64
 	trace      *span.Lane
+
+	// steady-state scratch: the action-parameter buffer returned via
+	// Action.Raw (valid until the next Act; replay Push deep-copies it),
+	// cached matrix headers, and train-step batch storage.
+	rawBuf     []float64
+	rawMat     tensor.Matrix
+	sampleRaw  tensor.Matrix
+	dScratch   *tensor.Matrix
+	batch      []Transition
+	perIdxs    []int
+	perWeights []float64
+	tdErrs     []float64
 }
 
 // NewPDQN assembles an agent from freshly constructed online and target
@@ -175,7 +187,8 @@ func (p *PDQN) Params() []*nn.Param {
 // during training.
 func (p *PDQN) Act(state []float64, explore bool) Action {
 	xout := p.x.Forward(state)
-	raw := make([]float64, NumBehaviors)
+	raw := growFloats(p.rawBuf, NumBehaviors)
+	p.rawBuf = raw
 	copy(raw, xout.Data)
 	if explore {
 		if p.ou != nil {
@@ -193,7 +206,7 @@ func (p *PDQN) Act(state []float64, explore bool) Action {
 	if explore && p.rng.Float64() < p.cfg.Eps.At(p.steps) {
 		b = p.rng.Intn(NumBehaviors)
 	} else {
-		noisy := tensor.FromSlice(1, NumBehaviors, raw)
+		noisy := viewInto(&p.rawMat, 1, NumBehaviors, raw)
 		qv := p.qn.Forward(state, noisy)
 		b = qv.ArgmaxRow(0)
 	}
@@ -245,9 +258,12 @@ func (p *PDQN) trainStep() {
 		if beta <= 0 {
 			beta = 0.4
 		}
-		batch, perIdxs, perWeights = p.bufP.Sample(p.cfg.BatchSize, beta, p.rng)
+		p.batch, p.perIdxs, p.perWeights = p.bufP.SampleInto(
+			p.batch, p.perIdxs, p.perWeights, p.cfg.BatchSize, beta, p.rng)
+		batch, perIdxs, perWeights = p.batch, p.perIdxs, p.perWeights
 	} else {
-		batch = p.buf.Sample(p.cfg.BatchSize, p.rng)
+		p.batch = p.buf.SampleInto(p.batch, p.cfg.BatchSize, p.rng)
+		batch = p.batch
 	}
 	rs.End()
 	mu := p.trace.Start("minibatch_update")
@@ -255,9 +271,16 @@ func (p *PDQN) trainStep() {
 	trainQ, trainX := p.phase()
 	p.trainSteps++
 
+	d := p.dScratch
+	if d == nil {
+		d = tensor.New(1, NumBehaviors)
+		p.dScratch = d
+	}
+
 	if trainQ {
 		nn.ZeroGrads(p.qn)
-		tdErrs := make([]float64, len(batch))
+		p.tdErrs = growFloats(p.tdErrs, len(batch))
+		tdErrs := p.tdErrs
 		sqErr := 0.0
 		for k, tr := range batch {
 			y := tr.Reward
@@ -267,7 +290,7 @@ func (p *PDQN) trainStep() {
 				best := qNext.ArgmaxRow(0)
 				y += p.cfg.Gamma * qNext.At(0, best)
 			}
-			raw := tensor.FromSlice(1, NumBehaviors, tr.Action.Raw)
+			raw := viewInto(&p.sampleRaw, 1, NumBehaviors, tr.Action.Raw)
 			qv := p.qn.Forward(tr.State, raw)
 			diff := qv.At(0, tr.Action.B) - y
 			tdErrs[k] = diff
@@ -276,7 +299,7 @@ func (p *PDQN) trainStep() {
 			if perWeights != nil {
 				w = perWeights[k]
 			}
-			d := tensor.New(1, NumBehaviors)
+			d.Fill(0)
 			d.Set(0, tr.Action.B, w*diff/float64(len(batch)))
 			p.qn.Backward(d)
 		}
@@ -295,7 +318,6 @@ func (p *PDQN) trainStep() {
 			xout := p.x.Forward(tr.State)
 			p.qn.Forward(tr.State, xout)
 			// L3 = −Σ_b Q_b ⇒ dL3/dQ = −1 for every output.
-			d := tensor.New(1, NumBehaviors)
 			d.Fill(-1 / float64(len(batch)))
 			dx := p.qn.Backward(d)
 			p.x.Backward(dx)

@@ -25,13 +25,53 @@ type Action struct {
 	Raw []float64
 }
 
-// Transition is one PAMDP step stored for experience replay.
+// Transition is one PAMDP step stored for experience replay. Replay
+// buffers deep-copy State, Next, and Action.Raw on Push, so callers are
+// free to reuse the backing slices (environments return a shared state
+// buffer and agents a shared raw-action buffer on the zero-allocation hot
+// path).
 type Transition struct {
 	State  []float64
 	Action Action
 	Reward float64
 	Next   []float64
 	Done   bool
+}
+
+// copyTransition copies tr into the ring slot, reusing the slot's existing
+// slice capacity so a warmed-up buffer stops allocating.
+func copyTransition(slot *Transition, tr Transition) {
+	slot.State = copyFloats(slot.State, tr.State)
+	slot.Action.B = tr.Action.B
+	slot.Action.A = tr.Action.A
+	slot.Action.Raw = copyFloats(slot.Action.Raw, tr.Action.Raw)
+	slot.Reward = tr.Reward
+	slot.Next = copyFloats(slot.Next, tr.Next)
+	slot.Done = tr.Done
+}
+
+// copyFloats copies src into dst, growing dst only when capacity is short.
+// A nil src yields a zero-length (or nil) dst, preserving nil-ness checks.
+func copyFloats(dst, src []float64) []float64 {
+	if src == nil {
+		return dst[:0]
+	}
+	if cap(dst) < len(src) {
+		dst = make([]float64, len(src))
+	} else {
+		dst = dst[:len(src)]
+	}
+	copy(dst, src)
+	return dst
+}
+
+// growFloats resizes a float slice to length n reusing capacity; entries
+// are not cleared, callers assign every slot.
+func growFloats(s []float64, n int) []float64 {
+	if cap(s) < n {
+		return make([]float64, n)
+	}
+	return s[:n]
 }
 
 // StateSpec describes the layout of the augmented state s₊ = [hᵗ, f̂ᵗ⁺¹]:
@@ -99,28 +139,44 @@ func (r *Replay) Len() int {
 	return len(r.buf)
 }
 
-// Push appends a transition, evicting the oldest when full.
+// Push deep-copies a transition into the ring, evicting the oldest when
+// full. The copy means callers may reuse tr's backing slices immediately;
+// a warmed-up ring reuses each slot's slice storage and stops allocating.
 func (r *Replay) Push(tr Transition) {
 	if r.full {
-		r.buf[r.next] = tr
+		copyTransition(&r.buf[r.next], tr)
 		r.next = (r.next + 1) % cap(r.buf)
 		return
 	}
-	r.buf = append(r.buf, tr)
+	r.buf = append(r.buf, Transition{})
+	copyTransition(&r.buf[len(r.buf)-1], tr)
 	if len(r.buf) == cap(r.buf) {
 		r.full = true
 		r.next = 0
 	}
 }
 
-// Sample fills out with n uniformly drawn transitions (with replacement).
+// Sample returns n uniformly drawn transitions (with replacement). The
+// returned transitions alias ring-slot storage: they are valid until the
+// next Push, which is safe for the train-step pattern of sampling a batch
+// and consuming it fully before observing more transitions.
 func (r *Replay) Sample(n int, rng *rand.Rand) []Transition {
-	out := make([]Transition, n)
-	m := r.Len()
-	for i := range out {
-		out[i] = r.buf[rng.Intn(m)]
+	return r.SampleInto(nil, n, rng)
+}
+
+// SampleInto is Sample writing into dst (grown as needed), so steady-state
+// training samples without allocating. The aliasing rules of Sample apply.
+func (r *Replay) SampleInto(dst []Transition, n int, rng *rand.Rand) []Transition {
+	if cap(dst) < n {
+		dst = make([]Transition, n)
+	} else {
+		dst = dst[:n]
 	}
-	return out
+	m := r.Len()
+	for i := range dst {
+		dst[i] = r.buf[rng.Intn(m)]
+	}
+	return dst
 }
 
 // EpsSchedule is a linear ε-greedy exploration schedule.

@@ -31,7 +31,12 @@ func RunEpisode(agent Agent, env Env, maxSteps int, learn bool) EpisodeResult {
 // costs nothing.
 func runEpisodeTraced(agent Agent, env Env, episode, maxSteps int, learn bool, lane *span.Lane) EpisodeResult {
 	er := lane.StartEpisode(episode)
-	state := env.Reset()
+	// Environments reuse one state buffer across steps, so Step overwrites
+	// the slice Reset returned. The loop keeps its own copy of sᵗ: it is
+	// what Act sees and what the transition stores as State while the
+	// environment's buffer already holds sᵗ⁺¹ (Observe's replay Push then
+	// deep-copies both sides).
+	state := append([]float64(nil), env.Reset()...)
 	var res EpisodeResult
 	for step := 0; step < maxSteps; step++ {
 		sr := lane.StartStep(step)
@@ -45,7 +50,7 @@ func runEpisodeTraced(agent Agent, env Env, episode, maxSteps int, learn bool, l
 		sr.End()
 		res.TotalReward += r
 		res.Steps++
-		state = next
+		state = append(state[:0], next...)
 		if done {
 			res.Done = true
 			break

@@ -49,6 +49,12 @@ type Sensor struct {
 	Cfg       Config
 	LaneWidth float64
 	frames    []Frame
+
+	// steady-state scratch: detection candidates and recycled observation
+	// maps, so a warmed-up sensor observes without allocating.
+	states   []world.State
+	obs      []Observation
+	freeMaps []map[int]world.State
 }
 
 // New returns a sensor for a road with the given lane width.
@@ -114,42 +120,90 @@ func angleDiff(a, b float64) float64 {
 	return d
 }
 
-// Detect returns the vehicles visible from av: within range and not
-// occluded by any other conventional vehicle.
-func (s *Sensor) Detect(av world.State, vehicles []*traffic.Vehicle) []Observation {
-	states := make([]world.State, len(vehicles))
-	for i, v := range vehicles {
-		states[i] = v.State
+// occludedFrom reports whether the state at index target of s.states is
+// hidden from av by any other state, mirroring Occluded without building a
+// per-candidate blockers slice.
+func (s *Sensor) occludedFrom(av world.State, target int) bool {
+	ax, ay := s.position(av)
+	tx, ty := s.position(s.states[target])
+	dt := math.Hypot(tx-ax, ty-ay)
+	if dt == 0 {
+		return false
 	}
-	var out []Observation
+	angT := math.Atan2(ty-ay, tx-ax)
+	for i, b := range s.states {
+		if i == target {
+			continue
+		}
+		bx, by := s.position(b)
+		db := math.Hypot(bx-ax, by-ay)
+		if db <= 0 || db >= dt {
+			continue
+		}
+		angB := math.Atan2(by-ay, bx-ax)
+		diff := math.Abs(angleDiff(angT, angB))
+		halfWidth := math.Atan2(s.Cfg.VehicleWidth/2, db)
+		if diff < halfWidth {
+			return true
+		}
+	}
+	return false
+}
+
+// Detect returns the vehicles visible from av: within range and not
+// occluded by any other conventional vehicle. The returned slice aliases
+// sensor-owned scratch and is valid until the next Detect or Observe.
+func (s *Sensor) Detect(av world.State, vehicles []*traffic.Vehicle) []Observation {
+	s.states = s.states[:0]
+	for _, v := range vehicles {
+		s.states = append(s.states, v.State)
+	}
+	s.obs = s.obs[:0]
 	for i, v := range vehicles {
 		if !s.InRange(av, v.State) {
 			continue
 		}
-		blockers := make([]world.State, 0, len(states)-1)
-		blockers = append(blockers, states[:i]...)
-		blockers = append(blockers, states[i+1:]...)
-		if s.Occluded(av, v.State, blockers) {
+		if s.occludedFrom(av, i) {
 			continue
 		}
-		out = append(out, Observation{ID: v.ID, State: v.State})
+		s.obs = append(s.obs, Observation{ID: v.ID, State: v.State})
 	}
-	return out
+	return s.obs
 }
 
 // Observe runs detection and appends the resulting frame to the rolling
-// history, returning the frame.
+// history, returning the frame. Evicted frames' observation maps are
+// recycled, so a warmed-up history window observes without allocating.
 func (s *Sensor) Observe(av world.State, vehicles []*traffic.Vehicle) Frame {
 	obs := s.Detect(av, vehicles)
-	f := Frame{AV: av, Observed: make(map[int]world.State, len(obs))}
+	m := s.takeMap(len(obs))
 	for _, o := range obs {
-		f.Observed[o.ID] = o.State
+		m[o.ID] = o.State
 	}
+	if s.Cfg.Z > 0 && len(s.frames) >= s.Cfg.Z {
+		// Evict the oldest frame in place: shift the window down and hand
+		// its map back to the pool.
+		evicted := s.frames[0].Observed
+		copy(s.frames, s.frames[1:])
+		s.frames = s.frames[:s.Cfg.Z-1]
+		if evicted != nil {
+			clear(evicted)
+			s.freeMaps = append(s.freeMaps, evicted)
+		}
+	}
+	f := Frame{AV: av, Observed: m}
 	s.frames = append(s.frames, f)
-	if len(s.frames) > s.Cfg.Z {
-		s.frames = s.frames[len(s.frames)-s.Cfg.Z:]
-	}
 	return f
+}
+
+// takeMap pops a recycled observation map or makes a fresh one.
+func (s *Sensor) takeMap(sizeHint int) map[int]world.State {
+	if n := len(s.freeMaps); n > 0 {
+		m := s.freeMaps[n-1]
+		s.freeMaps = s.freeMaps[:n-1]
+		return m
+	}
+	return make(map[int]world.State, sizeHint)
 }
 
 // History returns the retained frames, oldest first. Fewer than Z frames
@@ -159,5 +213,15 @@ func (s *Sensor) History() []Frame { return s.frames }
 // Ready reports whether a full z-step history has been accumulated.
 func (s *Sensor) Ready() bool { return len(s.frames) >= s.Cfg.Z }
 
-// Reset clears the history (between episodes).
-func (s *Sensor) Reset() { s.frames = s.frames[:0] }
+// Reset clears the history (between episodes), recycling the frames'
+// observation maps.
+func (s *Sensor) Reset() {
+	for i := range s.frames {
+		if m := s.frames[i].Observed; m != nil {
+			clear(m)
+			s.freeMaps = append(s.freeMaps, m)
+			s.frames[i].Observed = nil
+		}
+	}
+	s.frames = s.frames[:0]
+}

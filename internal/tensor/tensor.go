@@ -151,9 +151,9 @@ func MatMul(a, b *Matrix) *Matrix {
 		arow := a.Row(i)
 		orow := out.Row(i)
 		for k, av := range arow {
-			if av == 0 {
-				continue
-			}
+			// No zero-operand skip here: 0·NaN must stay NaN so numerical
+			// divergence propagates instead of being masked. Callers with
+			// provably finite sparse operands can use MatMulSparseInto.
 			brow := b.Row(k)
 			for j, bv := range brow {
 				orow[j] += av * bv
@@ -307,7 +307,16 @@ func Equal(a, b *Matrix, tol float64) bool {
 	return true
 }
 
-// String implements fmt.Stringer for debugging.
+// stringMaxElems bounds how many elements String renders: a panic that
+// formats a 42×z node matrix must not flood the log with its full Data
+// slice.
+const stringMaxElems = 16
+
+// String implements fmt.Stringer for debugging. Large matrices are
+// truncated to their first stringMaxElems elements.
 func (m *Matrix) String() string {
-	return fmt.Sprintf("Matrix(%dx%d)%v", m.Rows, m.Cols, m.Data)
+	if len(m.Data) <= stringMaxElems {
+		return fmt.Sprintf("Matrix(%dx%d)%v", m.Rows, m.Cols, m.Data)
+	}
+	return fmt.Sprintf("Matrix(%dx%d)%v… (%d elems)", m.Rows, m.Cols, m.Data[:stringMaxElems], len(m.Data))
 }

@@ -114,7 +114,26 @@ type Sim struct {
 
 	// Collision state, set when the AV crashes into a vehicle.
 	AVCollided bool
+
+	// steady-state scratch: the persistent sorter and per-step plan buffer
+	// keep Step free of heap allocations.
+	sorter lonSorter
+	plans  []planned
 }
+
+// planned pairs a vehicle with its committed next state.
+type planned struct {
+	v  *Vehicle
+	st world.State
+}
+
+// lonSorter orders vehicles by longitudinal position; a pointer receiver
+// lets sortVehicles reuse one interface value without allocating.
+type lonSorter struct{ vs []*Vehicle }
+
+func (l *lonSorter) Len() int           { return len(l.vs) }
+func (l *lonSorter) Swap(i, j int)      { l.vs[i], l.vs[j] = l.vs[j], l.vs[i] }
+func (l *lonSorter) Less(i, j int) bool { return l.vs[i].State.Lon < l.vs[j].State.Lon }
 
 // New builds a simulation with conventional vehicles spawned at the target
 // density and the autonomous vehicle at the road origin on a random lane.
@@ -178,26 +197,28 @@ func New(cfg Config, rng *rand.Rand) (*Sim, error) {
 	return s, nil
 }
 
-// all returns every vehicle including the AV.
-func (s *Sim) all() []*Vehicle {
-	out := make([]*Vehicle, 0, len(s.Vehicles)+1)
-	out = append(out, s.Vehicles...)
-	out = append(out, s.AV)
-	return out
+// vehicleAt indexes every vehicle with the AV as the last entry; loops
+// running i over [0, len(Vehicles)] visit the same Vehicles-then-AV order
+// the old slice-building all() helper produced, without allocating.
+func (s *Sim) vehicleAt(i int) *Vehicle {
+	if i == len(s.Vehicles) {
+		return s.AV
+	}
+	return s.Vehicles[i]
 }
 
 // sortVehicles keeps the conventional-vehicle slice ordered by longitudinal
 // position so neighbor queries can scan linearly.
 func (s *Sim) sortVehicles() {
-	sort.Slice(s.Vehicles, func(i, j int) bool {
-		return s.Vehicles[i].State.Lon < s.Vehicles[j].State.Lon
-	})
+	s.sorter.vs = s.Vehicles
+	sort.Sort(&s.sorter)
 }
 
 // Leader returns the nearest vehicle ahead of st in lane lane, or nil.
 func (s *Sim) Leader(lane int, lon float64, exclude *Vehicle) *Vehicle {
 	var best *Vehicle
-	for _, v := range s.all() {
+	for i := 0; i <= len(s.Vehicles); i++ {
+		v := s.vehicleAt(i)
 		if v == exclude || v.State.Lat != lane || v.State.Lon <= lon {
 			continue
 		}
@@ -211,7 +232,8 @@ func (s *Sim) Leader(lane int, lon float64, exclude *Vehicle) *Vehicle {
 // Follower returns the nearest vehicle behind st in lane lane, or nil.
 func (s *Sim) Follower(lane int, lon float64, exclude *Vehicle) *Vehicle {
 	var best *Vehicle
-	for _, v := range s.all() {
+	for i := 0; i <= len(s.Vehicles); i++ {
+		v := s.vehicleAt(i)
 		if v == exclude || v.State.Lat != lane || v.State.Lon >= lon {
 			continue
 		}
@@ -271,7 +293,8 @@ func (s *Sim) laneChangeDecision(v *Vehicle, target int) bool {
 	}
 	w := s.Cfg.World
 	// Physical feasibility: target slot must not overlap another vehicle.
-	for _, o := range s.all() {
+	for i := 0; i <= len(s.Vehicles); i++ {
+		o := s.vehicleAt(i)
 		if o == v || o.State.Lat != target {
 			continue
 		}
@@ -373,11 +396,7 @@ type StepResult struct {
 func (s *Sim) Step(avManeuver world.Maneuver) StepResult {
 	w := s.Cfg.World
 	var res StepResult
-	type planned struct {
-		v  *Vehicle
-		st world.State
-	}
-	plans := make([]planned, 0, len(s.Vehicles)+1)
+	plans := s.plans[:0]
 	for _, v := range s.Vehicles {
 		m := s.planConventional(v)
 		next, err := w.Apply(v.State, m)
@@ -388,6 +407,7 @@ func (s *Sim) Step(avManeuver world.Maneuver) StepResult {
 		}
 		plans = append(plans, planned{v, next})
 	}
+	s.plans = plans
 	avNext, err := w.Apply(s.AV.State, avManeuver)
 	if err == world.ErrOffRoad {
 		s.AVCollided = true
@@ -402,7 +422,8 @@ func (s *Sim) Step(avManeuver world.Maneuver) StepResult {
 	s.StepNum++
 	s.sortVehicles()
 	// Exit bookkeeping.
-	for _, v := range s.all() {
+	for i := 0; i <= len(s.Vehicles); i++ {
+		v := s.vehicleAt(i)
 		if v.ExitStep < 0 && v.State.Lon >= w.RoadLength {
 			v.ExitStep = s.StepNum
 		}

@@ -305,7 +305,8 @@ func TestStepProducesFiniteStates(t *testing.T) {
 	s, _ := New(cfg, rand.New(rand.NewSource(14)))
 	for i := 0; i < 40; i++ {
 		s.Step(world.Maneuver{B: world.LaneKeep, A: math.Sin(float64(i))})
-		for _, v := range s.all() {
+		for j := 0; j <= len(s.Vehicles); j++ {
+			v := s.vehicleAt(j)
 			if math.IsNaN(v.State.Lon) || math.IsNaN(v.State.V) {
 				t.Fatalf("step %d: NaN state %+v", i, v.State)
 			}
