@@ -11,6 +11,17 @@
 // benchcheck exits non-zero when a matched benchmark exceeds -max-allocs
 // (default 0 allocs/op) or when no benchmark matched at all — a renamed or
 // deleted benchmark must fail the gate, not silently pass it.
+//
+// Two further gates are optional:
+//
+//   - -prev snapshot.json compares each matched benchmark's ns/op against
+//     the same-named row of a previous benchcheck snapshot and fails on a
+//     regression beyond -tolerance (default 0.15, i.e. +15%). Rows absent
+//     from the previous snapshot are reported but never fail.
+//   - -speedup-serial / -speedup-batch / -speedup-envs / -min-speedup
+//     derive the per-environment speedup of a batched benchmark over its
+//     serial counterpart (serial ns/op ÷ (batch ns/op ÷ envs)) and fail
+//     below the floor. The computed ratio is recorded in the snapshot.
 package main
 
 import (
@@ -36,6 +47,26 @@ type AllocRow struct {
 	NsPerOp     float64 `json:"ns_per_op"`
 	BytesPerOp  int64   `json:"bytes_per_op"`
 	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+// Speedup records the derived batched-vs-serial throughput ratio in the
+// snapshot, so the perf trajectory of the batched engine is archived
+// alongside the raw rows.
+type Speedup struct {
+	Serial   string  `json:"serial"`
+	Batch    string  `json:"batch"`
+	Envs     int     `json:"envs"`
+	SerialNs float64 `json:"serial_ns_per_op"`
+	BatchNs  float64 `json:"batch_ns_per_op"`
+	PerEnvNs float64 `json:"batch_ns_per_env"`
+	Ratio    float64 `json:"ratio"`
+	MinRatio float64 `json:"min_ratio"`
+}
+
+// snapshot is BenchSnapshot plus the optional derived speedup record.
+type snapshot struct {
+	experiments.BenchSnapshot
+	Speedup *Speedup `json:"speedup,omitempty"`
 }
 
 // cpuSuffix strips the -GOMAXPROCS suffix go test appends to bench names.
@@ -68,12 +99,72 @@ func parse(r io.Reader) ([]AllocRow, error) {
 	return rows, sc.Err()
 }
 
+// readPrev loads the rows of a previous benchcheck snapshot by name.
+func readPrev(path string) (map[string]AllocRow, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var snap struct {
+		Rows []AllocRow `json:"rows"`
+	}
+	if err := json.Unmarshal(data, &snap); err != nil {
+		return nil, err
+	}
+	prev := make(map[string]AllocRow, len(snap.Rows))
+	for _, r := range snap.Rows {
+		prev[r.Name] = r
+	}
+	return prev, nil
+}
+
+// regression reports whether row slowed down beyond tolerance relative to
+// its previous measurement (ok is false when the row is new).
+func regression(row AllocRow, prev map[string]AllocRow, tolerance float64) (was float64, regressed, ok bool) {
+	p, ok := prev[row.Name]
+	if !ok || p.NsPerOp <= 0 {
+		return 0, false, false
+	}
+	return p.NsPerOp, row.NsPerOp > p.NsPerOp*(1+tolerance), true
+}
+
+// speedup derives the per-environment batched-vs-serial throughput ratio.
+func speedup(rows []AllocRow, serial, batch string, envs int, minRatio float64) (*Speedup, error) {
+	byName := make(map[string]AllocRow, len(rows))
+	for _, r := range rows {
+		byName[r.Name] = r
+	}
+	s, ok := byName[serial]
+	if !ok {
+		return nil, fmt.Errorf("speedup: serial benchmark %q not in input", serial)
+	}
+	b, ok := byName[batch]
+	if !ok {
+		return nil, fmt.Errorf("speedup: batch benchmark %q not in input", batch)
+	}
+	if envs <= 0 || s.NsPerOp <= 0 || b.NsPerOp <= 0 {
+		return nil, fmt.Errorf("speedup: non-positive inputs (envs %d, serial %.0f, batch %.0f)", envs, s.NsPerOp, b.NsPerOp)
+	}
+	perEnv := b.NsPerOp / float64(envs)
+	return &Speedup{
+		Serial: serial, Batch: batch, Envs: envs,
+		SerialNs: s.NsPerOp, BatchNs: b.NsPerOp, PerEnvNs: perEnv,
+		Ratio: s.NsPerOp / perEnv, MinRatio: minRatio,
+	}, nil
+}
+
 func main() {
 	in := flag.String("in", "-", "bench output to parse (- for stdin)")
 	out := flag.String("out", "BENCH_alloc.json", "snapshot path ('' disables)")
 	maxAllocs := flag.Int64("max-allocs", 0, "allocs/op ceiling per matched benchmark")
 	match := flag.String("match", "^(LSTGATForward|BPDQNSelectAction|EnvStep)$",
 		"regexp selecting the gated benchmarks")
+	prevPath := flag.String("prev", "", "previous benchcheck snapshot to compare ns/op against ('' disables the regression gate)")
+	tolerance := flag.Float64("tolerance", 0.15, "allowed fractional ns/op regression vs -prev (0.15 = +15%)")
+	spSerial := flag.String("speedup-serial", "", "serial benchmark name for the speedup gate ('' disables)")
+	spBatch := flag.String("speedup-batch", "", "batched benchmark name for the speedup gate")
+	spEnvs := flag.Int("speedup-envs", 8, "environments per op of the batched benchmark")
+	minSpeedup := flag.Float64("min-speedup", 1.2, "per-env speedup floor of batch over serial")
 	flag.Parse()
 
 	start := time.Now()
@@ -97,6 +188,13 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchcheck:", err)
 		os.Exit(1)
 	}
+	var prev map[string]AllocRow
+	if *prevPath != "" {
+		if prev, err = readPrev(*prevPath); err != nil {
+			fmt.Fprintln(os.Stderr, "benchcheck:", err)
+			os.Exit(1)
+		}
+	}
 
 	gated, failed := 0, 0
 	for _, row := range rows {
@@ -106,20 +204,51 @@ func main() {
 		gated++
 		verdict := "ok"
 		if row.AllocsPerOp > *maxAllocs {
-			verdict = fmt.Sprintf("FAIL (> %d)", *maxAllocs)
+			verdict = fmt.Sprintf("FAIL (> %d allocs/op)", *maxAllocs)
 			failed++
 		}
-		fmt.Printf("benchcheck: %-24s %12.0f ns/op %6d B/op %4d allocs/op  %s\n",
+		if prev != nil && verdict == "ok" {
+			switch was, regressed, known := regression(row, prev, *tolerance); {
+			case !known:
+				verdict = "ok (no previous measurement)"
+			case regressed:
+				verdict = fmt.Sprintf("FAIL (was %.0f ns/op, +%.0f%% > %.0f%% tolerance)",
+					was, (row.NsPerOp/was-1)*100, *tolerance*100)
+				failed++
+			default:
+				verdict = fmt.Sprintf("ok (was %.0f ns/op)", was)
+			}
+		}
+		fmt.Printf("benchcheck: %-28s %12.0f ns/op %6d B/op %4d allocs/op  %s\n",
 			row.Name, row.NsPerOp, row.BytesPerOp, row.AllocsPerOp, verdict)
 	}
 
+	var sp *Speedup
+	if *spSerial != "" {
+		sp, err = speedup(rows, *spSerial, *spBatch, *spEnvs, *minSpeedup)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchcheck:", err)
+			os.Exit(1)
+		}
+		verdict := "ok"
+		if sp.Ratio < sp.MinRatio {
+			verdict = fmt.Sprintf("FAIL (< %.2fx floor)", sp.MinRatio)
+			failed++
+		}
+		fmt.Printf("benchcheck: %s/%d envs = %.0f ns/env vs %s %.0f ns/op: %.2fx per-env speedup  %s\n",
+			sp.Batch, sp.Envs, sp.PerEnvNs, sp.Serial, sp.SerialNs, sp.Ratio, verdict)
+	}
+
 	if *out != "" {
-		snap := experiments.BenchSnapshot{
-			Tool:      "benchcheck",
-			Scale:     "bench",
-			GoVersion: runtime.Version(),
-			DurationS: time.Since(start).Seconds(),
-			Rows:      rows,
+		snap := snapshot{
+			BenchSnapshot: experiments.BenchSnapshot{
+				Tool:      "benchcheck",
+				Scale:     "bench",
+				GoVersion: runtime.Version(),
+				DurationS: time.Since(start).Seconds(),
+				Rows:      rows,
+			},
+			Speedup: sp,
 		}
 		if err := writeJSON(*out, snap); err != nil {
 			fmt.Fprintln(os.Stderr, "benchcheck:", err)
@@ -132,12 +261,12 @@ func main() {
 		os.Exit(1)
 	}
 	if failed > 0 {
-		fmt.Fprintf(os.Stderr, "benchcheck: %d of %d gated benchmarks exceed the allocation ceiling\n", failed, gated)
+		fmt.Fprintf(os.Stderr, "benchcheck: %d gate failures across %d gated benchmarks\n", failed, gated)
 		os.Exit(1)
 	}
 }
 
-func writeJSON(path string, snap experiments.BenchSnapshot) error {
+func writeJSON(path string, snap snapshot) error {
 	f, err := os.Create(path)
 	if err != nil {
 		return err

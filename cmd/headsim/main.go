@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	headsim [-scale quick|record|paper] [-ablation] [-episodes N] [-train N] [-seed N] [-workers N] [-debug-addr :8080] [-progress] [-trace-out dir] [-trace-sample 0.1]
+//	headsim [-batch-envs N] [-scale quick|record|paper] [-ablation] [-episodes N] [-train N] [-seed N] [-workers N] [-debug-addr :8080] [-progress] [-trace-out dir] [-trace-sample 0.1]
 package main
 
 import (
@@ -26,6 +26,7 @@ func main() {
 		train     = flag.Int("train", 0, "override the number of training episodes")
 		seed      = flag.Int64("seed", 0, "override the random seed")
 		workers   = flag.Int("workers", 0, "max parallel workers (0 = all cores; results are identical for any value)")
+		batchEnvs = flag.Int("batch-envs", 0, "lock-step batched execution width for evaluation and training (<=1 = serial; results are identical for any value)")
 		debugAddr = flag.String("debug-addr", "", "serve /metrics, /debug/pprof/* and /debug/vars on this address (e.g. :8080; empty disables)")
 		progress  = flag.Bool("progress", false, "print a live heartbeat line per episode/epoch to stderr")
 		traceOut  = flag.String("trace-out", "", "directory to write trace.json (Chrome trace-event JSON) and decisions.jsonl into (empty disables tracing)")
@@ -47,6 +48,7 @@ func main() {
 		s.Seed = *seed
 	}
 	s.Workers = *workers
+	s.BatchEnvs = *batchEnvs
 	srv, finishTrace, err := s.ObserveDefault(*progress, *debugAddr, *traceOut, *traceSmpl)
 	if err != nil {
 		log.Fatal(err)

@@ -11,8 +11,8 @@
 //
 // Usage:
 //
-//	headtrain -out dir [-scale quick|record|paper] [-train N] [-seed N] [-workers N]  # train + save
-//	headtrain -load dir [-episodes N] [-workers N]                                    # load + evaluate
+//	headtrain -out dir [-scale quick|record|paper] [-train N] [-seed N] [-workers N] [-batch-envs N]  # train + save
+//	headtrain -load dir [-episodes N] [-workers N] [-batch-envs N]                                  # load + evaluate
 //	headtrain ... [-debug-addr :8080] [-progress]                                     # observe either mode
 //	headtrain ... [-trace-out dir] [-trace-sample 0.1]                                # flight-record either mode
 package main
@@ -48,6 +48,7 @@ func main() {
 		episodes  = flag.Int("episodes", 0, "override the number of test episodes")
 		seed      = flag.Int64("seed", 0, "override the random seed")
 		workers   = flag.Int("workers", 0, "max parallel workers (0 = all cores; results are identical for any value)")
+		batchEnvs = flag.Int("batch-envs", 0, "lock-step batched execution width for evaluation and training (<=1 = serial; results are identical for any value)")
 		debugAddr = flag.String("debug-addr", "", "serve /metrics, /debug/pprof/* and /debug/vars on this address (e.g. :8080; empty disables)")
 		progress  = flag.Bool("progress", false, "print a live heartbeat line per episode/epoch to stderr")
 		traceOut  = flag.String("trace-out", "", "directory to write trace.json (Chrome trace-event JSON) and decisions.jsonl into (empty disables tracing)")
@@ -76,6 +77,7 @@ func main() {
 		s.TestEpisodes = *episodes
 	}
 	s.Workers = *workers
+	s.BatchEnvs = *batchEnvs
 	srv, finishTrace, err := s.ObserveDefault(*progress, *debugAddr, *traceOut, *traceSmpl)
 	if err != nil {
 		log.Fatal(err)
@@ -156,7 +158,8 @@ func trainRun(s experiments.Scale, dir, scaleName string) error {
 		OnEpisode: func(st rl.EpisodeStats) {
 			snap.Snap(s.Metrics, map[string]any{"phase": "rl", "episode": st.Episode, "reward": st.Reward})
 		},
-		Trace: s.Trace.Lane("train"),
+		Trace:     s.Trace.Lane("train"),
+		BatchEnvs: s.BatchEnvs,
 	})
 	fmt.Printf("trained in %v\n", res.TCT.Round(1e9))
 	if err := saveModule(filepath.Join(dir, "bpdqn.ckpt"), agent); err != nil {
@@ -196,8 +199,8 @@ func evaluate(s experiments.Scale, dir string) error {
 		return err
 	}
 	// Each test episode gets private replicas of the loaded models; the
-	// metrics are identical for any -workers value.
-	m := eval.RunEpisodesObserved(s.TestEpisodes, s.Workers, s.Metrics, s.Trace, func(ep int) (head.Controller, *head.Env) {
+	// metrics are identical for any -workers and -batch-envs value.
+	m := eval.RunEpisodesBatched(s.TestEpisodes, s.BatchEnvs, s.Workers, s.Metrics, s.Trace, func(ep int) (head.Controller, *head.Env) {
 		env := head.NewEnv(cfg, predictor.Clone(), parallel.Rand(s.Seed+1000, int64(ep)))
 		a := rl.NewBPDQN(rc, spec, aMax, s.RLHidden, rand.New(rand.NewSource(0)))
 		nn.CopyParams(a, agent)

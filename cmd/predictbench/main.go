@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	predictbench [-scale quick|record|paper] [-epochs N] [-seed N] [-workers N] [-debug-addr :8080] [-progress]
+//	predictbench [-batch-envs N] [-scale quick|record|paper] [-epochs N] [-seed N] [-workers N] [-debug-addr :8080] [-progress]
 //	predictbench ... [-trace-out dir] [-trace-sample 0.1]  # flight-record the run
 //	predictbench ... [-bench-json]                         # also write BENCH_predict.json
 package main
@@ -27,6 +27,7 @@ func main() {
 		epochs    = flag.Int("epochs", 0, "override the number of training epochs")
 		seed      = flag.Int64("seed", 0, "override the random seed")
 		workers   = flag.Int("workers", 0, "max parallel workers (0 = all cores; results are identical for any value)")
+		batchEnvs = flag.Int("batch-envs", 0, "batched inference width for the accuracy evaluation (<=1 = serial; results are identical for any value)")
 		debugAddr = flag.String("debug-addr", "", "serve /metrics, /debug/pprof/* and /debug/vars on this address (e.g. :8080; empty disables)")
 		progress  = flag.Bool("progress", false, "print a live heartbeat line per episode/epoch to stderr")
 		traceOut  = flag.String("trace-out", "", "directory to write trace.json (Chrome trace-event JSON) and decisions.jsonl into (empty disables tracing)")
@@ -53,6 +54,7 @@ func main() {
 		s.Seed = *seed
 	}
 	s.Workers = *workers
+	s.BatchEnvs = *batchEnvs
 	srv, finishTrace, err := s.ObserveDefault(*progress, *debugAddr, *traceOut, *traceSmpl)
 	if err != nil {
 		log.Fatal(err)

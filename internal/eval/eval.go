@@ -11,6 +11,7 @@ import (
 	"math"
 	"sort"
 
+	"head/internal/batch"
 	"head/internal/head"
 	"head/internal/obs"
 	"head/internal/obs/span"
@@ -84,87 +85,96 @@ type episodeTotals struct {
 	finished, collisions             int
 }
 
-// runEpisode rolls one evaluation episode and returns its partial sums.
-// A non-nil lane records the episode/step/phase spans and per-step
-// decision records (the environment is attached for the duration).
-func runEpisode(ctrl head.Controller, env *head.Env, eo episodeObs, episode int, lane *span.Lane) episodeTotals {
-	er := lane.StartEpisode(episode)
-	defer er.End()
-	env.SetTrace(lane)
-	defer env.SetTrace(nil)
-	w := env.Cfg.Traffic.World
-	t := episodeTotals{minTTC: math.Inf(1)}
-	env.Reset()
-	ctrl.Reset()
-	// Per-vehicle mean velocity of trailing conventional vehicles.
-	followV := map[int]*[2]float64{} // id → {sumV, count}
-	for step := 0; !env.Done(); step++ {
-		sr := lane.StartStep(step)
-		fw := lane.Start("bpdqn_forward")
-		man := ctrl.Decide(env)
-		fw.End()
-		out := env.StepManeuver(man)
-		sr.End()
-		av := env.Sim().AV.State
-		t.sumV += av.V
-		t.nV++
-		t.sumJ += out.Jerk
-		t.nJ++
-		if out.TTCValid {
-			t.minTTC = math.Min(t.minTTC, out.TTC)
-			if eo.ttc != nil {
-				eo.ttc.Observe(out.TTC)
-			}
-		}
-		if out.RearExists {
-			t.sumD += out.RearDecel
-			t.nD++
-			if out.RearDecel > env.Cfg.Reward.VThr {
-				t.ca++
-			}
-			if eo.rearDecel != nil {
-				eo.rearDecel.Observe(out.RearDecel)
-			}
-		}
-		for _, v := range env.Sim().Vehicles {
-			d := av.Lon - v.State.Lon
-			if d > 0 && d <= followRadius {
-				acc, ok := followV[v.ID]
-				if !ok {
-					acc = &[2]float64{}
-					followV[v.ID] = acc
-				}
-				acc[0] += v.State.V
-				acc[1]++
-			}
-		}
-		if out.Collision {
-			t.collisions++
-		}
-		if out.Finished {
-			t.finished++
-			t.sumDTA += float64(env.Steps()) * w.Dt
-			t.nDTA++
+// epAccum accumulates one episode's partial sums step by step. It is the
+// single implementation of the per-step metric arithmetic, shared by the
+// serial episode loop and the lock-step batched runner so both produce the
+// exact same float operations in the exact same order per episode.
+type epAccum struct {
+	t       episodeTotals
+	env     *head.Env
+	eo      episodeObs
+	followV map[int]*[2]float64 // id → {sumV, count} of trailing vehicles
+}
+
+func newEpAccum(env *head.Env, eo episodeObs) *epAccum {
+	return &epAccum{
+		t:       episodeTotals{minTTC: math.Inf(1)},
+		env:     env,
+		eo:      eo,
+		followV: map[int]*[2]float64{},
+	}
+}
+
+// observe folds one StepManeuver outcome; the environment's post-step
+// state must be current.
+func (a *epAccum) observe(out head.StepOutcome) {
+	t := &a.t
+	av := a.env.Sim().AV.State
+	t.sumV += av.V
+	t.nV++
+	t.sumJ += out.Jerk
+	t.nJ++
+	if out.TTCValid {
+		t.minTTC = math.Min(t.minTTC, out.TTC)
+		if a.eo.ttc != nil {
+			a.eo.ttc.Observe(out.TTC)
 		}
 	}
-	if eo.episodes != nil {
-		eo.episodes.Inc()
-		eo.steps.Add(int64(t.nV))
-		eo.collisions.Add(int64(t.collisions))
-		eo.finished.Add(int64(t.finished))
+	if out.RearExists {
+		t.sumD += out.RearDecel
+		t.nD++
+		if out.RearDecel > a.env.Cfg.Reward.VThr {
+			t.ca++
+		}
+		if a.eo.rearDecel != nil {
+			a.eo.rearDecel.Observe(out.RearDecel)
+		}
+	}
+	for _, v := range a.env.Sim().Vehicles {
+		d := av.Lon - v.State.Lon
+		if d > 0 && d <= followRadius {
+			acc, ok := a.followV[v.ID]
+			if !ok {
+				acc = &[2]float64{}
+				a.followV[v.ID] = acc
+			}
+			acc[0] += v.State.V
+			acc[1]++
+		}
+	}
+	if out.Collision {
+		t.collisions++
+	}
+	if out.Finished {
+		t.finished++
+		t.sumDTA += float64(a.env.Steps()) * a.env.Cfg.Traffic.World.Dt
+		t.nDTA++
+	}
+}
+
+// finish flushes the episode counters and folds the follower driving
+// times, returning the completed totals.
+func (a *epAccum) finish() episodeTotals {
+	t := &a.t
+	if a.eo.episodes != nil {
+		a.eo.episodes.Inc()
+		a.eo.steps.Add(int64(t.nV))
+		a.eo.collisions.Add(int64(t.collisions))
+		a.eo.finished.Add(int64(t.finished))
 	}
 	t.hasTTC = !math.IsInf(t.minTTC, 1)
 	// Sum follower driving times in vehicle-ID order: map iteration order
 	// is randomized per run, and an order-dependent float sum would make
 	// repeated runs (and the cross-worker determinism guarantee) drift in
 	// the last bits.
-	ids := make([]int, 0, len(followV))
-	for id := range followV {
+	w := a.env.Cfg.Traffic.World
+	ids := make([]int, 0, len(a.followV))
+	for id := range a.followV {
 		ids = append(ids, id)
 	}
 	sort.Ints(ids)
 	for _, id := range ids {
-		acc := followV[id]
+		acc := a.followV[id]
 		if acc[1] == 0 {
 			continue
 		}
@@ -177,7 +187,30 @@ func runEpisode(ctrl head.Controller, env *head.Env, eo episodeObs, episode int,
 			t.nDTC++
 		}
 	}
-	return t
+	return *t
+}
+
+// runEpisode rolls one evaluation episode and returns its partial sums.
+// A non-nil lane records the episode/step/phase spans and per-step
+// decision records (the environment is attached for the duration).
+func runEpisode(ctrl head.Controller, env *head.Env, eo episodeObs, episode int, lane *span.Lane) episodeTotals {
+	er := lane.StartEpisode(episode)
+	defer er.End()
+	env.SetTrace(lane)
+	defer env.SetTrace(nil)
+	env.Reset()
+	ctrl.Reset()
+	acc := newEpAccum(env, eo)
+	for step := 0; !env.Done(); step++ {
+		sr := lane.StartStep(step)
+		fw := lane.Start("bpdqn_forward")
+		man := ctrl.Decide(env)
+		fw.End()
+		out := env.StepManeuver(man)
+		sr.End()
+		acc.observe(out)
+	}
+	return acc.finish()
 }
 
 // reduce folds per-episode totals (in episode order) into Metrics.
@@ -286,6 +319,69 @@ func RunEpisodesObserved(episodes, workers int, reg *obs.Registry, tr *span.Trac
 	totals := make([]episodeTotals, len(parts))
 	for i, p := range parts {
 		totals[i] = p.totals
+	}
+	return reduce(parts[0].name, parts[0].world, totals)
+}
+
+// RunEpisodesBatched is RunEpisodesObserved on the lock-step runner: the
+// episodes are processed in groups of batchEnvs whose members step
+// together, so the LST-GAT forward and the action selection cross the
+// networks once per lock-step iteration for the whole group. Groups still
+// fan out over workers. setup keeps the RunEpisodesParallel contract — a
+// fresh controller/environment pair per episode, with identical (cloned)
+// policies, because the group's first controller decides for every member.
+// Per-episode results reduce in episode order, and the batched forwards
+// are bit-identical to serial, so the returned Metrics are byte-identical
+// to RunEpisodesObserved for every batch width and worker count.
+func RunEpisodesBatched(episodes, batchEnvs, workers int, reg *obs.Registry, tr *span.Tracer, setup func(episode int) (head.Controller, *head.Env)) Metrics {
+	if batchEnvs <= 1 {
+		return RunEpisodesObserved(episodes, workers, reg, tr, setup)
+	}
+	if episodes <= 0 {
+		return Metrics{}
+	}
+	eo := newEpisodeObs(reg)
+	groups := (episodes + batchEnvs - 1) / batchEnvs
+	type groupResult struct {
+		totals []episodeTotals
+		name   string
+		world  world.Config
+	}
+	parts, _ := parallel.Map(context.Background(), groups, workers, func(gi int) (groupResult, error) {
+		lo := gi * batchEnvs
+		hi := lo + batchEnvs
+		if hi > episodes {
+			hi = episodes
+		}
+		envs := make([]*head.Env, 0, hi-lo)
+		accs := make([]*epAccum, 0, hi-lo)
+		var ctrl head.Controller
+		for ep := lo; ep < hi; ep++ {
+			c, env := setup(ep)
+			if ctrl == nil {
+				ctrl = c
+			}
+			envs = append(envs, env)
+			accs = append(accs, newEpAccum(env, eo))
+		}
+		lane := tr.Lane(fmt.Sprintf("evalbatch-%03d", gi))
+		er := lane.StartEpisode(lo)
+		g := batch.New(ctrl, envs)
+		g.Run(lane, func(i int, out head.StepOutcome) { accs[i].observe(out) })
+		er.End()
+		res := groupResult{
+			totals: make([]episodeTotals, len(envs)),
+			name:   ctrl.Name(),
+			world:  envs[0].Cfg.Traffic.World,
+		}
+		for i, a := range accs {
+			res.totals[i] = a.finish()
+		}
+		return res, nil
+	})
+	totals := make([]episodeTotals, 0, episodes)
+	for _, p := range parts {
+		totals = append(totals, p.totals...)
 	}
 	return reduce(parts[0].name, parts[0].world, totals)
 }

@@ -7,7 +7,9 @@ import (
 
 	"head/internal/head"
 	"head/internal/policy"
+	"head/internal/predict"
 	"head/internal/reward"
+	"head/internal/rl"
 	"head/internal/world"
 )
 
@@ -160,5 +162,63 @@ func TestRunEpisodesZeroEpisodes(t *testing.T) {
 	m := RunEpisodes(crashController{}, env, 0)
 	if m.Episodes != 0 || m.AvgVA != 0 || m.AvgDTA != 0 {
 		t.Errorf("zero-episode metrics = %+v", m)
+	}
+}
+
+// batchedSetup builds a per-episode HEAD controller and environment with
+// identical agent/predictor weights for every episode — the contract
+// RunEpisodesBatched requires of its setup function.
+func batchedSetup(t *testing.T, usePrediction bool) func(ep int) (head.Controller, *head.Env) {
+	t.Helper()
+	cfg := head.DefaultEnvConfig()
+	cfg.Traffic.World.RoadLength = 400
+	cfg.Traffic.Density = 100
+	cfg.MaxSteps = 60
+	cfg.UsePrediction = usePrediction
+	pcfg := predict.DefaultLSTGATConfig()
+	pcfg.AttnDim, pcfg.GATOut, pcfg.HiddenDim = 8, 6, 8
+	return func(ep int) (head.Controller, *head.Env) {
+		var p predict.Model
+		if usePrediction {
+			p = predict.NewLSTGAT(pcfg, rand.New(rand.NewSource(5)))
+		}
+		env := head.NewEnv(cfg, p, rand.New(rand.NewSource(100+int64(ep))))
+		agent := rl.NewBPDQN(rl.DefaultPDQNConfig(), env.Spec(), env.AMax(), 8, rand.New(rand.NewSource(9)))
+		return &head.AgentController{ControllerName: "HEAD", Agent: agent}, env
+	}
+}
+
+// TestRunEpisodesBatchedBitIdentity is the eval-level gate of the batched
+// execution engine: grouping episodes into lock-step batches must yield
+// byte-identical Metrics for every batch width, including widths that do
+// not divide the episode count and groups whose members terminate at
+// different steps.
+func TestRunEpisodesBatchedBitIdentity(t *testing.T) {
+	const episodes = 7
+	for _, usePred := range []bool{true, false} {
+		setup := batchedSetup(t, usePred)
+		want := RunEpisodesObserved(episodes, 1, nil, nil, setup)
+		for _, be := range []int{2, 3, 8} {
+			got := RunEpisodesBatched(episodes, be, 1, nil, nil, setup)
+			if got != want {
+				t.Errorf("usePrediction=%v batchEnvs=%d metrics diverged:\nbatched %+v\nserial  %+v", usePred, be, got, want)
+			}
+		}
+		// Worker parallelism on top of batching must not change bytes
+		// either.
+		if got := RunEpisodesBatched(episodes, 3, 4, nil, nil, setup); got != want {
+			t.Errorf("usePrediction=%v batchEnvs=3 workers=4 diverged from serial", usePred)
+		}
+	}
+}
+
+// TestRunEpisodesBatchedDelegates checks the width-1 path is exactly the
+// serial runner (shared code, not a parallel reimplementation).
+func TestRunEpisodesBatchedDelegates(t *testing.T) {
+	setup := batchedSetup(t, false)
+	a := RunEpisodesObserved(4, 2, nil, nil, setup)
+	b := RunEpisodesBatched(4, 1, 2, nil, nil, setup)
+	if a != b {
+		t.Errorf("batchEnvs=1 diverged from RunEpisodesObserved:\n%+v\n%+v", b, a)
 	}
 }

@@ -70,6 +70,13 @@ type Scale struct {
 	// in unit order, so the table metrics do not depend on this knob —
 	// only wall-clock time does.
 	Workers int
+	// BatchEnvs is the batched-execution width: evaluation episodes run in
+	// lock-step groups of this size (internal/batch), and training enables
+	// the agent's out-of-band batch mechanisms (batched target-network
+	// evaluation, replay prefetch). Like Workers it is a throughput knob
+	// only — table bytes and checkpoints are bit-identical for every
+	// value, which the golden test gates.
+	BatchEnvs int
 
 	// Metrics and Progress attach run observability to every training and
 	// evaluation loop the suite executes; both are optional (nil disables)
@@ -91,9 +98,10 @@ type Scale struct {
 // concurrent units never share lane state.
 func (s Scale) instrUnit(unit int64) rl.Instrumentation {
 	return rl.Instrumentation{
-		Metrics:  s.Metrics,
-		Progress: s.Progress,
-		Trace:    s.Trace.Lane(fmt.Sprintf("train-%02d", unit)),
+		Metrics:   s.Metrics,
+		Progress:  s.Progress,
+		Trace:     s.Trace.Lane(fmt.Sprintf("train-%02d", unit)),
+		BatchEnvs: s.BatchEnvs,
 	}
 }
 
@@ -335,7 +343,7 @@ func (s Scale) trainHEADAgent(v head.Variant, predictor *predict.LSTGAT, unit in
 // trained models must be cloned per call, never shared across episodes.
 func (s Scale) evalController(cfg head.EnvConfig, predictor *predict.LSTGAT, mkCtrl func(episode int) head.Controller) eval.Metrics {
 	evalSeed := s.evalSeed()
-	return eval.RunEpisodesObserved(s.TestEpisodes, s.Workers, s.Metrics, s.Trace, func(ep int) (head.Controller, *head.Env) {
+	return eval.RunEpisodesBatched(s.TestEpisodes, s.BatchEnvs, s.Workers, s.Metrics, s.Trace, func(ep int) (head.Controller, *head.Env) {
 		var p predict.Model
 		if predictor != nil {
 			p = predictor.Clone()
@@ -477,7 +485,7 @@ func TableIIIIV(s Scale) ([]PredRow, error) {
 		res := predict.Train(m, local, utc, s.unitRand(int64(i), streamTrainEnv))
 		return PredRow{
 			Name:  m.Name(),
-			Model: predict.Evaluate(m, test),
+			Model: predict.EvaluateBatched(m, test, s.BatchEnvs),
 			TCT:   res.TCT,
 			AvgIT: predict.AvgInferenceTime(m, test),
 		}, nil

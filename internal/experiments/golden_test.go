@@ -34,11 +34,10 @@ type golden struct {
 	Checkpoint string `json:"checkpoint_sha256"`
 }
 
-// goldenState runs the pinned workload: one Table I at micro scale and
-// one predictor+agent training run checkpointed through Framework.Save.
-func goldenState(t *testing.T) (tableI, checkpoint string) {
+// goldenState runs the pinned workload: one Table I at scale s and one
+// predictor+agent training run checkpointed through Framework.Save.
+func goldenState(t *testing.T, s Scale) (tableI, checkpoint string) {
 	t.Helper()
-	s := micro()
 	rows, err := TableI(s)
 	if err != nil {
 		t.Fatal(err)
@@ -71,7 +70,7 @@ func goldenState(t *testing.T) (tableI, checkpoint string) {
 // bytes and checkpoint bytes. Regenerate deliberately with
 // `go test ./internal/experiments -run TestGoldenBitIdentity -update`.
 func TestGoldenBitIdentity(t *testing.T) {
-	tableI, checkpoint := goldenState(t)
+	tableI, checkpoint := goldenState(t, micro())
 	if *updateGolden {
 		g := golden{GoArch: runtime.GOARCH, TableI: tableI, Checkpoint: checkpoint}
 		data, err := json.MarshalIndent(g, "", "  ")
@@ -103,5 +102,29 @@ func TestGoldenBitIdentity(t *testing.T) {
 	}
 	if checkpoint != want.Checkpoint {
 		t.Errorf("trained checkpoint bytes diverged from the pre-refactor golden:\n  got  %s\n  want %s", checkpoint, want.Checkpoint)
+	}
+}
+
+// TestBatchEnvsBitIdentity is the batched-execution-engine gate: Table I
+// bytes and trained-checkpoint bytes must be identical whether the suite
+// runs serially or with lock-step evaluation groups and training-side
+// batch mechanisms enabled. Combined with TestGoldenBitIdentity (which
+// pins the serial run to the pre-batching golden), this proves the
+// batched engine changed only wall-clock time, never a bit of output.
+func TestBatchEnvsBitIdentity(t *testing.T) {
+	state := func(batchEnvs int) (string, string) {
+		s := micro()
+		s.BatchEnvs = batchEnvs
+		return goldenState(t, s)
+	}
+	wantTable, wantCkpt := state(1)
+	for _, be := range []int{2, 8} {
+		gotTable, gotCkpt := state(be)
+		if gotTable != wantTable {
+			t.Errorf("BatchEnvs=%d Table I bytes diverged:\n  got  %s\n  want %s", be, gotTable, wantTable)
+		}
+		if gotCkpt != wantCkpt {
+			t.Errorf("BatchEnvs=%d checkpoint bytes diverged:\n  got  %s\n  want %s", be, gotCkpt, wantCkpt)
+		}
 	}
 }

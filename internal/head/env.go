@@ -79,6 +79,13 @@ type Env struct {
 	collided  bool
 	trace     *span.Lane
 
+	// deferPrediction suspends the per-env LST-GAT call: refreshPerception
+	// only rebuilds the graph and flags predPending, and the lock-step
+	// runner (internal/batch) supplies the prediction via ApplyPrediction
+	// from one batched forward over every live environment.
+	deferPrediction bool
+	predPending     bool
+
 	// stateBuf backs State()'s return value so the decision loop reads the
 	// augmented state without allocating; valid until the next State call.
 	stateBuf []float64
@@ -141,6 +148,11 @@ type attentionReporter interface{ LastAttention() [][]float64 }
 // decisionAttention deep-copies the predictor's current attention rows
 // (they alias forward caches that the next Predict overwrites).
 func (e *Env) decisionAttention() [][]float64 {
+	if e.deferPrediction {
+		// Batched forwards mix every environment's attention rows in one
+		// cache; per-env attribution is only available serially.
+		return nil
+	}
 	ar, ok := e.Predictor.(attentionReporter)
 	if !ok {
 		return nil
@@ -208,12 +220,46 @@ func (e *Env) refreshPerception() {
 	}
 	pb.End()
 	if e.graph != nil && e.Cfg.UsePrediction && e.Predictor != nil {
+		if e.deferPrediction {
+			// The batched runner owns the forward; State must not be read
+			// before ApplyPrediction delivers it.
+			e.predPending = true
+			return
+		}
 		li := e.trace.Start("lstgat_infer")
 		e.pred = e.Predictor.Predict(e.graph)
 		li.End()
 	} else {
 		e.pred = predict.Prediction{}
 	}
+}
+
+// SetDeferPrediction switches the environment into (or out of) the batched
+// perception mode of the lock-step runner: while on, Reset and Step rebuild
+// the spatial-temporal graph but skip the per-env LST-GAT forward, leaving
+// PredictionPending true until ApplyPrediction supplies the batched result.
+// Attention capture for decision records is skipped too — the batched
+// forward's attention caches span every environment in the batch, so
+// per-decision rows are not attributable. Serial and deferred episodes see
+// bit-identical states as long as the batched forward is the bit-identical
+// PredictBatch over the same graphs.
+func (e *Env) SetDeferPrediction(on bool) {
+	e.deferPrediction = on
+	if !on {
+		e.predPending = false
+	}
+}
+
+// PredictionPending reports whether a deferred LST-GAT prediction is owed
+// for the current perception state.
+func (e *Env) PredictionPending() bool { return e.predPending }
+
+// ApplyPrediction installs a prediction computed out of band (the batched
+// runner's scatter step) exactly where refreshPerception would have stored
+// the serial Predict result.
+func (e *Env) ApplyPrediction(p predict.Prediction) {
+	e.pred = p
+	e.predPending = false
 }
 
 // zeroPhantoms implements the w/o-PVC ablation: every constructed phantom

@@ -25,6 +25,10 @@ type Controller interface {
 type AgentController struct {
 	ControllerName string
 	Agent          rl.Agent
+
+	// DecideBatch scratch, reused across steps.
+	states [][]float64
+	acts   []rl.Action
 }
 
 // Name implements Controller.
@@ -37,6 +41,39 @@ func (c *AgentController) Reset() {}
 func (c *AgentController) Decide(env *Env) world.Maneuver {
 	act := c.Agent.Act(env.State(), false)
 	return world.Maneuver{B: world.Behavior(act.B), A: act.A}
+}
+
+// DecideBatch returns the greedy maneuvers for several environments in one
+// batched action selection when the agent supports it (rl.BatchAgent),
+// falling back to per-env Decide otherwise. Results are bit-identical to
+// Decide on each env either way; ms must be at least as long as envs.
+func (c *AgentController) DecideBatch(envs []*Env, ms []world.Maneuver) {
+	ba, ok := c.Agent.(rl.BatchAgent)
+	if !ok || len(envs) == 1 {
+		for i, e := range envs {
+			ms[i] = c.Decide(e)
+		}
+		return
+	}
+	if cap(c.states) < len(envs) {
+		c.states = make([][]float64, len(envs))
+	}
+	states := c.states[:len(envs)]
+	for i, e := range envs {
+		// State() reuses one buffer per env, so the rows stay valid across
+		// the gather (each env owns its own buffer).
+		states[i] = e.State()
+	}
+	if cap(c.acts) < len(envs) {
+		c.acts = make([]rl.Action, len(envs))
+	}
+	acts := c.acts[:len(envs)]
+	ba.SelectActionBatch(states, acts)
+	for i, a := range acts {
+		ms[i] = world.Maneuver{B: world.Behavior(a.B), A: a.A}
+	}
+	c.states = states
+	c.acts = acts
 }
 
 // Variant selects a HEAD ablation of Table II.

@@ -1,0 +1,118 @@
+package nn
+
+import (
+	"math"
+
+	"head/internal/tensor"
+)
+
+// This file holds the batch-aware forward passes of the batched execution
+// engine (internal/batch). A ForwardBatch is bit-identical to the matching
+// Forward on the same input: it runs the row-blocked kernels from
+// internal/tensor, which preserve the ascending-k accumulation order, and
+// every cross-row computation in these layers is row-independent, so
+// stacking several environments' rows into one matrix yields exactly the
+// floats each environment would have produced alone.
+//
+// ForwardBatch draws from the same per-instance workspace arena as Forward
+// (shape-keyed, so batch shapes coexist with serial shapes) and resets it,
+// which invalidates the previous pass's caches exactly like a Forward
+// call. LSTM.ForwardBatch is inference-only: it skips the per-gate
+// backward caches — that is a large part of the batched win — and poisons
+// the Backward state so a stray Backward call returns nothing instead of
+// stale gradients.
+
+// BatchLayer is implemented by layers with a dedicated batched forward.
+// Sequential falls back to the plain Forward for everything else (the
+// element-wise activations are already batch-generic).
+type BatchLayer interface {
+	ForwardBatch(x *tensor.Matrix) *tensor.Matrix
+}
+
+// ForwardBatch implements BatchLayer: y = x·W + b on the row-blocked
+// kernel, bit-identical to Forward. The input is cached like Forward's, so
+// a following Backward still computes correct gradients.
+func (l *Linear) ForwardBatch(x *tensor.Matrix) *tensor.Matrix {
+	l.lastX = x
+	l.ws.Reset()
+	y := l.ws.Get(x.Rows, l.Out)
+	// Transpose the weight per call (the optimizer mutates it between
+	// calls) so the product runs on the contiguous-stream dot kernel.
+	wT := l.ws.Get(l.Weight.W.Cols, l.Weight.W.Rows)
+	tensor.TransposeInto(wT, l.Weight.W)
+	tensor.MatMulAddBiasDotInto(y, x, wT, l.Bias.W)
+	return y
+}
+
+// ForwardBatch runs each layer's batched forward where one exists and the
+// plain Forward otherwise.
+func (s *Sequential) ForwardBatch(x *tensor.Matrix) *tensor.Matrix {
+	for _, l := range s.Layers {
+		if bl, ok := l.(BatchLayer); ok {
+			x = bl.ForwardBatch(x)
+		} else {
+			x = l.Forward(x)
+		}
+	}
+	return x
+}
+
+// ForwardBatch is the inference-only batched LSTM pass: the two gate
+// matmuls, the recurrent add, and the bias broadcast fuse into one
+// blocked kernel per step, and the six per-element backward caches are
+// skipped entirely. Per element the arithmetic is the exact Forward
+// sequence — (Σx·Wx) + (Σh·Wh) + b, then the same gate formulas in the
+// same order — so the hidden states are bit-identical to Forward's.
+// Backward must not follow a ForwardBatch; the caches are cleared so it
+// returns nil instead of stale gradients.
+func (l *LSTM) ForwardBatch(seq []*tensor.Matrix) []*tensor.Matrix {
+	n := len(seq)
+	l.ws.Reset()
+	l.xs = l.xs[:0] // inference-only: poison Backward
+	l.bhs = growPtrs(l.bhs, n)
+	if n == 0 {
+		return nil
+	}
+	batch := seq[0].Rows
+	H := l.Hidden
+	// Transpose the weights once per call so every step's pre-activation
+	// runs on the contiguous-stream dot kernel. The relayout costs ~2µs and
+	// is amortized over the whole sequence; it cannot be cached across
+	// calls because the optimizer updates the weights between forwards.
+	wxT := l.ws.Get(l.Wx.W.Cols, l.Wx.W.Rows)
+	tensor.TransposeInto(wxT, l.Wx.W)
+	whT := l.ws.Get(l.Wh.W.Cols, l.Wh.W.Rows)
+	tensor.TransposeInto(whT, l.Wh.W)
+	hPrev := l.ws.GetZero(batch, H)
+	cPrev := l.ws.GetZero(batch, H)
+	for t, x := range seq {
+		z := l.ws.Get(batch, 4*H)
+		tensor.MatMulDualAddBiasDotInto(z, x, wxT, hPrev, whT, l.B.W)
+		c := l.ws.Get(batch, H)
+		h := l.ws.Get(batch, H)
+		for r := 0; r < batch; r++ {
+			zr := z.Row(r)
+			// One subslice per gate block hoists the zr[g*H+j] address
+			// arithmetic and bounds checks out of the element loop.
+			zi := zr[:H]
+			zf := zr[H : 2*H]
+			zg := zr[2*H : 3*H]
+			zo := zr[3*H : 4*H]
+			cpr := cPrev.Row(r)[:H]
+			cr := c.Row(r)[:H]
+			hr := h.Row(r)[:H]
+			for j := 0; j < H; j++ {
+				iv := sigmoid(zi[j])
+				fv := sigmoid(zf[j])
+				gv := math.Tanh(zg[j])
+				ov := sigmoid(zo[j])
+				cv := fv*cpr[j] + iv*gv
+				cr[j] = cv
+				hr[j] = ov * math.Tanh(cv)
+			}
+		}
+		l.bhs[t] = h
+		hPrev, cPrev = h, c
+	}
+	return l.bhs
+}

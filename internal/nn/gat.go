@@ -28,6 +28,11 @@ type GAT struct {
 	// Uniform replaces the learned attention with mean aggregation
 	// (α = 1/|N(i)|), the ablation of the importance-score mechanism.
 	Uniform bool
+	// Workers fans the ForwardBatch matmuls out over row tiles via
+	// internal/parallel when > 1. Results are bit-identical for every
+	// value (tiling never splits the accumulation axis); <= 1 runs the
+	// serial blocked kernel inline.
+	Workers int
 	Phi1    *Param // In×AttnDim, feature transform for scoring
 	Phi2    *Param // 1×2AttnDim, attention vector
 	Phi3    *Param // In×Out, feature transform for aggregation
@@ -42,6 +47,7 @@ type GAT struct {
 	preact    [][]float64    // pre-LeakyReLU scores
 	dAlpha    []float64
 	ws        tensor.Workspace
+	params    []*Param
 }
 
 // NewGAT returns a Xavier-initialized graph attention layer mapping In-dim
@@ -59,11 +65,13 @@ func NewGAT(name string, in, attnDim, out int, rng *rand.Rand) *GAT {
 	xavier(g.Phi1, rng, in, attnDim)
 	xavier(g.Phi2, rng, 2*attnDim, 1)
 	xavier(g.Phi3, rng, in, out)
+	g.params = []*Param{g.Phi1, g.Phi2, g.Phi3}
 	return g
 }
 
-// Params implements Module.
-func (g *GAT) Params() []*Param { return []*Param{g.Phi1, g.Phi2, g.Phi3} }
+// Params implements Module. Prebuilt with len == cap at construction so
+// per-step parameter walks allocate nothing.
+func (g *GAT) Params() []*Param { return g.params }
 
 // Share returns a new GAT that shares g's parameters (values and gradient
 // accumulators) but has independent forward caches, so the same attention
@@ -71,8 +79,10 @@ func (g *GAT) Params() []*Param { return []*Param{g.Phi1, g.Phi2, g.Phi3} }
 // paper's "sharing attention mechanism" across the spatial graphs of the
 // spatial-temporal graph.
 func (g *GAT) Share() *GAT {
-	return &GAT{In: g.In, AttnDim: g.AttnDim, Out: g.Out, Residual: g.Residual,
-		Uniform: g.Uniform, Phi1: g.Phi1, Phi2: g.Phi2, Phi3: g.Phi3}
+	s := &GAT{In: g.In, AttnDim: g.AttnDim, Out: g.Out, Residual: g.Residual,
+		Uniform: g.Uniform, Workers: g.Workers, Phi1: g.Phi1, Phi2: g.Phi2, Phi3: g.Phi3}
+	s.params = []*Param{s.Phi1, s.Phi2, s.Phi3}
+	return s
 }
 
 // Alphas returns the normalized attention weights of the most recent
@@ -86,15 +96,46 @@ func (g *GAT) Alphas() [][]float64 { return g.alphas }
 // targets[i] and must include the target itself (the self-loop edge ③ of
 // the paper's graph construction). The result has one row per target.
 func (g *GAT) Forward(nodes *tensor.Matrix, targets []int, neighbors [][]int) *tensor.Matrix {
+	return g.forward(nodes, targets, neighbors, false)
+}
+
+// ForwardBatch is Forward on the row-blocked kernels of the batched
+// execution engine. The result is bit-identical to Forward — the blocked
+// matmuls preserve the ascending-k accumulation order and the per-target
+// attention loop is untouched — and the forward caches (including Alphas)
+// are filled exactly as Forward fills them, so Backward remains valid.
+// Batching N graphs means concatenating their node matrices and offsetting
+// targets/neighbors by each graph's node base; every per-graph row then
+// matches the per-graph Forward bit-for-bit because all cross-row
+// computation is row-independent.
+func (g *GAT) ForwardBatch(nodes *tensor.Matrix, targets []int, neighbors [][]int) *tensor.Matrix {
+	return g.forward(nodes, targets, neighbors, true)
+}
+
+func (g *GAT) forward(nodes *tensor.Matrix, targets []int, neighbors [][]int, blocked bool) *tensor.Matrix {
 	if len(targets) != len(neighbors) {
 		panic("nn: GAT targets/neighbors length mismatch")
 	}
 	g.nodes, g.targets, g.neighbors = nodes, targets, neighbors
 	g.ws.Reset()
 	g.u = g.ws.Get(nodes.Rows, g.AttnDim)
-	tensor.MatMulInto(g.u, nodes, g.Phi1.W)
 	g.w = g.ws.Get(nodes.Rows, g.Out)
-	tensor.MatMulInto(g.w, nodes, g.Phi3.W)
+	if blocked && g.Workers > 1 {
+		tensor.MatMulParallelInto(g.u, nodes, g.Phi1.W, g.Workers)
+		tensor.MatMulParallelInto(g.w, nodes, g.Phi3.W, g.Workers)
+	} else if blocked {
+		// Per-call weight transposes put the batched products on the
+		// contiguous-stream dot kernel; see Linear.ForwardBatch.
+		p1T := g.ws.Get(g.Phi1.W.Cols, g.Phi1.W.Rows)
+		tensor.TransposeInto(p1T, g.Phi1.W)
+		tensor.MatMulDotInto(g.u, nodes, p1T)
+		p3T := g.ws.Get(g.Phi3.W.Cols, g.Phi3.W.Rows)
+		tensor.TransposeInto(p3T, g.Phi3.W)
+		tensor.MatMulDotInto(g.w, nodes, p3T)
+	} else {
+		tensor.MatMulInto(g.u, nodes, g.Phi1.W)
+		tensor.MatMulInto(g.w, nodes, g.Phi3.W)
+	}
 	D := g.AttnDim
 	phi2a := g.Phi2.W.Data[:D]
 	phi2b := g.Phi2.W.Data[D:]

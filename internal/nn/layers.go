@@ -27,6 +27,7 @@ type Linear struct {
 	Bias    *Param
 	lastX   *tensor.Matrix
 	ws      tensor.Workspace
+	params  []*Param
 }
 
 // NewLinear returns a Xavier-initialized in→out fully connected layer.
@@ -38,11 +39,15 @@ func NewLinear(name string, in, out int, rng *rand.Rand) *Linear {
 		Bias:   NewParam(name+".b", 1, out),
 	}
 	xavier(l.Weight, rng, in, out)
+	l.params = []*Param{l.Weight, l.Bias}
 	return l
 }
 
-// Params implements Module.
-func (l *Linear) Params() []*Param { return []*Param{l.Weight, l.Bias} }
+// Params implements Module. The slice is built once at construction so the
+// per-step parameter walks (ZeroGrads, clipping, optimizer steps, target
+// soft-updates) allocate nothing; it has len == cap, so appending to it
+// always copies.
+func (l *Linear) Params() []*Param { return l.params }
 
 // Forward implements Layer.
 func (l *Linear) Forward(x *tensor.Matrix) *tensor.Matrix {
@@ -172,19 +177,29 @@ func (t *Tanh) Backward(dy *tensor.Matrix) *tensor.Matrix {
 }
 
 // Sequential chains layers so that the output of each feeds the next.
-type Sequential struct{ Layers []Layer }
+type Sequential struct {
+	Layers []Layer
+	params []*Param
+}
 
 // NewSequential returns a Sequential over the given layers.
-func NewSequential(layers ...Layer) *Sequential { return &Sequential{Layers: layers} }
-
-// Params implements Module.
-func (s *Sequential) Params() []*Param {
-	var ps []*Param
-	for _, l := range s.Layers {
-		ps = append(ps, l.Params()...)
+func NewSequential(layers ...Layer) *Sequential {
+	s := &Sequential{Layers: layers}
+	n := 0
+	for _, l := range layers {
+		n += len(l.Params())
 	}
-	return ps
+	s.params = make([]*Param, 0, n)
+	for _, l := range layers {
+		s.params = append(s.params, l.Params()...)
+	}
+	return s
 }
+
+// Params implements Module. Like Linear's, the slice is prebuilt with
+// len == cap at construction so per-step parameter walks allocate nothing
+// and caller appends always copy.
+func (s *Sequential) Params() []*Param { return s.params }
 
 // Forward implements Layer.
 func (s *Sequential) Forward(x *tensor.Matrix) *tensor.Matrix {

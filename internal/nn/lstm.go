@@ -23,7 +23,9 @@ type LSTM struct {
 	xs, hs, cs             []*tensor.Matrix
 	ig, fg, gg, og, tanhCs []*tensor.Matrix
 	dxs                    []*tensor.Matrix
+	bhs                    []*tensor.Matrix // ForwardBatch hidden states
 	ws                     tensor.Workspace
+	params                 []*Param
 }
 
 // NewLSTM returns a Xavier-initialized LSTM with the given input and hidden
@@ -42,17 +44,21 @@ func NewLSTM(name string, in, hidden int, rng *rand.Rand) *LSTM {
 	for j := hidden; j < 2*hidden; j++ {
 		l.B.W.Data[j] = 1 // forget gate bias
 	}
+	l.params = []*Param{l.Wx, l.Wh, l.B}
 	return l
 }
 
-// Params implements Module.
-func (l *LSTM) Params() []*Param { return []*Param{l.Wx, l.Wh, l.B} }
+// Params implements Module. Prebuilt with len == cap at construction so
+// per-step parameter walks allocate nothing.
+func (l *LSTM) Params() []*Param { return l.params }
 
 // Share returns a new LSTM that shares l's parameters but has independent
 // forward caches, so the same recurrent weights can encode several
 // sequences within one backward pass.
 func (l *LSTM) Share() *LSTM {
-	return &LSTM{In: l.In, Hidden: l.Hidden, Wx: l.Wx, Wh: l.Wh, B: l.B}
+	s := &LSTM{In: l.In, Hidden: l.Hidden, Wx: l.Wx, Wh: l.Wh, B: l.B}
+	s.params = []*Param{s.Wx, s.Wh, s.B}
+	return s
 }
 
 func sigmoid(x float64) float64 { return 1 / (1 + math.Exp(-x)) }

@@ -31,6 +31,11 @@ type LSTGAT struct {
 	ws      tensor.Workspace
 	seq     []*tensor.Matrix
 	dHidden []*tensor.Matrix
+
+	// batched-forward scratch: offset target/neighbor index views over the
+	// concatenated node matrix, reusing their backing arrays across calls.
+	batchTargets []int
+	batchNbrs    [][]int
 }
 
 // LSTGATConfig sizes the network. The paper uses Dφ1 = Dφ3 = Dl = 64.
@@ -158,6 +163,126 @@ func (m *LSTGAT) forward(g *phantom.Graph) *tensor.Matrix {
 	hs := m.lstm.Forward(m.seq)
 	m.lastT = z - 1
 	return m.out.Forward(hs[len(hs)-1])
+}
+
+// SetBatchWorkers fans the batched GAT matmuls out over internal/parallel
+// row tiles when n > 1. Any value yields bit-identical predictions; <= 1
+// (the default) keeps the batched pass single-threaded.
+func (m *LSTGAT) SetBatchWorkers(n int) {
+	m.gat.Workers = n
+	for _, g := range m.gats {
+		g.Workers = n
+	}
+}
+
+// forwardBatch is forward over several graphs at once: per history step the
+// graphs' node matrices stack into one gather matrix (targets and neighbor
+// lists shifted by each graph's node base), one shared-weight GAT pass
+// aggregates every graph's neighborhoods, and the LSTM and read-out run
+// over the concatenated target rows. Every per-graph row is bit-identical
+// to the serial forward: the gather writes the same scaled features, the
+// blocked kernels keep MatMulInto's accumulation order, and all cross-row
+// computation is row-independent. Inference-only — the LSTM skips its
+// backward caches.
+func (m *LSTGAT) forwardBatch(gs []*phantom.Graph) *tensor.Matrix {
+	z := len(gs[0].Steps)
+	nodesPer := len(gs[0].Steps[0])
+	nTargets := 0
+	for _, g := range gs {
+		if len(g.Steps) != z {
+			panic("predict: forwardBatch graphs disagree on history length")
+		}
+		for _, step := range g.Steps {
+			if len(step) != nodesPer {
+				panic("predict: forwardBatch graphs disagree on node count")
+			}
+		}
+		nTargets += len(g.Targets)
+	}
+	// Offset target/neighbor indices into the concatenated node matrix.
+	if cap(m.batchTargets) < nTargets {
+		m.batchTargets = make([]int, nTargets)
+	}
+	m.batchTargets = m.batchTargets[:nTargets]
+	for len(m.batchNbrs) < nTargets {
+		m.batchNbrs = append(m.batchNbrs, nil)
+	}
+	idx := 0
+	for e, g := range gs {
+		off := e * nodesPer
+		for i, t := range g.Targets {
+			m.batchTargets[idx] = t + off
+			nbrs := g.Neighbors[i]
+			dst := m.batchNbrs[idx]
+			if cap(dst) < len(nbrs) {
+				dst = make([]int, len(nbrs))
+			}
+			dst = dst[:len(nbrs)]
+			for k, j := range nbrs {
+				dst[k] = j + off
+			}
+			m.batchNbrs[idx] = dst
+			idx++
+		}
+	}
+	targets := m.batchTargets
+	neighbors := m.batchNbrs[:nTargets]
+
+	m.ws.Reset()
+	if cap(m.seq) < z {
+		m.seq = make([]*tensor.Matrix, z)
+	}
+	m.seq = m.seq[:z]
+	for t := 0; t < z; t++ {
+		nodes := m.ws.Get(len(gs)*nodesPer, gatInDim)
+		for e, g := range gs {
+			base := e * nodesPer
+			m.scale.nodesIntoAt(nodes, base, g.Steps[t])
+			for n := 0; n < nodesPer; n++ {
+				nodes.Row(base + n)[phantom.FeatureDim] = slotCode[n]
+			}
+		}
+		if t >= len(m.gats) {
+			m.gats = append(m.gats, m.gat.Share())
+		}
+		ctx := m.gats[t].ForwardBatch(nodes, targets, neighbors)
+		cat := m.ws.Get(nTargets, phantom.FeatureDim+ctx.Cols)
+		idx = 0
+		for e, g := range gs {
+			base := e * nodesPer
+			for _, node := range g.Targets {
+				row := cat.Row(idx)
+				copy(row[:phantom.FeatureDim], nodes.Row(base + node)[:phantom.FeatureDim])
+				copy(row[phantom.FeatureDim:], ctx.Row(idx))
+				idx++
+			}
+		}
+		m.seq[t] = cat
+	}
+	hs := m.lstm.ForwardBatch(m.seq)
+	m.lastT = z - 1
+	return m.out.ForwardBatch(hs[len(hs)-1])
+}
+
+// PredictBatch predicts every graph in one batched pass, writing gs[i]'s
+// prediction into out[i]. Each prediction is bit-identical to
+// Predict(gs[i]) — the batched execution engine's contract, gated by
+// TestPredictBatchBitIdentity and the experiments golden test.
+func (m *LSTGAT) PredictBatch(gs []*phantom.Graph, out []Prediction) {
+	if len(gs) == 0 {
+		return
+	}
+	if len(out) < len(gs) {
+		panic("predict: PredictBatch out shorter than gs")
+	}
+	y := m.forwardBatch(gs)
+	row := 0
+	for e, g := range gs {
+		for i := range g.Targets {
+			out[e][i] = m.scale.unscaleRow(y.Row(row))
+			row++
+		}
+	}
 }
 
 // LastAttention returns the graph-attention weights of the most recent

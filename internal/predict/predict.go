@@ -72,6 +72,26 @@ func (s scaler) nodesInto(dst *tensor.Matrix, step []phantom.Feature) {
 	}
 }
 
+// nodesIntoAt is nodesInto writing at a row offset, for the batched
+// gather that stacks several graphs' node features into one matrix. The
+// per-row arithmetic is exactly nodesInto's, so a stacked block is
+// bit-identical to the matrix the serial path builds for that graph.
+func (s scaler) nodesIntoAt(dst *tensor.Matrix, rowBase int, step []phantom.Feature) {
+	for n, f := range step {
+		row := dst.Row(rowBase + n)
+		if avNodes[n] {
+			row[0] = f[0] / s.laneScale
+			row[1] = f[1] / s.roadScale
+			row[2] = f[2] / s.vScale
+		} else {
+			row[0] = f[0] / s.latScale
+			row[1] = f[1] / s.lonScale
+			row[2] = f[2] / s.vScale
+		}
+		row[3] = f[3]
+	}
+}
+
 // targetSeq extracts the scaled per-step feature rows of a single target,
 // for the per-vehicle baselines.
 func (s scaler) targetSeq(g *phantom.Graph, i phantom.Slot) []*tensor.Matrix {
@@ -117,6 +137,60 @@ func Evaluate(model Model, ds *ngsim.Dataset) Metrics {
 				m.MAE += math.Abs(err)
 				m.MSE += err * err
 				m.Count++
+			}
+		}
+	}
+	if m.Count > 0 {
+		m.MAE /= float64(m.Count)
+		m.MSE /= float64(m.Count)
+		m.RMSE = math.Sqrt(m.MSE)
+	}
+	return m
+}
+
+// batchModel is the optional batched-inference fast path (implemented by
+// *LSTGAT): one forward for several graphs, each output row bit-identical
+// to the corresponding serial Predict.
+type batchModel interface {
+	PredictBatch(gs []*phantom.Graph, out []Prediction)
+}
+
+// EvaluateBatched computes the same accuracy metrics as Evaluate but runs
+// inference over groups of batchEnvs samples through the model's
+// PredictBatch when it has one. Error terms accumulate in sample order
+// either way, and the batched rows are bit-identical to serial Predict, so
+// the returned Metrics are byte-identical to Evaluate's for every width.
+// batchEnvs <= 1, or a model without PredictBatch, falls back to Evaluate.
+func EvaluateBatched(model Model, ds *ngsim.Dataset, batchEnvs int) Metrics {
+	bm, ok := model.(batchModel)
+	if !ok || batchEnvs <= 1 {
+		return Evaluate(model, ds)
+	}
+	var m Metrics
+	graphs := make([]*phantom.Graph, 0, batchEnvs)
+	preds := make([]Prediction, batchEnvs)
+	for lo := 0; lo < len(ds.Samples); lo += batchEnvs {
+		hi := lo + batchEnvs
+		if hi > len(ds.Samples) {
+			hi = len(ds.Samples)
+		}
+		graphs = graphs[:0]
+		for _, s := range ds.Samples[lo:hi] {
+			graphs = append(graphs, s.Graph)
+		}
+		bm.PredictBatch(graphs, preds[:hi-lo])
+		for k, s := range ds.Samples[lo:hi] {
+			pred := preds[k]
+			for i := 0; i < phantom.NumSlots; i++ {
+				if s.Mask[i] {
+					continue
+				}
+				for d := 0; d < OutputDim; d++ {
+					err := pred[i][d] - s.Truth[i][d]
+					m.MAE += math.Abs(err)
+					m.MSE += err * err
+					m.Count++
+				}
 			}
 		}
 	}

@@ -221,3 +221,21 @@ func TestLSTGATCheckpointRoundTrip(t *testing.T) {
 		t.Error("restored predictor disagrees with saved predictor")
 	}
 }
+
+// TestEvaluateBatchedBitIdentity gates the batched accuracy evaluation:
+// EvaluateBatched must return byte-identical Metrics to Evaluate for every
+// width, including widths that do not divide the sample count, and must
+// fall back to the serial path for models without PredictBatch.
+func TestEvaluateBatchedBitIdentity(t *testing.T) {
+	m := tinyLSTGAT(12)
+	want := Evaluate(m, smallDS)
+	for _, be := range []int{1, 2, 3, 7, len(smallDS.Samples) + 5} {
+		if got := EvaluateBatched(m, smallDS, be); got != want {
+			t.Errorf("batchEnvs=%d metrics diverged:\nbatched %+v\nserial  %+v", be, got, want)
+		}
+	}
+	base := NewLSTMMLP(tinyBaseline(), rand.New(rand.NewSource(4)))
+	if got, want := EvaluateBatched(base, smallDS, 4), Evaluate(base, smallDS); got != want {
+		t.Errorf("fallback path diverged: %+v vs %+v", got, want)
+	}
+}

@@ -1,0 +1,148 @@
+package rl
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+
+	"head/internal/nn"
+)
+
+// randStates draws n random augmented states for spec.
+func randStates(spec StateSpec, n int, rng *rand.Rand) [][]float64 {
+	states := make([][]float64, n)
+	for i := range states {
+		s := make([]float64, spec.Dim())
+		for j := range s {
+			s[j] = rng.Float64()*2 - 1
+		}
+		states[i] = s
+	}
+	return states
+}
+
+// TestSelectActionBatchBitIdentity pins the agent-level contract of the
+// batched execution engine: SelectActionBatch over N states equals N
+// serial greedy Acts bit-for-bit, for both the branched (BP-DQN) and the
+// shared (P-DQN) network families, across batch sizes and repeated calls.
+func TestSelectActionBatchBitIdentity(t *testing.T) {
+	spec := DefaultStateSpec()
+	agents := []struct {
+		name string
+		mk   func() *PDQN
+	}{
+		{"BP-DQN", func() *PDQN {
+			return NewBPDQN(fastCfg(), spec, 3, 8, rand.New(rand.NewSource(70)))
+		}},
+		{"P-DQN", func() *PDQN {
+			return NewVanillaPDQN(fastCfg(), spec, 3, 8, rand.New(rand.NewSource(70)))
+		}},
+	}
+	for _, tc := range agents {
+		agent := tc.mk()
+		rng := rand.New(rand.NewSource(71))
+		for trial := 0; trial < 8; trial++ {
+			n := 1 + rng.Intn(9)
+			states := randStates(spec, n, rng)
+			want := make([]Action, n)
+			for i, s := range states {
+				a := agent.Act(s, false)
+				raw := append([]float64(nil), a.Raw...)
+				a.Raw = raw
+				want[i] = a
+			}
+			got := make([]Action, n)
+			agent.SelectActionBatch(states, got)
+			for i := range states {
+				if want[i].B != got[i].B {
+					t.Fatalf("%s trial %d state %d: behavior %d vs %d", tc.name, trial, i, want[i].B, got[i].B)
+				}
+				if math.Float64bits(want[i].A) != math.Float64bits(got[i].A) {
+					t.Fatalf("%s trial %d state %d: accel %v vs %v", tc.name, trial, i, want[i].A, got[i].A)
+				}
+				for j := range want[i].Raw {
+					if math.Float64bits(want[i].Raw[j]) != math.Float64bits(got[i].Raw[j]) {
+						t.Fatalf("%s trial %d state %d raw %d: %v vs %v",
+							tc.name, trial, i, j, want[i].Raw[j], got[i].Raw[j])
+					}
+				}
+			}
+			// A serial greedy Act after the batched pass must be untouched.
+			again := agent.Act(states[0], false)
+			if again.B != want[0].B || math.Float64bits(again.A) != math.Float64bits(want[0].A) {
+				t.Fatalf("%s trial %d: serial Act perturbed after SelectActionBatch", tc.name, trial)
+			}
+		}
+	}
+}
+
+// trainToy runs a fixed seeded training schedule and returns the final
+// checkpoint bytes.
+func trainToy(t *testing.T, batchEnvs int) []byte {
+	t.Helper()
+	env := newToyEnv(80)
+	cfg := fastCfg()
+	cfg.Warmup = 32
+	agent := NewBPDQN(cfg, env.Spec(), env.AMax(), 8, rand.New(rand.NewSource(81)))
+	agent.SetBatchEnvs(batchEnvs)
+	defer agent.Close()
+	for ep := 0; ep < 8; ep++ {
+		state := append([]float64(nil), env.Reset()...)
+		for {
+			a := agent.Act(state, true)
+			next, r, done := env.Step(a.B, a.A)
+			agent.Observe(Transition{State: state, Action: a, Reward: r, Next: next, Done: done})
+			state = append(state[:0], next...)
+			if done {
+				break
+			}
+		}
+	}
+	var buf bytes.Buffer
+	if err := nn.Save(&buf, agent); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestTrainBatchEnvsCheckpointIdentity is the training-side bit-identity
+// gate: the batched target-network evaluation and the replay prefetch
+// pipeline (both enabled by SetBatchEnvs > 1) must leave a seeded training
+// run's checkpoint byte-identical to the width-1 serial run.
+func TestTrainBatchEnvsCheckpointIdentity(t *testing.T) {
+	serial := trainToy(t, 1)
+	batched := trainToy(t, 8)
+	if !bytes.Equal(serial, batched) {
+		t.Fatal("checkpoint bytes differ between batch-envs 1 and 8")
+	}
+}
+
+// TestTargetValuesBatchMatchesSerial compares the two targetValues paths
+// directly on a mixed done/non-done minibatch.
+func TestTargetValuesBatchMatchesSerial(t *testing.T) {
+	spec := DefaultStateSpec()
+	rng := rand.New(rand.NewSource(90))
+	agent := NewBPDQN(fastCfg(), spec, 3, 8, rand.New(rand.NewSource(91)))
+	states := randStates(spec, 12, rng)
+	nexts := randStates(spec, 12, rng)
+	batch := make([]Transition, 12)
+	for i := range batch {
+		batch[i] = Transition{
+			State:  states[i],
+			Next:   nexts[i],
+			Reward: rng.NormFloat64(),
+			Done:   i%5 == 4,
+			Action: Action{B: i % NumBehaviors, Raw: []float64{0.1, -0.2, 0.3}},
+		}
+	}
+	agent.SetBatchEnvs(1)
+	serial := append([]float64(nil), agent.targetValues(batch)...)
+	agent.SetBatchEnvs(8)
+	batched := agent.targetValues(batch)
+	for k := range serial {
+		if math.Float64bits(serial[k]) != math.Float64bits(batched[k]) {
+			t.Fatalf("target %d: serial %v batched %v", k, serial[k], batched[k])
+		}
+	}
+}

@@ -53,8 +53,9 @@ func splitState(spec StateSpec, state []float64, h, f *tensor.Matrix) (*tensor.M
 // FeatDim→D→1 MLP to every row. Forward output and backward scratch live
 // in a per-instance workspace, valid until the next forward.
 type branch struct {
-	seq *nn.Sequential
-	ws  tensor.Workspace
+	seq   *nn.Sequential
+	ws    tensor.Workspace
+	bview tensor.Matrix // forwardBatch reshape header
 }
 
 func newBranch(name string, in, hidden int, rng *rand.Rand) *branch {
@@ -67,6 +68,21 @@ func newBranch(name string, in, hidden int, rng *rand.Rand) *branch {
 }
 
 func (b *branch) Params() []*nn.Param { return b.seq.Params() }
+
+// concatParams flattens parameter groups into one exact-capacity slice, so
+// Params() can return a construction-time cache that per-step parameter
+// walks read without allocating (and that caller appends always copy).
+func concatParams(groups ...[]*nn.Param) []*nn.Param {
+	n := 0
+	for _, g := range groups {
+		n += len(g)
+	}
+	ps := make([]*nn.Param, 0, n)
+	for _, g := range groups {
+		ps = append(ps, g...)
+	}
+	return ps
+}
 
 func (b *branch) forward(x *tensor.Matrix) *tensor.Matrix {
 	y := b.seq.Forward(x) // N×1
@@ -93,11 +109,12 @@ type BranchedX struct {
 	tanh    *nn.Tanh
 	h, f    tensor.Matrix // cached state views
 	ws      tensor.Workspace
+	params  []*nn.Param
 }
 
 // NewBranchedX builds the branched x network with hidden width d.
 func NewBranchedX(spec StateSpec, d int, aMax float64, rng *rand.Rand) *BranchedX {
-	return &BranchedX{
+	x := &BranchedX{
 		spec:    spec,
 		aMax:    aMax,
 		hBranch: newBranch("bpx.h", spec.FeatDim, d, rng),
@@ -105,14 +122,14 @@ func NewBranchedX(spec StateSpec, d int, aMax float64, rng *rand.Rand) *Branched
 		merge:   nn.NewLinear("bpx.merge", spec.NumH+spec.NumF, NumBehaviors, rng),
 		tanh:    &nn.Tanh{},
 	}
+	x.params = concatParams(x.hBranch.Params(), x.fBranch.Params(), x.merge.Params())
+	return x
 }
 
-// Params implements nn.Module.
-func (x *BranchedX) Params() []*nn.Param {
-	ps := x.hBranch.Params()
-	ps = append(ps, x.fBranch.Params()...)
-	return append(ps, x.merge.Params()...)
-}
+// Params implements nn.Module. Prebuilt at construction (h branch, f
+// branch, merge — the serialization order) so parameter walks allocate
+// nothing.
+func (x *BranchedX) Params() []*nn.Param { return x.params }
 
 // Forward implements XNet. The returned matrix lives in the network's
 // workspace and is valid until the next Forward.
@@ -153,11 +170,12 @@ type BranchedQ struct {
 	merge   *nn.Linear
 	h, f    tensor.Matrix // cached state views
 	ws      tensor.Workspace
+	params  []*nn.Param
 }
 
 // NewBranchedQ builds the branched Q network with hidden width d.
 func NewBranchedQ(spec StateSpec, d int, rng *rand.Rand) *BranchedQ {
-	return &BranchedQ{
+	q := &BranchedQ{
 		spec:    spec,
 		hBranch: newBranch("bpq.h", spec.FeatDim, d, rng),
 		fBranch: newBranch("bpq.f", spec.FeatDim, d, rng),
@@ -169,15 +187,14 @@ func NewBranchedQ(spec StateSpec, d int, rng *rand.Rand) *BranchedQ {
 		),
 		merge: nn.NewLinear("bpq.merge", spec.NumH+spec.NumF+NumBehaviors, NumBehaviors, rng),
 	}
+	q.params = concatParams(q.hBranch.Params(), q.fBranch.Params(), q.xBranch.Params(), q.merge.Params())
+	return q
 }
 
-// Params implements nn.Module.
-func (q *BranchedQ) Params() []*nn.Param {
-	ps := q.hBranch.Params()
-	ps = append(ps, q.fBranch.Params()...)
-	ps = append(ps, q.xBranch.Params()...)
-	return append(ps, q.merge.Params()...)
-}
+// Params implements nn.Module. Prebuilt at construction (h branch, f
+// branch, x branch, merge — the serialization order) so parameter walks
+// allocate nothing.
+func (q *BranchedQ) Params() []*nn.Param { return q.params }
 
 // Forward implements QNet. The returned matrix lives in the merge layer's
 // workspace and is valid until the next Forward.

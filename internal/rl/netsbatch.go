@@ -1,0 +1,130 @@
+package rl
+
+import (
+	"fmt"
+
+	"head/internal/tensor"
+)
+
+// Batch-shaped forwards for the x and Q networks, used by the batched
+// execution engine (internal/batch) to replace N single-state forwards
+// with one row-stacked pass. Every network here is a composition of
+// row-independent layers, and the row-blocked kernels underneath preserve
+// the serial accumulation order, so row e of a batched output is
+// bit-identical to the single-state forward of state e.
+//
+// The returned matrices live in the network's workspace arena and are
+// valid until the same network's next forward (batched or serial).
+
+// BatchXNet is an action-parameter network with a batched forward: one
+// B×NumBehaviors acceleration matrix for B states.
+type BatchXNet interface {
+	XNet
+	ForwardBatch(states [][]float64) *tensor.Matrix
+}
+
+// BatchQNet is an action-value network with a batched forward: one
+// B×NumBehaviors Q matrix for B states and their B×NumBehaviors
+// action-parameter rows.
+type BatchQNet interface {
+	QNet
+	ForwardBatch(states [][]float64, xout *tensor.Matrix) *tensor.Matrix
+}
+
+// forwardBatch runs the branch MLP over B stacked per-vehicle blocks of n
+// rows each and returns a B×n view of the result: the (B·n)×1 output
+// column is exactly the row-major layout of one 1×n transposed vector per
+// environment, so the serial forward's explicit transpose becomes a free
+// reshape.
+func (b *branch) forwardBatch(stacked *tensor.Matrix, batch, n int) *tensor.Matrix {
+	y := b.seq.ForwardBatch(stacked) // (batch·n)×1
+	return viewInto(&b.bview, batch, n, y.Data)
+}
+
+// gatherSplit stacks B augmented states into the h and f block matrices of
+// the branched processing: environment e's NumH current-state rows land at
+// rows [e·NumH, (e+1)·NumH) of hAll and its NumF future-state rows at the
+// matching block of fAll.
+func gatherSplit(spec StateSpec, states [][]float64, hAll, fAll *tensor.Matrix) {
+	hl, dim := spec.HLen(), spec.Dim()
+	fl := dim - hl
+	for e, s := range states {
+		if len(s) != dim {
+			panic(fmt.Sprintf("rl: batched state %d has %d scalars, want %d", e, len(s), dim))
+		}
+		copy(hAll.Data[e*hl:(e+1)*hl], s[:hl])
+		copy(fAll.Data[e*fl:(e+1)*fl], s[hl:])
+	}
+}
+
+// ForwardBatch implements BatchXNet.
+func (x *BranchedX) ForwardBatch(states [][]float64) *tensor.Matrix {
+	B := len(states)
+	x.ws.Reset()
+	hAll := x.ws.Get(B*x.spec.NumH, x.spec.FeatDim)
+	fAll := x.ws.Get(B*x.spec.NumF, x.spec.FeatDim)
+	gatherSplit(x.spec, states, hAll, fAll)
+	hv := x.hBranch.forwardBatch(hAll, B, x.spec.NumH)
+	fv := x.fBranch.forwardBatch(fAll, B, x.spec.NumF)
+	cat := x.ws.Get(B, x.spec.NumH+x.spec.NumF)
+	for e := 0; e < B; e++ {
+		row := cat.Row(e)
+		copy(row[:x.spec.NumH], hv.Row(e))
+		copy(row[x.spec.NumH:], fv.Row(e))
+	}
+	y := x.tanh.Forward(x.merge.ForwardBatch(cat))
+	out := x.ws.Get(B, NumBehaviors)
+	tensor.ScaleInto(out, y, x.aMax)
+	return out
+}
+
+// ForwardBatch implements BatchQNet.
+func (q *BranchedQ) ForwardBatch(states [][]float64, xout *tensor.Matrix) *tensor.Matrix {
+	B := len(states)
+	q.ws.Reset()
+	hAll := q.ws.Get(B*q.spec.NumH, q.spec.FeatDim)
+	fAll := q.ws.Get(B*q.spec.NumF, q.spec.FeatDim)
+	gatherSplit(q.spec, states, hAll, fAll)
+	hv := q.hBranch.forwardBatch(hAll, B, q.spec.NumH)
+	fv := q.fBranch.forwardBatch(fAll, B, q.spec.NumF)
+	xv := q.xBranch.ForwardBatch(xout)
+	nh, nf := q.spec.NumH, q.spec.NumF
+	cat := q.ws.Get(B, nh+nf+NumBehaviors)
+	for e := 0; e < B; e++ {
+		row := cat.Row(e)
+		copy(row[:nh], hv.Row(e))
+		copy(row[nh:nh+nf], fv.Row(e))
+		copy(row[nh+nf:], xv.Row(e))
+	}
+	return q.merge.ForwardBatch(cat)
+}
+
+// ForwardBatch implements BatchXNet.
+func (x *SharedX) ForwardBatch(states [][]float64) *tensor.Matrix {
+	B := len(states)
+	x.ws.Reset()
+	in := x.ws.Get(B, x.spec.Dim())
+	for e, s := range states {
+		if len(s) != x.spec.Dim() {
+			panic(fmt.Sprintf("rl: batched state %d has %d scalars, want %d", e, len(s), x.spec.Dim()))
+		}
+		copy(in.Row(e), s)
+	}
+	y := x.tanh.Forward(x.mlp.ForwardBatch(in))
+	out := x.ws.Get(B, NumBehaviors)
+	tensor.ScaleInto(out, y, x.aMax)
+	return out
+}
+
+// ForwardBatch implements BatchQNet.
+func (q *SharedQ) ForwardBatch(states [][]float64, xout *tensor.Matrix) *tensor.Matrix {
+	B := len(states)
+	q.ws.Reset()
+	in := q.ws.Get(B, q.spec.Dim()+NumBehaviors)
+	for e, s := range states {
+		row := in.Row(e)
+		copy(row[:len(s)], s)
+		copy(row[len(s):], xout.Row(e))
+	}
+	return q.mlp.ForwardBatch(in)
+}

@@ -85,6 +85,17 @@ type PDQN struct {
 	perIdxs    []int
 	perWeights []float64
 	tdErrs     []float64
+
+	// batched execution engine state: batch width (≤ 1 disables), the
+	// action-parameter arena backing SelectActionBatch results, target-y
+	// scratch, and the replay prefetch pipeline (lazily started).
+	batchEnvs   int
+	batchRaw    []float64
+	batchRawMat tensor.Matrix
+	ys          []float64
+	nextStates  [][]float64
+	sampleIdx   []int
+	pf          *prefetcher
 }
 
 // NewPDQN assembles an agent from freshly constructed online and target
@@ -249,23 +260,45 @@ func (p *PDQN) phase() (trainQ, trainX bool) {
 // trainStep performs one minibatch update of L2 (Equation (22)) and L3
 // (Equation (23)), then soft-updates the target networks.
 func (p *PDQN) trainStep() {
-	rs := p.trace.Start("replay_sample")
 	var batch []Transition
 	var perIdxs []int
 	var perWeights []float64
-	if p.bufP != nil {
-		beta := p.cfg.PERBeta
-		if beta <= 0 {
-			beta = 0.4
+	if p.buf != nil && p.batchEnvs > 1 {
+		// Prefetch pipeline: draw the sample indices here — the rng stream
+		// is identical to SampleInto's — then let the background stage
+		// deep-copy the minibatch into the idle double buffer while this
+		// goroutine clears gradients and grows scratch. The gathered batch
+		// holds the same floats the aliasing SampleInto would have served,
+		// so training is bit-identical to the serial path.
+		rs := p.trace.Start("replay_sample")
+		p.sampleIdx = p.buf.SampleIndicesInto(p.sampleIdx, p.cfg.BatchSize, p.rng)
+		rs.End()
+		if p.pf == nil {
+			p.pf = newPrefetcher()
 		}
-		p.batch, p.perIdxs, p.perWeights = p.bufP.SampleInto(
-			p.batch, p.perIdxs, p.perWeights, p.cfg.BatchSize, beta, p.rng)
-		batch, perIdxs, perWeights = p.batch, p.perIdxs, p.perWeights
+		p.pf.begin(p.buf, p.sampleIdx)
+		nn.ZeroGrads(p.qn)
+		p.tdErrs = growFloats(p.tdErrs, p.cfg.BatchSize)
+		p.ys = growFloats(p.ys, p.cfg.BatchSize)
+		pw := p.trace.Start("replay_prefetch")
+		batch = p.pf.wait()
+		pw.End()
 	} else {
-		p.batch = p.buf.SampleInto(p.batch, p.cfg.BatchSize, p.rng)
-		batch = p.batch
+		rs := p.trace.Start("replay_sample")
+		if p.bufP != nil {
+			beta := p.cfg.PERBeta
+			if beta <= 0 {
+				beta = 0.4
+			}
+			p.batch, p.perIdxs, p.perWeights = p.bufP.SampleInto(
+				p.batch, p.perIdxs, p.perWeights, p.cfg.BatchSize, beta, p.rng)
+			batch, perIdxs, perWeights = p.batch, p.perIdxs, p.perWeights
+		} else {
+			p.batch = p.buf.SampleInto(p.batch, p.cfg.BatchSize, p.rng)
+			batch = p.batch
+		}
+		rs.End()
 	}
-	rs.End()
 	mu := p.trace.Start("minibatch_update")
 	defer mu.End()
 	trainQ, trainX := p.phase()
@@ -281,15 +314,10 @@ func (p *PDQN) trainStep() {
 		nn.ZeroGrads(p.qn)
 		p.tdErrs = growFloats(p.tdErrs, len(batch))
 		tdErrs := p.tdErrs
+		ys := p.targetValues(batch)
 		sqErr := 0.0
 		for k, tr := range batch {
-			y := tr.Reward
-			if !tr.Done {
-				xNext := p.xT.Forward(tr.Next)
-				qNext := p.qT.Forward(tr.Next, xNext)
-				best := qNext.ArgmaxRow(0)
-				y += p.cfg.Gamma * qNext.At(0, best)
-			}
+			y := ys[k]
 			raw := viewInto(&p.sampleRaw, 1, NumBehaviors, tr.Action.Raw)
 			qv := p.qn.Forward(tr.State, raw)
 			diff := qv.At(0, tr.Action.B) - y

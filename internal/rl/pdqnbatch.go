@@ -1,0 +1,154 @@
+package rl
+
+// Batched execution engine entry points of the agent: greedy action
+// selection over several environments in one pair of network forwards, the
+// batch-envs switch that also enables the training-side mechanisms
+// (batched target evaluation and replay prefetch), and ordered shutdown.
+
+// BatchAgent is an agent that can select greedy actions for several
+// environments in one batched forward pass.
+type BatchAgent interface {
+	Agent
+	// SelectActionBatch writes the greedy action for states[i] into
+	// out[i]. No exploration, no rng consumption.
+	SelectActionBatch(states [][]float64, out []Action)
+}
+
+// BatchConfigurable is an agent whose training loop has batch-width
+// dependent machinery to enable and shut down.
+type BatchConfigurable interface {
+	// SetBatchEnvs declares how many environments feed the agent; > 1
+	// enables the batched training mechanisms.
+	SetBatchEnvs(n int)
+	// Close releases background resources (idempotent).
+	Close()
+}
+
+// SelectActionBatch implements BatchAgent: the greedy policy of
+// Act(state, false) evaluated for all states in one batched x forward and
+// one batched Q forward. Row i of the result is bit-identical to the
+// serial greedy Act on states[i] — the batch forwards stack rows through
+// the row-blocked kernels without changing any per-row arithmetic — and
+// no rng is consumed, so interleaving batched and serial selection cannot
+// perturb a seeded run.
+//
+// The returned Action.Raw slices alias one agent-owned arena and stay
+// valid until the next SelectActionBatch call (Act uses a separate buffer
+// and replay Push deep-copies, so the usual hot-path reuse rules apply).
+func (p *PDQN) SelectActionBatch(states [][]float64, out []Action) {
+	if len(out) < len(states) {
+		panic("rl: SelectActionBatch out shorter than states")
+	}
+	p.batchRaw = growFloats(p.batchRaw, len(states)*NumBehaviors)
+	bx, okx := p.x.(BatchXNet)
+	bq, okq := p.qn.(BatchQNet)
+	if !okx || !okq {
+		// Non-batchable networks: serial greedy selection, with Raw moved
+		// into the batch arena (Act reuses one shared raw buffer).
+		for i, s := range states {
+			a := p.Act(s, false)
+			raw := p.batchRaw[i*NumBehaviors : (i+1)*NumBehaviors]
+			copy(raw, a.Raw)
+			a.Raw = raw
+			out[i] = a
+		}
+		return
+	}
+	xout := bx.ForwardBatch(states)
+	copy(p.batchRaw, xout.Data)
+	rawView := viewInto(&p.batchRawMat, len(states), NumBehaviors, p.batchRaw)
+	qv := bq.ForwardBatch(states, rawView)
+	for i := range states {
+		b := qv.ArgmaxRow(i)
+		raw := p.batchRaw[i*NumBehaviors : (i+1)*NumBehaviors]
+		out[i] = Action{B: b, A: raw[b], Raw: raw}
+	}
+}
+
+// SetBatchEnvs implements BatchConfigurable. A width above one turns on
+// the training-side batch machinery: the target networks evaluate the
+// whole minibatch in one batched forward pair, and uniform-replay
+// sampling runs through the double-buffered prefetch pipeline. Both are
+// bit-neutral — they reorder independent work, never arithmetic or rng
+// draws — so checkpoints match a width-1 run exactly.
+func (p *PDQN) SetBatchEnvs(n int) {
+	if n < 1 {
+		n = 1
+	}
+	p.batchEnvs = n
+	if n == 1 && p.pf != nil {
+		p.pf.Close()
+		p.pf = nil
+	}
+}
+
+// BatchEnvs reports the configured batch width (at least 1).
+func (p *PDQN) BatchEnvs() int {
+	if p.batchEnvs < 1 {
+		return 1
+	}
+	return p.batchEnvs
+}
+
+// Close implements BatchConfigurable: it shuts down the replay prefetch
+// worker (ordered: in-flight gather drained, goroutine joined). Idempotent;
+// training after Close restarts the pipeline lazily.
+func (p *PDQN) Close() {
+	if p.pf != nil {
+		p.pf.Close()
+		p.pf = nil
+	}
+}
+
+// targetValues fills p.ys with the TD targets y = r + γ·max_b Q_T of
+// Equation (22) for the whole minibatch. With batch-envs > 1 and batchable
+// target networks, all non-terminal next states evaluate in one batched
+// forward pair; otherwise each evaluates serially. Both paths produce
+// bit-identical targets: the target networks share no state with the
+// online ones, so hoisting their forwards ahead of the update loop moves
+// only independent reads, and the batched rows equal the serial forwards
+// bit-for-bit.
+func (p *PDQN) targetValues(batch []Transition) []float64 {
+	p.ys = growFloats(p.ys, len(batch))
+	ys := p.ys
+	bx, okx := p.xT.(BatchXNet)
+	bq, okq := p.qT.(BatchQNet)
+	if p.batchEnvs > 1 && okx && okq {
+		p.nextStates = p.nextStates[:0]
+		for _, tr := range batch {
+			if !tr.Done {
+				p.nextStates = append(p.nextStates, tr.Next)
+			}
+		}
+		if len(p.nextStates) == 0 {
+			for k, tr := range batch {
+				ys[k] = tr.Reward
+			}
+			return ys
+		}
+		xN := bx.ForwardBatch(p.nextStates)
+		qN := bq.ForwardBatch(p.nextStates, xN)
+		row := 0
+		for k, tr := range batch {
+			y := tr.Reward
+			if !tr.Done {
+				best := qN.ArgmaxRow(row)
+				y += p.cfg.Gamma * qN.At(row, best)
+				row++
+			}
+			ys[k] = y
+		}
+		return ys
+	}
+	for k, tr := range batch {
+		y := tr.Reward
+		if !tr.Done {
+			xNext := p.xT.Forward(tr.Next)
+			qNext := p.qT.Forward(tr.Next, xNext)
+			best := qNext.ArgmaxRow(0)
+			y += p.cfg.Gamma * qNext.At(0, best)
+		}
+		ys[k] = y
+	}
+	return ys
+}

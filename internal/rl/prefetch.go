@@ -1,0 +1,97 @@
+package rl
+
+// Double-buffered replay prefetch: a single background goroutine gathers
+// the sampled minibatch out of the replay ring into an owned buffer while
+// the learner's goroutine does the foreground work that does not need the
+// batch yet (gradient clears, scratch growth). Two buffers alternate —
+// the worker fills the idle one while the batch consumed last step is
+// still live — so steady state allocates nothing.
+//
+// Ownership rules (the reason this is race-free and bit-neutral):
+//
+//   - The sample rng stays on the caller's goroutine. The caller draws the
+//     ring indices with Replay.SampleIndicesInto — the exact rng stream
+//     SampleInto would consume — and hands the worker a read-only index
+//     slice. Checkpoints are therefore unchanged by the pipeline.
+//   - The worker only reads the ring (GatherInto deep-copies slots). The
+//     caller must not Push between begin and wait; the trainStep pattern
+//     guarantees this because Observe pushes strictly before training.
+//   - begin transfers the idle buffer and the index slice to the worker;
+//     wait transfers the gathered batch back. Both are channel operations,
+//     so every handoff is a happens-before edge under the race detector.
+//   - Close drains any in-flight gather, closes the job channel, and
+//     blocks until the worker goroutine has exited (done channel), so
+//     shutdown is ordered and leak-free. A closed prefetcher is inert; the
+//     owner restarts by constructing a new one.
+
+type prefetchJob struct {
+	src  *Replay
+	idxs []int
+	dst  []Transition
+}
+
+type prefetcher struct {
+	cur     []Transition // batch returned by the last wait, in use by the learner
+	spare   []Transition // idle buffer the next begin hands to the worker
+	jobs    chan prefetchJob
+	ready   chan []Transition
+	done    chan struct{} // closed when the worker goroutine exits
+	pending bool
+}
+
+// newPrefetcher starts the background worker. Buffer storage grows to the
+// batch size on first use and is reused forever after.
+func newPrefetcher() *prefetcher {
+	pf := &prefetcher{
+		jobs:  make(chan prefetchJob),
+		ready: make(chan []Transition),
+		done:  make(chan struct{}),
+	}
+	go pf.run()
+	return pf
+}
+
+func (pf *prefetcher) run() {
+	defer close(pf.done)
+	for job := range pf.jobs {
+		pf.ready <- job.src.GatherInto(job.dst, job.idxs)
+	}
+}
+
+// begin hands the idle buffer to the worker to fill with the transitions
+// at idxs. The caller must not mutate idxs or Push to src until the
+// matching wait returns. Panics if a gather is already in flight.
+func (pf *prefetcher) begin(src *Replay, idxs []int) {
+	if pf.pending {
+		panic("rl: prefetcher.begin with a gather already in flight")
+	}
+	pf.pending = true
+	pf.jobs <- prefetchJob{src: src, idxs: idxs, dst: pf.spare}
+	pf.spare = nil
+}
+
+// wait blocks until the in-flight gather completes and returns the batch.
+// The batch is valid until the wait after the next begin, when its buffer
+// becomes the idle one again.
+func (pf *prefetcher) wait() []Transition {
+	if !pf.pending {
+		panic("rl: prefetcher.wait without a gather in flight")
+	}
+	b := <-pf.ready
+	pf.pending = false
+	pf.spare = pf.cur
+	pf.cur = b
+	return b
+}
+
+// Close shuts the worker down in order: drain any in-flight gather, close
+// the job channel, and block until the goroutine has exited. Safe to call
+// once per prefetcher; the owner constructs a fresh one to resume.
+func (pf *prefetcher) Close() {
+	if pf.pending {
+		<-pf.ready
+		pf.pending = false
+	}
+	close(pf.jobs)
+	<-pf.done
+}
