@@ -22,6 +22,16 @@
 //     derive the per-environment speedup of a batched benchmark over its
 //     serial counterpart (serial ns/op ÷ (batch ns/op ÷ envs)) and fail
 //     below the floor. The computed ratio is recorded in the snapshot.
+//
+// A separate mode gates serving snapshots instead of bench output:
+//
+//	benchcheck -serve BENCH_serve.json [-serve-row b8] [-serve-p99 150] [-min-rps 500] \
+//	    [-serve-base b1 -serve-cand b8 -min-serve-speedup 1.2]
+//
+// -serve reads a cmd/headload snapshot and enforces a p99 latency ceiling
+// (milliseconds), a throughput floor, zero request errors, and a
+// micro-batching throughput win between two named rows (candidate rps ÷
+// base rps). No bench output is read in this mode.
 package main
 
 import (
@@ -38,6 +48,7 @@ import (
 	"time"
 
 	"head/internal/experiments"
+	"head/internal/serve"
 )
 
 // AllocRow is one parsed benchmark result line.
@@ -165,7 +176,21 @@ func main() {
 	spBatch := flag.String("speedup-batch", "", "batched benchmark name for the speedup gate")
 	spEnvs := flag.Int("speedup-envs", 8, "environments per op of the batched benchmark")
 	minSpeedup := flag.Float64("min-speedup", 1.2, "per-env speedup floor of batch over serial")
+	servePath := flag.String("serve", "", "gate a cmd/headload BENCH_serve.json snapshot instead of bench output ('' disables)")
+	serveRow := flag.String("serve-row", "", "serve row the p99/rps gates apply to ('' gates every row)")
+	serveP99 := flag.Float64("serve-p99", 0, "p99 latency ceiling in ms for gated serve rows (0 disables)")
+	minRPS := flag.Float64("min-rps", 0, "throughput floor in requests/s for gated serve rows (0 disables)")
+	serveBase := flag.String("serve-base", "", "baseline serve row for the micro-batching speedup gate ('' disables)")
+	serveCand := flag.String("serve-cand", "", "candidate serve row for the micro-batching speedup gate")
+	minServeSp := flag.Float64("min-serve-speedup", 1.2, "throughput floor of candidate over baseline serve row")
 	flag.Parse()
+
+	if *servePath != "" {
+		os.Exit(checkServe(*servePath, serve.ServeGate{
+			Row: *serveRow, MaxP99Ms: *serveP99, MinRPS: *minRPS,
+			Base: *serveBase, Cand: *serveCand, MinSpeedup: *minServeSp,
+		}))
+	}
 
 	start := time.Now()
 	src := os.Stdin
@@ -264,6 +289,42 @@ func main() {
 		fmt.Fprintf(os.Stderr, "benchcheck: %d gate failures across %d gated benchmarks\n", failed, gated)
 		os.Exit(1)
 	}
+}
+
+// checkServe gates a cmd/headload serving snapshot: it prints every row,
+// evaluates the ServeGate floors, and returns the process exit code.
+func checkServe(path string, gate serve.ServeGate) int {
+	f, err := serve.ReadBench(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchcheck:", err)
+		return 1
+	}
+	if len(f.Rows) == 0 {
+		fmt.Fprintln(os.Stderr, "benchcheck: no rows in", path)
+		return 1
+	}
+	for _, r := range f.Rows {
+		fmt.Printf("benchcheck: serve %-10s %4d sessions %8d req %8.0f rps  p50 %7.2fms p90 %7.2fms p99 %7.2fms  avg batch %.2f  errors %d\n",
+			r.Name, r.Sessions, r.Requests, r.RPS, r.P50Ms, r.P90Ms, r.P99Ms, r.AvgBatch, r.Errors)
+	}
+	if gate.Base != "" && gate.Cand != "" {
+		if base, ok := f.FindRow(gate.Base); ok {
+			if cand, ok := f.FindRow(gate.Cand); ok && base.RPS > 0 {
+				fmt.Printf("benchcheck: serve %s/%s throughput ratio %.2fx (floor %.2fx)\n",
+					gate.Cand, gate.Base, cand.RPS/base.RPS, gate.MinSpeedup)
+			}
+		}
+	}
+	failures := gate.Check(f)
+	for _, msg := range failures {
+		fmt.Fprintln(os.Stderr, "benchcheck: FAIL:", msg)
+	}
+	if len(failures) > 0 {
+		fmt.Fprintf(os.Stderr, "benchcheck: %d serve gate failures\n", len(failures))
+		return 1
+	}
+	fmt.Println("benchcheck: serve gates ok")
+	return 0
 }
 
 func writeJSON(path string, snap snapshot) error {

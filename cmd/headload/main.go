@@ -1,0 +1,299 @@
+// Command headload drives a running headserve instance with a synthetic
+// fleet: every session owns a private traffic environment, snapshots its
+// sensor history each step, posts it to POST /v1/decide, and executes the
+// served maneuver — the full closed loop a real vehicle client would run,
+// at whatever concurrency the flag asks for.
+//
+// After a warm-up phase it measures a fixed window and appends one row —
+// throughput, error count, exact latency percentiles, mean micro-batch
+// occupancy — to a BENCH_serve.json snapshot, which cmd/benchcheck gates
+// in CI (p99 ceiling, RPS floor, micro-batch speedup).
+//
+// Usage:
+//
+// Two modes: -mode closed (default) runs the full closed loop — each
+// session steps its own simulator between requests, so the measured rate
+// includes client-side sensing and physics and the request stream has the
+// think-time of a real fleet. -mode replay pre-captures a pool of servable
+// observations and fires them back-to-back with no simulation in between,
+// which saturates the service and isolates ITS capacity — the mode the
+// micro-batching throughput gate uses, since in closed-loop mode the
+// client-side simulator (sharing the machine) is the bottleneck, not the
+// server.
+//
+// Usage:
+//
+//	headload -url http://localhost:8100 [-sessions 64] [-duration 5s] [-warmup 1s]
+//	headload ... [-mode closed|replay] [-scale quick|record|paper] [-seed N]
+//	headload ... -bench-out BENCH_serve.json -run-name b8     # append a gated row
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"head/internal/experiments"
+	"head/internal/head"
+	"head/internal/obs"
+	"head/internal/parallel"
+	"head/internal/serve"
+	"head/internal/world"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("headload: ")
+	var (
+		url       = flag.String("url", "http://localhost:8100", "headserve base URL")
+		sessions  = flag.Int("sessions", 64, "concurrent vehicle sessions")
+		duration  = flag.Duration("duration", 5*time.Second, "measured window")
+		warmup    = flag.Duration("warmup", time.Second, "unmeasured warm-up before the window")
+		timeout   = flag.Duration("timeout", 5*time.Second, "per-request timeout")
+		mode      = flag.String("mode", "closed", "closed = full sense/decide/act loop per session; replay = fire pre-captured observations back-to-back (server capacity)")
+		scaleName = flag.String("scale", "quick", "fleet environment scale: quick, record or paper")
+		seed      = flag.Int64("seed", 1, "base seed for the session environments")
+		benchOut  = flag.String("bench-out", "", "append a row to this BENCH_serve.json snapshot (empty disables)")
+		runName   = flag.String("run-name", "default", "row name inside the bench snapshot")
+	)
+	flag.Parse()
+
+	var s experiments.Scale
+	switch *scaleName {
+	case "quick":
+		s = experiments.Quick()
+	case "record":
+		s = experiments.Record()
+	case "paper":
+		s = experiments.Paper()
+	default:
+		log.Fatalf("unknown scale %q (want quick, record or paper)", *scaleName)
+	}
+	cfg := s.EnvConfig()
+
+	client := &http.Client{
+		Timeout: *timeout,
+		Transport: &http.Transport{
+			MaxIdleConns:        *sessions + 8,
+			MaxIdleConnsPerHost: *sessions + 8,
+		},
+	}
+
+	// recording flips on after warm-up and off at the end of the window;
+	// sessions only account requests completed while it is up.
+	var recording atomic.Bool
+	var stop atomic.Bool
+	reg := obs.NewRegistry()
+	latHist := reg.Histogram("load.latency_s",
+		0.0005, 0.001, 0.002, 0.005, 0.01, 0.02, 0.05, 0.1, 0.25, 0.5, 1, 2.5)
+
+	var pool [][]byte
+	switch *mode {
+	case "closed":
+	case "replay":
+		var err error
+		if pool, err = captureObservations(cfg, *seed, 16); err != nil {
+			log.Fatal(err)
+		}
+	default:
+		log.Fatalf("unknown mode %q (want closed or replay)", *mode)
+	}
+
+	results := make([]sessionResult, *sessions)
+	var wg sync.WaitGroup
+	for i := 0; i < *sessions; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if pool != nil {
+				results[i] = runReplaySession(client, *url, pool, i, &recording, &stop, latHist)
+				return
+			}
+			results[i] = runSession(client, *url, cfg,
+				parallel.Rand(*seed, int64(i)), &recording, &stop, latHist)
+		}(i)
+	}
+
+	time.Sleep(*warmup)
+	recording.Store(true)
+	windowStart := time.Now()
+	time.Sleep(*duration)
+	recording.Store(false)
+	window := time.Since(windowStart)
+	stop.Store(true)
+	wg.Wait()
+
+	var lats []float64
+	var requests, errs int64
+	var batchSum float64
+	for _, r := range results {
+		lats = append(lats, r.latenciesMs...)
+		requests += r.requests
+		errs += r.errors
+		batchSum += r.batchSum
+	}
+	if requests == 0 {
+		log.Fatalf("no requests completed in the %v window (%d errors) — is headserve up at %s?", window, errs, *url)
+	}
+	sort.Float64s(lats)
+	row := serve.Row{
+		Name:      *runName,
+		Sessions:  *sessions,
+		Requests:  requests,
+		Errors:    errs,
+		DurationS: window.Seconds(),
+		RPS:       float64(requests) / window.Seconds(),
+		P50Ms:     pct(lats, 0.50),
+		P90Ms:     pct(lats, 0.90),
+		P99Ms:     pct(lats, 0.99),
+		MaxMs:     lats[len(lats)-1],
+		AvgBatch:  batchSum / float64(requests),
+	}
+	fmt.Printf("%s: %d sessions, %d requests in %.2fs = %.0f rps, p50 %.2fms p90 %.2fms p99 %.2fms max %.2fms, avg batch %.2f, %d errors (hist p99 %.2fms)\n",
+		row.Name, row.Sessions, row.Requests, row.DurationS, row.RPS,
+		row.P50Ms, row.P90Ms, row.P99Ms, row.MaxMs, row.AvgBatch, row.Errors,
+		latHist.Quantile(0.99)*1e3)
+	if *benchOut != "" {
+		if err := serve.AppendRow(*benchOut, row); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("row %q appended to %s", *runName, *benchOut)
+	}
+}
+
+type sessionResult struct {
+	latenciesMs []float64
+	requests    int64
+	errors      int64
+	batchSum    float64
+}
+
+// runSession closes the loop for one synthetic vehicle: sense locally,
+// decide remotely, execute the served maneuver, repeat across episodes
+// until stop. The environment has no local predictor — perception
+// enhancement happens server-side, which is the point of the service.
+func runSession(client *http.Client, base string, cfg head.EnvConfig,
+	rng *rand.Rand, recording, stop *atomic.Bool, latHist *obs.Histogram) sessionResult {
+	var res sessionResult
+	env := head.NewEnv(cfg, nil, rng)
+	env.Reset()
+	coast := world.Maneuver{B: world.LaneKeep, A: 0}
+	for !stop.Load() {
+		if env.Done() {
+			env.Reset()
+			continue
+		}
+		o := serve.Snapshot(env.SensorHistory())
+		if o.Validate(cfg.Sensor.Z) != nil {
+			// Sensor still warming up: coast until the history fills.
+			env.StepManeuver(coast)
+			continue
+		}
+		body, err := json.Marshal(o)
+		if err != nil {
+			log.Fatal(err)
+		}
+		t0 := time.Now()
+		dr, err := postDecide(client, base, body)
+		lat := time.Since(t0)
+		if rec := recording.Load(); err != nil {
+			if rec {
+				res.errors++
+			}
+			env.StepManeuver(coast)
+			continue
+		} else if rec {
+			res.requests++
+			res.latenciesMs = append(res.latenciesMs, lat.Seconds()*1e3)
+			res.batchSum += float64(dr.BatchSize)
+			latHist.Observe(lat.Seconds())
+		}
+		env.StepManeuver(dr.Maneuver())
+	}
+	return res
+}
+
+// captureObservations rolls one offline environment (coasting; no server
+// involved) and collects n distinct servable sensor snapshots, pre-marshaled
+// to wire bytes for the replay sessions.
+func captureObservations(cfg head.EnvConfig, seed int64, n int) ([][]byte, error) {
+	env := head.NewEnv(cfg, nil, rand.New(rand.NewSource(seed)))
+	env.Reset()
+	coast := world.Maneuver{B: world.LaneKeep, A: 0}
+	var pool [][]byte
+	for len(pool) < n {
+		if env.Done() {
+			env.Reset()
+		}
+		o := serve.Snapshot(env.SensorHistory())
+		if o.Validate(cfg.Sensor.Z) == nil {
+			body, err := json.Marshal(o)
+			if err != nil {
+				return nil, err
+			}
+			pool = append(pool, body)
+		}
+		env.StepManeuver(coast)
+	}
+	return pool, nil
+}
+
+// runReplaySession fires pool observations back-to-back with no simulation
+// between requests, measuring the service's capacity rather than the
+// closed loop's.
+func runReplaySession(client *http.Client, base string, pool [][]byte, offset int,
+	recording, stop *atomic.Bool, latHist *obs.Histogram) sessionResult {
+	var res sessionResult
+	for i := offset; !stop.Load(); i++ {
+		t0 := time.Now()
+		dr, err := postDecide(client, base, pool[i%len(pool)])
+		lat := time.Since(t0)
+		if rec := recording.Load(); err != nil {
+			if rec {
+				res.errors++
+			}
+		} else if rec {
+			res.requests++
+			res.latenciesMs = append(res.latenciesMs, lat.Seconds()*1e3)
+			res.batchSum += float64(dr.BatchSize)
+			latHist.Observe(lat.Seconds())
+		}
+	}
+	return res
+}
+
+func postDecide(client *http.Client, base string, body []byte) (serve.DecideResponse, error) {
+	var dr serve.DecideResponse
+	resp, err := client.Post(base+"/v1/decide", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return dr, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return dr, fmt.Errorf("decide: status %d", resp.StatusCode)
+	}
+	return dr, json.NewDecoder(resp.Body).Decode(&dr)
+}
+
+// pct is the exact (nearest-rank, linear-interpolated) percentile of a
+// sorted sample, in the sample's units.
+func pct(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(pos)
+	if lo >= len(sorted)-1 {
+		return sorted[len(sorted)-1]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[lo+1]*frac
+}

@@ -1,0 +1,145 @@
+// Command headserve is the online decision service: it loads a headtrain
+// checkpoint (the trained LST-GAT perception model and BP-DQN decision
+// agent) and serves "observe → predict → act" requests over HTTP through a
+// size-or-deadline micro-batcher, so many concurrent vehicle sessions share
+// batched network forwards while every served decision stays bit-identical
+// to the in-process serial path.
+//
+// Endpoints (one listener): POST /v1/decide (observation snapshot in,
+// maneuver + parameterized action + attention rows out), GET /healthz, and
+// the shared observability surface (/metrics, /debug/pprof/*, /debug/vars).
+// On SIGINT/SIGTERM the server drains: new decides are refused, in-flight
+// requests are answered, and a run manifest is written.
+//
+// Usage:
+//
+//	headserve -load dir [-scale quick|record|paper] [-seed N]       # must match training
+//	headserve ... [-addr :8100] [-batch 8] [-max-wait 2ms] [-replicas N] [-queue N]
+//	headserve ... [-out dir]                                        # manifest.json on shutdown
+package main
+
+import (
+	"context"
+	"flag"
+	"log"
+	"math/rand"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"head/internal/experiments"
+	"head/internal/nn"
+	"head/internal/obs"
+	"head/internal/rl"
+	"head/internal/serve"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("headserve: ")
+	var (
+		addr      = flag.String("addr", ":8100", "listen address")
+		load      = flag.String("load", "", "checkpoint directory written by headtrain -out (required)")
+		scaleName = flag.String("scale", "quick", "experiment scale the checkpoint was trained at: quick, record or paper")
+		seed      = flag.Int64("seed", 0, "override the random seed (must match training)")
+		batch     = flag.Int("batch", 8, "micro-batch size B: flush as soon as this many requests are pending")
+		maxWait   = flag.Duration("max-wait", 2*time.Millisecond, "flush deadline: maximum time a request waits for batch mates")
+		replicas  = flag.Int("replicas", 1, "model replicas answering batches concurrently")
+		queue     = flag.Int("queue", 0, "submit queue bound (0 = 4x batch)")
+		out       = flag.String("out", "", "directory to write manifest.json into on shutdown (empty disables)")
+	)
+	flag.Parse()
+	if *load == "" {
+		log.Fatal("pass -load dir (a checkpoint directory written by headtrain -out)")
+	}
+
+	var s experiments.Scale
+	switch *scaleName {
+	case "quick":
+		s = experiments.Quick()
+	case "record":
+		s = experiments.Record()
+	case "paper":
+		s = experiments.Paper()
+	default:
+		log.Fatalf("unknown scale %q (want quick, record or paper)", *scaleName)
+	}
+	if *seed != 0 {
+		s.Seed = *seed
+	}
+
+	predictor, agent, err := experiments.LoadCheckpoint(s, *load)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := s.EnvConfig()
+	rcfg := serve.ConfigFor(cfg)
+	reg := obs.NewRegistry()
+
+	start := time.Now()
+	b := serve.NewBatcher(serve.BatcherConfig{
+		MaxBatch: *batch,
+		MaxWait:  *maxWait,
+		Queue:    *queue,
+		Replicas: *replicas,
+		Metrics:  reg,
+	}, func() serve.Decider {
+		// Each worker gets private model instances: layers cache forward
+		// state and must never be shared across concurrent batches.
+		a := rl.NewBPDQN(s.RLConfig(), rl.DefaultStateSpec(), cfg.Traffic.World.AMax, s.RLHidden, rand.New(rand.NewSource(0)))
+		nn.CopyParams(a, agent)
+		return serve.NewReplica(rcfg, predictor.Clone(), a)
+	})
+
+	srv := obs.NewHTTPServer(serve.NewMux(b, cfg.Sensor.Z, reg))
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("serving decisions on http://%s (batch %d, max-wait %v, %d replicas, z=%d frames)",
+		ln.Addr(), *batch, *maxWait, *replicas, cfg.Sensor.Z)
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGINT, syscall.SIGTERM)
+	select {
+	case sig := <-sigc:
+		log.Printf("%v: draining", sig)
+	case err := <-errc:
+		log.Fatal(err)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), obs.ShutdownGrace)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil && err != http.ErrServerClosed {
+		log.Print("shutdown: ", err)
+	}
+	b.Close()
+
+	if *out != "" {
+		man := obs.Manifest{
+			Tool:       "headserve",
+			Scale:      *scaleName,
+			Seed:       s.Seed,
+			Workers:    *replicas,
+			ConfigHash: s.ConfigHash(),
+			GoVersion:  runtime.Version(),
+			Start:      start,
+			End:        time.Now(),
+			Final:      reg.Snapshot(),
+		}
+		if err := os.MkdirAll(*out, 0o755); err != nil {
+			log.Fatal(err)
+		}
+		if err := man.Write(*out); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("manifest written to %s", *out)
+	}
+}

@@ -33,7 +33,6 @@ import (
 	"head/internal/nn"
 	"head/internal/obs"
 	"head/internal/parallel"
-	"head/internal/predict"
 	"head/internal/rl"
 )
 
@@ -104,26 +103,6 @@ func main() {
 	}
 }
 
-// modelConfigs derives the architectures from the scale so save and load
-// construct identical networks.
-func modelConfigs(s experiments.Scale) (predict.LSTGATConfig, rl.PDQNConfig) {
-	pc := predict.DefaultLSTGATConfig()
-	pc.AttnDim, pc.GATOut, pc.HiddenDim = s.PredHidden, s.PredGATOut, s.PredHidden
-	pc.LR = s.PredLR
-	rc := rl.DefaultPDQNConfig()
-	rc.Warmup = s.RLWarmup
-	rc.Eps.DecaySteps = s.EpsDecay
-	return pc, rc
-}
-
-func envConfig(s experiments.Scale) head.EnvConfig {
-	cfg := head.DefaultEnvConfig()
-	cfg.Traffic.World.RoadLength = s.RoadLength
-	cfg.Traffic.Density = s.Density
-	cfg.MaxSteps = s.MaxSteps
-	return cfg
-}
-
 func trainRun(s experiments.Scale, dir, scaleName string) error {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return err
@@ -144,14 +123,13 @@ func trainRun(s experiments.Scale, dir, scaleName string) error {
 	if err != nil {
 		return err
 	}
-	if err := saveModule(filepath.Join(dir, "lstgat.ckpt"), predictor); err != nil {
+	if err := experiments.SaveModule(filepath.Join(dir, experiments.CkptLSTGAT), predictor); err != nil {
 		return err
 	}
 
 	fmt.Printf("training BP-DQN decision agent (%d episodes)...\n", s.TrainEpisodes)
-	_, rc := modelConfigs(s)
-	env := head.NewEnv(envConfig(s), predictor, rng)
-	agent := rl.NewBPDQN(rc, env.Spec(), env.AMax(), s.RLHidden, rng)
+	env := head.NewEnv(s.EnvConfig(), predictor, rng)
+	agent := rl.NewBPDQN(s.RLConfig(), env.Spec(), env.AMax(), s.RLHidden, rng)
 	res := rl.TrainObserved(agent, env, s.TrainEpisodes, s.MaxSteps, rl.Instrumentation{
 		Metrics:  s.Metrics,
 		Progress: s.Progress,
@@ -162,7 +140,7 @@ func trainRun(s experiments.Scale, dir, scaleName string) error {
 		BatchEnvs: s.BatchEnvs,
 	})
 	fmt.Printf("trained in %v\n", res.TCT.Round(1e9))
-	if err := saveModule(filepath.Join(dir, "bpdqn.ckpt"), agent); err != nil {
+	if err := experiments.SaveModule(filepath.Join(dir, experiments.CkptBPDQN), agent); err != nil {
 		return err
 	}
 
@@ -185,19 +163,14 @@ func trainRun(s experiments.Scale, dir, scaleName string) error {
 }
 
 func evaluate(s experiments.Scale, dir string) error {
-	pc, rc := modelConfigs(s)
-	rng := rand.New(rand.NewSource(s.Seed))
-	predictor := predict.NewLSTGAT(pc, rng)
-	if err := loadModule(filepath.Join(dir, "lstgat.ckpt"), predictor); err != nil {
+	predictor, agent, err := experiments.LoadCheckpoint(s, dir)
+	if err != nil {
 		return err
 	}
-	cfg := envConfig(s)
+	cfg := s.EnvConfig()
+	rc := s.RLConfig()
 	spec := rl.DefaultStateSpec()
 	aMax := cfg.Traffic.World.AMax
-	agent := rl.NewBPDQN(rc, spec, aMax, s.RLHidden, rng)
-	if err := loadModule(filepath.Join(dir, "bpdqn.ckpt"), agent); err != nil {
-		return err
-	}
 	// Each test episode gets private replicas of the loaded models; the
 	// metrics are identical for any -workers and -batch-envs value.
 	m := eval.RunEpisodesBatched(s.TestEpisodes, s.BatchEnvs, s.Workers, s.Metrics, s.Trace, func(ep int) (head.Controller, *head.Env) {
@@ -209,25 +182,4 @@ func evaluate(s experiments.Scale, dir string) error {
 	fmt.Printf("HEAD over %d episodes: AvgDT-A %.1fs  AvgV-A %.2fm/s  AvgJ-A %.2f  Avg#-CA %.1f  MinTTC-A %.2fs  collisions %d\n",
 		m.Episodes, m.AvgDTA, m.AvgVA, m.AvgJA, m.AvgCA, m.MinTTCA, m.Collisions)
 	return nil
-}
-
-func saveModule(path string, m nn.Module) error {
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	if err := nn.Save(f, m); err != nil {
-		f.Close()
-		return err
-	}
-	return f.Close()
-}
-
-func loadModule(path string, m nn.Module) error {
-	f, err := os.Open(path)
-	if err != nil {
-		return err
-	}
-	defer f.Close()
-	return nn.Load(f, m)
 }

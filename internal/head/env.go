@@ -275,48 +275,13 @@ func zeroPhantoms(g *phantom.Graph) {
 }
 
 // State implements the augmented state s₊ = [hᵗ, f̂ᵗ⁺¹] of Equations
-// (15)–(16), flattened row-major and normalized. The returned slice is
-// owned by the environment and reused: it is valid until the next State,
-// Step, or Reset call (rl.Runner and the replay buffer copy accordingly).
+// (15)–(16), flattened row-major and normalized (assembly shared with the
+// decision service via AssembleState). The returned slice is owned by the
+// environment and reused: it is valid until the next State, Step, or Reset
+// call (rl.Runner and the replay buffer copy accordingly).
 func (e *Env) State() []float64 {
-	spec := e.Spec()
-	if cap(e.stateBuf) < spec.Dim() {
-		e.stateBuf = make([]float64, spec.Dim())
-	}
-	out := e.stateBuf[:spec.Dim()]
-	for i := range out {
-		out[i] = 0
-	}
-	av := e.sim.AV.State
-	// h row 0: the AV's raw state.
-	out[0] = float64(av.Lat) / laneScale
-	out[1] = av.Lon / roadScale
-	out[2] = av.V / vScale
-	out[3] = 0
-	if e.graph == nil {
-		return out
-	}
-	last := e.graph.Steps[len(e.graph.Steps)-1]
-	for i := 0; i < phantom.NumSlots; i++ {
-		f := last[phantom.TargetNode(phantom.Slot(i))]
-		base := (1 + i) * spec.FeatDim
-		out[base+0] = f[0] / latScale
-		out[base+1] = f[1] / lonScale
-		out[base+2] = f[2] / vScale
-		out[base+3] = f[3]
-	}
-	// f̂ rows: predicted relative future states with the IF flags.
-	fBase := spec.HLen()
-	for i := 0; i < phantom.NumSlots; i++ {
-		base := fBase + i*spec.FeatDim
-		out[base+0] = e.pred[i][0] / latScale
-		out[base+1] = e.pred[i][1] / lonScale
-		out[base+2] = e.pred[i][2] / vScale
-		if e.graph.Info[i].Kind != phantom.NotMissing {
-			out[base+3] = 1
-		}
-	}
-	return out
+	e.stateBuf = AssembleState(e.Spec(), e.graph, e.pred, e.sim.AV.State, e.stateBuf)
+	return e.stateBuf
 }
 
 // StepOutcome carries the rich per-step information metric collectors

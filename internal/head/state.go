@@ -1,0 +1,66 @@
+package head
+
+import (
+	"head/internal/phantom"
+	"head/internal/predict"
+	"head/internal/rl"
+	"head/internal/sensor"
+	"head/internal/world"
+)
+
+// AssembleState builds the augmented decision state s₊ = [hᵗ, f̂ᵗ⁺¹] of
+// Equations (15)–(16) from its perception ingredients: the spatial-temporal
+// graph, the one-step future-state prediction, and the AV's absolute state
+// at the decision step. It is the single assembly routine behind both
+// Env.State and the online decision service (internal/serve), so a served
+// decision computed from a transported observation snapshot reads exactly
+// the state bytes the in-process environment would have produced.
+//
+// buf is reused when it has capacity; the returned slice is always
+// spec.Dim() long and zero-filled beyond the populated rows (a nil graph
+// leaves everything but the AV row zero, mirroring the pre-perception
+// environment state).
+func AssembleState(spec rl.StateSpec, g *phantom.Graph, pred predict.Prediction, av world.State, buf []float64) []float64 {
+	if cap(buf) < spec.Dim() {
+		buf = make([]float64, spec.Dim())
+	}
+	out := buf[:spec.Dim()]
+	for i := range out {
+		out[i] = 0
+	}
+	// h row 0: the AV's raw state.
+	out[0] = float64(av.Lat) / laneScale
+	out[1] = av.Lon / roadScale
+	out[2] = av.V / vScale
+	out[3] = 0
+	if g == nil {
+		return out
+	}
+	last := g.Steps[len(g.Steps)-1]
+	for i := 0; i < phantom.NumSlots; i++ {
+		f := last[phantom.TargetNode(phantom.Slot(i))]
+		base := (1 + i) * spec.FeatDim
+		out[base+0] = f[0] / latScale
+		out[base+1] = f[1] / lonScale
+		out[base+2] = f[2] / vScale
+		out[base+3] = f[3]
+	}
+	// f̂ rows: predicted relative future states with the IF flags.
+	fBase := spec.HLen()
+	for i := 0; i < phantom.NumSlots; i++ {
+		base := fBase + i*spec.FeatDim
+		out[base+0] = pred[i][0] / latScale
+		out[base+1] = pred[i][1] / lonScale
+		out[base+2] = pred[i][2] / vScale
+		if g.Info[i].Kind != phantom.NotMissing {
+			out[base+3] = 1
+		}
+	}
+	return out
+}
+
+// SensorHistory returns the sensor's retained observation frames, oldest
+// first — the raw material of one perception snapshot. The frames (and
+// their observation maps) alias sensor-owned storage that the next Observe
+// or Reset mutates; deep-copy before retaining (serve.Snapshot does).
+func (e *Env) SensorHistory() []sensor.Frame { return e.sens.History() }

@@ -106,6 +106,40 @@ func (h *Histogram) Sum() float64 { return h.sum.Value() }
 // Bounds returns the bucket upper bounds (without the implicit +Inf).
 func (h *Histogram) Bounds() []float64 { return append([]float64(nil), h.bounds...) }
 
+// Quantile estimates the q-quantile (q in [0, 1]) from the bucket counts,
+// interpolating linearly inside the winning bucket — the same estimate
+// Prometheus' histogram_quantile produces. Observations above the last
+// bound clamp to that bound (an overflow bucket has no upper edge to
+// interpolate toward), and an empty histogram reports 0. The estimate is
+// coarse by construction; exact-percentile consumers (cmd/headload) keep
+// raw samples and use this only for live /metrics-style reporting.
+func (h *Histogram) Quantile(q float64) float64 {
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	total := h.Count()
+	if total == 0 || len(h.bounds) == 0 {
+		return 0
+	}
+	rank := q * float64(total)
+	var seen float64
+	for i, bound := range h.bounds {
+		c := float64(h.counts[i].Load())
+		if seen+c >= rank && c > 0 {
+			lo := 0.0
+			if i > 0 {
+				lo = h.bounds[i-1]
+			}
+			return lo + (bound-lo)*((rank-seen)/c)
+		}
+		seen += c
+	}
+	return h.bounds[len(h.bounds)-1]
+}
+
 // BucketCounts returns the per-bucket counts; the last entry is the
 // overflow bucket.
 func (h *Histogram) BucketCounts() []int64 {

@@ -203,3 +203,38 @@ func TestSnapshotUnderConcurrentWriters(t *testing.T) {
 type discard struct{}
 
 func (discard) Write(p []byte) (int, error) { return len(p), nil }
+
+func TestHistogramQuantile(t *testing.T) {
+	h := newHistogram([]float64{10, 20, 40})
+	if got := h.Quantile(0.5); got != 0 {
+		t.Errorf("empty histogram quantile = %g, want 0", got)
+	}
+	// 10 observations uniformly inside (0, 10]: the estimator interpolates
+	// linearly within the bucket, so the median lands at half the edge.
+	for i := 0; i < 10; i++ {
+		h.Observe(5)
+	}
+	if got := h.Quantile(0.5); got != 5 {
+		t.Errorf("single-bucket median = %g, want 5", got)
+	}
+	if got := h.Quantile(1); got != 10 {
+		t.Errorf("single-bucket p100 = %g, want bucket edge 10", got)
+	}
+	// Push ten more into (10, 20]: p75 sits halfway through the second
+	// bucket's count (rank 15 of 20, 5 of 10 into [10, 20]).
+	for i := 0; i < 10; i++ {
+		h.Observe(15)
+	}
+	if got := h.Quantile(0.75); got != 15 {
+		t.Errorf("two-bucket p75 = %g, want 15", got)
+	}
+	// Overflow observations clamp to the last finite bound.
+	h.Observe(1e9)
+	if got := h.Quantile(0.9999); got != 40 {
+		t.Errorf("overflow quantile = %g, want last bound 40", got)
+	}
+	// Out-of-range q clamps instead of extrapolating.
+	if lo, hi := h.Quantile(-1), h.Quantile(2); lo < 0 || hi != 40 {
+		t.Errorf("clamped quantiles = %g, %g", lo, hi)
+	}
+}

@@ -1,11 +1,13 @@
 package obs
 
 import (
+	"context"
 	"expvar"
 	"net"
 	"net/http"
 	"net/http/pprof"
 	"sync"
+	"time"
 )
 
 // Server is the opt-in debug endpoint behind the CLIs' -debug-addr flag:
@@ -27,19 +29,30 @@ type Endpoint struct {
 	Handler http.Handler
 }
 
-// Serve starts the debug server on addr (":0" picks a free port; query
-// Addr for the bound address) exporting reg, plus any extra endpoints. It
-// returns once the listener is up; requests are handled on a background
-// goroutine until Close.
-func Serve(addr string, reg *Registry, extra ...Endpoint) (*Server, error) {
+// NewHTTPServer returns an *http.Server over h with the repository's
+// hardened defaults, shared by the debug endpoint and the decision service
+// (cmd/headserve): a header-read deadline so idle half-open connections
+// cannot pin goroutines forever, an idle keep-alive timeout, and a bounded
+// header size. Read/write body deadlines are deliberately left unset — the
+// pprof profile endpoints stream for tens of seconds by design.
+func NewHTTPServer(h http.Handler) *http.Server {
+	return &http.Server{
+		Handler:           h,
+		ReadHeaderTimeout: 10 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+		MaxHeaderBytes:    1 << 20,
+	}
+}
+
+// Mount attaches the observability endpoints to mux: Prometheus text
+// exposition of reg on /metrics, the net/http/pprof suite under
+// /debug/pprof/, and expvar (including the obs_metrics snapshot of the
+// first-mounted registry) on /debug/vars. Shared by the debug server and
+// any service mux that wants the same surfaces (serve.NewMux).
+func Mount(mux *http.ServeMux, reg *Registry) {
 	publishOnce.Do(func() {
 		expvar.Publish("obs_metrics", expvar.Func(func() any { return reg.Snapshot() }))
 	})
-	ln, err := net.Listen("tcp", addr)
-	if err != nil {
-		return nil, err
-	}
-	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		reg.WritePrometheus(w)
@@ -50,10 +63,23 @@ func Serve(addr string, reg *Registry, extra ...Endpoint) (*Server, error) {
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	mux.Handle("/debug/vars", expvar.Handler())
+}
+
+// Serve starts the debug server on addr (":0" picks a free port; query
+// Addr for the bound address) exporting reg, plus any extra endpoints. It
+// returns once the listener is up; requests are handled on a background
+// goroutine until Close.
+func Serve(addr string, reg *Registry, extra ...Endpoint) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	mux := http.NewServeMux()
+	Mount(mux, reg)
 	for _, e := range extra {
 		mux.Handle(e.Path, e.Handler)
 	}
-	s := &Server{ln: ln, srv: &http.Server{Handler: mux}}
+	s := &Server{ln: ln, srv: NewHTTPServer(mux)}
 	go s.srv.Serve(ln)
 	return s, nil
 }
@@ -61,5 +87,18 @@ func Serve(addr string, reg *Registry, extra ...Endpoint) (*Server, error) {
 // Addr returns the bound listen address (useful with ":0").
 func (s *Server) Addr() string { return s.ln.Addr().String() }
 
-// Close stops the server and releases the listener.
-func (s *Server) Close() error { return s.srv.Close() }
+// ShutdownGrace bounds how long Close waits for in-flight requests before
+// tearing connections down.
+const ShutdownGrace = 5 * time.Second
+
+// Close stops the server gracefully: the listener closes immediately, then
+// in-flight requests get up to ShutdownGrace to finish before the
+// remaining connections are forced shut.
+func (s *Server) Close() error {
+	ctx, cancel := context.WithTimeout(context.Background(), ShutdownGrace)
+	defer cancel()
+	if err := s.srv.Shutdown(ctx); err != nil {
+		return s.srv.Close()
+	}
+	return nil
+}

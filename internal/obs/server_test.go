@@ -3,6 +3,7 @@ package obs
 import (
 	"io"
 	"net/http"
+	"net/http/httptest"
 	"strings"
 	"testing"
 )
@@ -47,5 +48,54 @@ func TestServeEndpoints(t *testing.T) {
 func TestServeBadAddr(t *testing.T) {
 	if _, err := Serve("256.0.0.1:bad", NewRegistry()); err == nil {
 		t.Error("expected listen error")
+	}
+}
+
+func TestNewHTTPServerHardened(t *testing.T) {
+	srv := NewHTTPServer(http.NewServeMux())
+	if srv.ReadHeaderTimeout <= 0 {
+		t.Error("ReadHeaderTimeout unset: slow-header clients can pin connections")
+	}
+	if srv.IdleTimeout <= 0 {
+		t.Error("IdleTimeout unset: idle keep-alives never expire")
+	}
+	if srv.MaxHeaderBytes <= 0 {
+		t.Error("MaxHeaderBytes unset")
+	}
+}
+
+func TestServerGracefulClose(t *testing.T) {
+	s, err := Serve("127.0.0.1:0", NewRegistry())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// An in-flight request racing Close must complete, not be torn down:
+	// Shutdown stops the listener first and drains active handlers.
+	resp, err := http.Get("http://" + s.Addr() + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if err := s.Close(); err != nil {
+		t.Fatalf("graceful close: %v", err)
+	}
+	if _, err := http.Get("http://" + s.Addr() + "/metrics"); err == nil {
+		t.Error("listener still accepting after Close")
+	}
+}
+
+func TestMountOnCallerMux(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("mounted.ok").Inc()
+	mux := http.NewServeMux()
+	Mount(mux, reg)
+	for _, path := range []string{"/metrics", "/debug/pprof/", "/debug/vars"} {
+		req := httptest.NewRequest(http.MethodGet, path, nil)
+		rec := httptest.NewRecorder()
+		mux.ServeHTTP(rec, req)
+		if rec.Code != http.StatusOK {
+			t.Errorf("GET %s via Mount: status %d", path, rec.Code)
+		}
 	}
 }

@@ -1,0 +1,306 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"head/internal/obs"
+)
+
+// ErrClosed is returned by Submit after Close has begun: the service is
+// draining and accepts no new work.
+var ErrClosed = errors.New("serve: batcher closed")
+
+// BatcherConfig sizes the micro-batcher.
+type BatcherConfig struct {
+	// MaxBatch is B: a flush fires as soon as this many requests are
+	// pending (default 8).
+	MaxBatch int
+	// MaxWait is the deadline arm of size-or-deadline: a flush fires this
+	// long after its first request even if the batch is short (default
+	// 2ms). Zero keeps the default; latency-sensitive callers trade it
+	// against batch occupancy.
+	MaxWait time.Duration
+	// Queue bounds the submit channel; once full, Submit blocks (applying
+	// backpressure to clients) until the flush loop drains it or the
+	// caller's context expires. Default 4×MaxBatch.
+	Queue int
+	// Replicas is how many worker goroutines (each owning one Decider)
+	// consume flushed batches concurrently (default 1).
+	Replicas int
+	// Metrics receives the service counters and histograms (nil disables):
+	// serve.requests / serve.errors counters, serve.queue_wait_s and
+	// serve.decide_s latency histograms, and a serve.batch_size occupancy
+	// histogram. Strictly out of band, like every obs sink.
+	Metrics *obs.Registry
+}
+
+func (c BatcherConfig) withDefaults() BatcherConfig {
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 8
+	}
+	if c.MaxWait <= 0 {
+		c.MaxWait = 2 * time.Millisecond
+	}
+	if c.Queue <= 0 {
+		c.Queue = 4 * c.MaxBatch
+	}
+	if c.Replicas <= 0 {
+		c.Replicas = 1
+	}
+	return c
+}
+
+// Result is one served decision plus the timestamps that attribute its
+// latency: Enqueued (Submit accepted it), Flushed (the size-or-deadline
+// loop sealed its batch), Replied (its replica finished), and the size of
+// the batch it rode in.
+type Result struct {
+	Decision  Decision
+	Err       error
+	Enqueued  time.Time
+	Flushed   time.Time
+	Replied   time.Time
+	BatchSize int
+}
+
+// pending is one in-flight request: the observation, its enqueue
+// timestamp, and the buffered response channel its waiter blocks on.
+type pending struct {
+	obs   *Observation
+	enq   time.Time
+	flush time.Time
+	ch    chan Result
+}
+
+// Batcher is the size-or-deadline micro-batcher: Submit places requests on
+// a bounded channel, a flush loop seals batches of up to MaxBatch requests
+// or MaxWait after the first, and replica workers answer each batch
+// through one batched forward pass. Shutdown is ordered: Close stops new
+// admissions, waits for every in-flight request to receive its response,
+// then joins the flush loop and workers — no request is ever dropped
+// without a reply.
+type Batcher struct {
+	cfg     BatcherConfig
+	submit  chan *pending
+	batches chan []*pending
+	bufs    chan []*pending
+
+	mu       sync.Mutex
+	closed   bool
+	inflight sync.WaitGroup
+	flusher  sync.WaitGroup
+	workers  sync.WaitGroup
+
+	mRequests  *obs.Counter
+	mErrors    *obs.Counter
+	mQueueWait *obs.Histogram
+	mDecide    *obs.Histogram
+	mBatchSize *obs.Histogram
+}
+
+// NewBatcher starts the flush loop and cfg.Replicas workers, each owning
+// one Decider from newReplica (called once per worker, so each worker gets
+// private model state).
+func NewBatcher(cfg BatcherConfig, newReplica func() Decider) *Batcher {
+	cfg = cfg.withDefaults()
+	b := &Batcher{
+		cfg:     cfg,
+		submit:  make(chan *pending, cfg.Queue),
+		batches: make(chan []*pending, cfg.Replicas),
+		bufs:    make(chan []*pending, cfg.Replicas+2),
+	}
+	if reg := cfg.Metrics; reg != nil {
+		b.mRequests = reg.Counter("serve.requests")
+		b.mErrors = reg.Counter("serve.errors")
+		b.mQueueWait = reg.Histogram("serve.queue_wait_s")
+		b.mDecide = reg.Histogram("serve.decide_s")
+		b.mBatchSize = reg.Histogram("serve.batch_size", 1, 2, 4, 8, 16, 32, 64)
+	}
+	b.flusher.Add(1)
+	go b.flushLoop()
+	for i := 0; i < cfg.Replicas; i++ {
+		b.workers.Add(1)
+		go b.worker(newReplica())
+	}
+	return b
+}
+
+// Config reports the effective (default-filled) configuration.
+func (b *Batcher) Config() BatcherConfig { return b.cfg }
+
+// Submit enqueues one observation and blocks until its decision arrives,
+// the context expires, or the batcher is closed. The observation must stay
+// untouched until Submit returns (replicas read it during the flush). The
+// returned error equals Result.Err for replica failures, so callers can
+// branch on the Result alone.
+func (b *Batcher) Submit(ctx context.Context, o *Observation) (Result, error) {
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		return Result{}, ErrClosed
+	}
+	b.inflight.Add(1)
+	b.mu.Unlock()
+	defer b.inflight.Done()
+
+	p := &pending{obs: o, enq: time.Now(), ch: make(chan Result, 1)}
+	select {
+	case b.submit <- p:
+	case <-ctx.Done():
+		return Result{}, ctx.Err()
+	}
+	select {
+	case r := <-p.ch:
+		b.observe(r)
+		return r, r.Err
+	case <-ctx.Done():
+		// The reply lands in the buffered channel later and is dropped
+		// with the pending struct — no goroutine blocks on it.
+		return Result{}, ctx.Err()
+	}
+}
+
+// observe records one completed request into the metrics registry.
+func (b *Batcher) observe(r Result) {
+	if b.mRequests == nil {
+		return
+	}
+	b.mRequests.Inc()
+	if r.Err != nil {
+		b.mErrors.Inc()
+	}
+	b.mQueueWait.Observe(r.Flushed.Sub(r.Enqueued).Seconds())
+	b.mDecide.Observe(r.Replied.Sub(r.Flushed).Seconds())
+	b.mBatchSize.Observe(float64(r.BatchSize))
+}
+
+// Close drains and stops the batcher in order: new Submits are refused,
+// every already-admitted request runs to completion and receives its
+// response, then the flush loop and replica workers exit. Idempotent.
+func (b *Batcher) Close() {
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		return
+	}
+	b.closed = true
+	b.mu.Unlock()
+	// Every admitted Submit holds an inflight token until it has its
+	// response; the flush loop and workers are still running, so waiting
+	// here is the drain.
+	b.inflight.Wait()
+	close(b.submit)
+	b.flusher.Wait()
+	b.workers.Wait()
+}
+
+// takeBuf pops a recycled batch buffer or makes a fresh one.
+func (b *Batcher) takeBuf() []*pending {
+	select {
+	case buf := <-b.bufs:
+		return buf[:0]
+	default:
+		return make([]*pending, 0, b.cfg.MaxBatch)
+	}
+}
+
+// flushLoop seals batches: it blocks for a first request, then fills until
+// MaxBatch requests are aboard or MaxWait has passed since the first,
+// whichever comes first, and hands the sealed batch to the workers. When
+// the submit channel closes (Close after the drain) it seals any partial
+// batch and closes the batch channel behind itself.
+func (b *Batcher) flushLoop() {
+	defer b.flusher.Done()
+	defer close(b.batches)
+	timer := time.NewTimer(0)
+	if !timer.Stop() {
+		<-timer.C
+	}
+	for {
+		p, ok := <-b.submit
+		if !ok {
+			return
+		}
+		batch := append(b.takeBuf(), p)
+		timer.Reset(b.cfg.MaxWait)
+		fired := false
+		open := true
+	fill:
+		for len(batch) < b.cfg.MaxBatch {
+			select {
+			case q, ok := <-b.submit:
+				if !ok {
+					open = false
+					break fill
+				}
+				batch = append(batch, q)
+			case <-timer.C:
+				fired = true
+				break fill
+			}
+		}
+		if !fired && !timer.Stop() {
+			<-timer.C
+		}
+		now := time.Now()
+		for _, q := range batch {
+			q.flush = now
+		}
+		b.batches <- batch
+		if !open {
+			return
+		}
+	}
+}
+
+// worker answers sealed batches with one Decider: gather the observations,
+// one batched decide, reply to every waiter (the whole batch shares an
+// error when the decide fails or panics), recycle the buffer.
+func (b *Batcher) worker(d Decider) {
+	defer b.workers.Done()
+	var obsBuf []*Observation
+	var out []Decision
+	for batch := range b.batches {
+		n := len(batch)
+		if cap(obsBuf) < n {
+			obsBuf = make([]*Observation, n)
+		}
+		if cap(out) < n {
+			out = make([]Decision, n)
+		}
+		obsBuf = obsBuf[:n]
+		out = out[:n]
+		for i, p := range batch {
+			obsBuf[i] = p.obs
+		}
+		err := safeDecide(d, obsBuf, out)
+		now := time.Now()
+		for i, p := range batch {
+			r := Result{Err: err, Enqueued: p.enq, Flushed: p.flush, Replied: now, BatchSize: n}
+			if err == nil {
+				r.Decision = out[i]
+			}
+			p.ch <- r
+		}
+		select {
+		case b.bufs <- batch:
+		default:
+		}
+	}
+}
+
+// safeDecide shields the worker from a mid-flight replica failure: a
+// panicking Decider turns into a batch-wide error instead of tearing the
+// service down, and the worker keeps serving subsequent batches.
+func safeDecide(d Decider, obs []*Observation, out []Decision) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("serve: replica panic: %v", r)
+		}
+	}()
+	return d.DecideBatch(obs, out)
+}

@@ -1,0 +1,151 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+)
+
+// Row is one load-generator measurement: a named serving configuration
+// (e.g. "b8" = server micro-batch 8) with its throughput and exact
+// latency percentiles. cmd/headload appends rows to BENCH_serve.json and
+// cmd/benchcheck gates on them (p99 ceiling, rps floor, micro-batch
+// speedup).
+type Row struct {
+	Name     string `json:"name"`
+	Sessions int    `json:"sessions"`
+	Requests int64  `json:"requests"`
+	Errors   int64  `json:"errors"`
+	// DurationS is the measured window (after warm-up); RPS is
+	// Requests/DurationS.
+	DurationS float64 `json:"duration_s"`
+	RPS       float64 `json:"rps"`
+	// Latency percentiles are exact (computed from every recorded
+	// request, not histogram-interpolated), in milliseconds.
+	P50Ms float64 `json:"p50_ms"`
+	P90Ms float64 `json:"p90_ms"`
+	P99Ms float64 `json:"p99_ms"`
+	MaxMs float64 `json:"max_ms"`
+	// AvgBatch is the mean micro-batch occupancy the server reported.
+	AvgBatch float64 `json:"avg_batch"`
+}
+
+// BenchFile is the BENCH_serve.json schema: the usual snapshot framing
+// plus one Row per measured serving configuration.
+type BenchFile struct {
+	Tool      string `json:"tool"`
+	GoVersion string `json:"go_version"`
+	Rows      []Row  `json:"rows"`
+}
+
+// ReadBench loads a BENCH_serve.json snapshot.
+func ReadBench(path string) (BenchFile, error) {
+	var f BenchFile
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return f, err
+	}
+	if err := json.Unmarshal(data, &f); err != nil {
+		return f, fmt.Errorf("serve: parse %s: %w", path, err)
+	}
+	return f, nil
+}
+
+// FindRow returns the row with the given name.
+func (f BenchFile) FindRow(name string) (Row, bool) {
+	for _, r := range f.Rows {
+		if r.Name == name {
+			return r, true
+		}
+	}
+	return Row{}, false
+}
+
+// ServeGate is the set of CI floors applied to a serve bench snapshot by
+// cmd/benchcheck -serve. Zero values disable the corresponding gate.
+type ServeGate struct {
+	// Row selects which row the P99/RPS/error gates apply to; empty gates
+	// every row in the file.
+	Row string
+	// MaxP99Ms fails a gated row whose p99 latency exceeds this ceiling.
+	MaxP99Ms float64
+	// MinRPS fails a gated row whose throughput is below this floor.
+	MinRPS float64
+	// Base and Cand name two rows whose throughput ratio (Cand.RPS /
+	// Base.RPS) must reach MinSpeedup — the micro-batching win gate
+	// (typically Base "b1", Cand "b8" at a fixed client count).
+	Base, Cand string
+	MinSpeedup float64
+}
+
+// Check evaluates the gates against a snapshot and returns one message per
+// failure; an empty slice is a green gate.
+func (g ServeGate) Check(f BenchFile) []string {
+	var failures []string
+	gated := f.Rows
+	if g.Row != "" {
+		r, ok := f.FindRow(g.Row)
+		if !ok {
+			return []string{fmt.Sprintf("row %q not in snapshot", g.Row)}
+		}
+		gated = []Row{r}
+	}
+	for _, r := range gated {
+		if r.Errors > 0 {
+			failures = append(failures, fmt.Sprintf("row %q: %d request errors", r.Name, r.Errors))
+		}
+		if g.MaxP99Ms > 0 && r.P99Ms > g.MaxP99Ms {
+			failures = append(failures, fmt.Sprintf("row %q: p99 %.2fms exceeds %.2fms ceiling", r.Name, r.P99Ms, g.MaxP99Ms))
+		}
+		if g.MinRPS > 0 && r.RPS < g.MinRPS {
+			failures = append(failures, fmt.Sprintf("row %q: %.0f rps below %.0f floor", r.Name, r.RPS, g.MinRPS))
+		}
+	}
+	if g.Base != "" || g.Cand != "" {
+		base, okB := f.FindRow(g.Base)
+		cand, okC := f.FindRow(g.Cand)
+		switch {
+		case !okB || !okC:
+			failures = append(failures, fmt.Sprintf("speedup rows %q/%q not both in snapshot", g.Base, g.Cand))
+		case base.RPS <= 0:
+			failures = append(failures, fmt.Sprintf("row %q: non-positive rps", g.Base))
+		case cand.RPS/base.RPS < g.MinSpeedup:
+			failures = append(failures, fmt.Sprintf("%s is %.2fx of %s, below the %.2fx floor",
+				g.Cand, cand.RPS/base.RPS, g.Base, g.MinSpeedup))
+		}
+	}
+	return failures
+}
+
+// AppendRow adds row to the snapshot at path, creating the file when
+// absent and replacing any existing row of the same name (so re-running a
+// configuration updates it in place — the b1/b8 gate pair accumulates in
+// one artifact).
+func AppendRow(path string, row Row) error {
+	f, err := ReadBench(path)
+	if err != nil {
+		if !os.IsNotExist(err) {
+			return err
+		}
+		f = BenchFile{}
+	}
+	f.Tool = "headload"
+	f.GoVersion = runtime.Version()
+	replaced := false
+	for i := range f.Rows {
+		if f.Rows[i].Name == row.Name {
+			f.Rows[i] = row
+			replaced = true
+			break
+		}
+	}
+	if !replaced {
+		f.Rows = append(f.Rows, row)
+	}
+	data, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

@@ -1,0 +1,70 @@
+package serve
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestAppendRowRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_serve.json")
+	if err := AppendRow(path, Row{Name: "b1", Sessions: 32, Requests: 100, RPS: 1000, P99Ms: 40}); err != nil {
+		t.Fatal(err)
+	}
+	if err := AppendRow(path, Row{Name: "b8", Sessions: 32, Requests: 200, RPS: 2000, P99Ms: 30}); err != nil {
+		t.Fatal(err)
+	}
+	// Re-running a configuration replaces its row in place.
+	if err := AppendRow(path, Row{Name: "b1", Sessions: 32, Requests: 150, RPS: 1200, P99Ms: 35}); err != nil {
+		t.Fatal(err)
+	}
+	f, err := ReadBench(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Tool != "headload" || f.GoVersion == "" {
+		t.Errorf("snapshot framing: tool %q go %q", f.Tool, f.GoVersion)
+	}
+	if len(f.Rows) != 2 {
+		t.Fatalf("%d rows, want 2 (b1 replaced, not duplicated)", len(f.Rows))
+	}
+	b1, ok := f.FindRow("b1")
+	if !ok || b1.RPS != 1200 {
+		t.Errorf("b1 after replace: %+v", b1)
+	}
+	if _, ok := f.FindRow("nope"); ok {
+		t.Error("FindRow found a missing row")
+	}
+}
+
+func TestServeGateCheck(t *testing.T) {
+	f := BenchFile{Rows: []Row{
+		{Name: "b1", RPS: 1000, P99Ms: 50},
+		{Name: "b8", RPS: 1800, P99Ms: 35},
+	}}
+
+	if fails := (ServeGate{Row: "b8", MaxP99Ms: 100, MinRPS: 500, Base: "b1", Cand: "b8", MinSpeedup: 1.5}).Check(f); len(fails) != 0 {
+		t.Errorf("green config failed: %v", fails)
+	}
+	if fails := (ServeGate{Row: "b8", MaxP99Ms: 10}).Check(f); len(fails) != 1 || !strings.Contains(fails[0], "p99") {
+		t.Errorf("p99 ceiling: %v", fails)
+	}
+	if fails := (ServeGate{Row: "b8", MinRPS: 5000}).Check(f); len(fails) != 1 || !strings.Contains(fails[0], "rps") {
+		t.Errorf("rps floor: %v", fails)
+	}
+	if fails := (ServeGate{Base: "b1", Cand: "b8", MinSpeedup: 2.0}).Check(f); len(fails) != 1 || !strings.Contains(fails[0], "floor") {
+		t.Errorf("speedup floor: %v", fails)
+	}
+	if fails := (ServeGate{Row: "missing"}).Check(f); len(fails) != 1 {
+		t.Errorf("missing row: %v", fails)
+	}
+	if fails := (ServeGate{Base: "b1", Cand: "missing", MinSpeedup: 1.0}).Check(f); len(fails) != 1 {
+		t.Errorf("missing speedup row: %v", fails)
+	}
+
+	// Request errors fail every gated row, with no other floors set.
+	bad := BenchFile{Rows: []Row{{Name: "b8", RPS: 100, Errors: 3}}}
+	if fails := (ServeGate{}).Check(bad); len(fails) != 1 || !strings.Contains(fails[0], "errors") {
+		t.Errorf("error rows: %v", fails)
+	}
+}

@@ -1,0 +1,118 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"time"
+
+	"head/internal/obs"
+)
+
+// maxBodyBytes bounds a decide request body; an honest z-frame snapshot is
+// a few KB.
+const maxBodyBytes = 1 << 20
+
+// DecideResponse is the body of POST /v1/decide: the decision plus the
+// latency attribution of the micro-batch it rode in.
+type DecideResponse struct {
+	Decision
+	// BatchSize is how many requests shared the batched forward.
+	BatchSize int `json:"batch_size"`
+	// QueueMicros is enqueue → flush (the size-or-deadline wait);
+	// DecideMicros is flush → reply (the batched forwards).
+	QueueMicros  int64 `json:"queue_us"`
+	DecideMicros int64 `json:"decide_us"`
+}
+
+// healthResponse is the body of GET /healthz.
+type healthResponse struct {
+	Status   string  `json:"status"`
+	UptimeS  float64 `json:"uptime_s"`
+	Batch    int     `json:"batch"`
+	MaxWaitS float64 `json:"max_wait_s"`
+	Replicas int     `json:"replicas"`
+	Frames   int     `json:"frames"`
+}
+
+// errorResponse is every non-200 body.
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// NewMux builds the decision service's HTTP surface: POST /v1/decide and
+// GET /healthz over the batcher, plus — when reg is non-nil — the shared
+// observability endpoints (/metrics, /debug/pprof/*, /debug/vars) via
+// obs.Mount, so one listener serves decisions and their live metrics.
+// z is the observation history length requests must carry.
+func NewMux(b *Batcher, z int, reg *obs.Registry) *http.ServeMux {
+	mux := http.NewServeMux()
+	start := time.Now()
+	mux.HandleFunc("POST /v1/decide", func(w http.ResponseWriter, r *http.Request) {
+		handleDecide(w, r, b, z)
+	})
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		cfg := b.Config()
+		writeJSON(w, http.StatusOK, healthResponse{
+			Status:   "ok",
+			UptimeS:  time.Since(start).Seconds(),
+			Batch:    cfg.MaxBatch,
+			MaxWaitS: cfg.MaxWait.Seconds(),
+			Replicas: cfg.Replicas,
+			Frames:   z,
+		})
+	})
+	if reg != nil {
+		obs.Mount(mux, reg)
+	}
+	return mux
+}
+
+func handleDecide(w http.ResponseWriter, r *http.Request, b *Batcher, z int) {
+	// Attention rows are diagnostic weight (dozens of floats per response);
+	// clients that want them opt in with ?attention=1 so the hot fleet path
+	// doesn't pay their serialization.
+	wantAttention := r.URL.Query().Get("attention") != ""
+	var o Observation
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	if err := dec.Decode(&o); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "decode observation: " + err.Error()})
+		return
+	}
+	if err := o.Validate(z); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+		return
+	}
+	o.ReturnAttention = wantAttention
+	res, err := b.Submit(r.Context(), &o)
+	switch {
+	case err == nil:
+	case errors.Is(err, ErrClosed):
+		writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: err.Error()})
+		return
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		// The client went away or timed out; 503 tells retrying proxies
+		// the truth without inventing a status for a dead peer.
+		writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: err.Error()})
+		return
+	default:
+		writeJSON(w, http.StatusInternalServerError, errorResponse{Error: err.Error()})
+		return
+	}
+	if !wantAttention {
+		res.Decision.Attention = nil
+	}
+	writeJSON(w, http.StatusOK, DecideResponse{
+		Decision:     res.Decision,
+		BatchSize:    res.BatchSize,
+		QueueMicros:  res.Flushed.Sub(res.Enqueued).Microseconds(),
+		DecideMicros: res.Replied.Sub(res.Flushed).Microseconds(),
+	})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}

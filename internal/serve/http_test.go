@@ -1,0 +1,140 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"head/internal/obs"
+)
+
+func postDecide(t *testing.T, url string, body []byte) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Post(url+"/v1/decide", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	return resp, buf.Bytes()
+}
+
+func TestHTTPDecide(t *testing.T) {
+	reg := obs.NewRegistry()
+	b := NewBatcher(BatcherConfig{MaxBatch: 4, MaxWait: time.Millisecond, Metrics: reg},
+		func() Decider { return &echoDecider{} })
+	srv := httptest.NewServer(NewMux(b, 1, reg))
+	defer srv.Close()
+	defer b.Close()
+
+	// Valid decide round trip: the echo decider returns the watermark.
+	body, _ := json.Marshal(mark(7))
+	resp, out := postDecide(t, srv.URL, body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("decide: status %d, body %s", resp.StatusCode, out)
+	}
+	var dr DecideResponse
+	if err := json.Unmarshal(out, &dr); err != nil {
+		t.Fatalf("decide response: %v in %s", err, out)
+	}
+	if dr.Accel != 7 {
+		t.Errorf("decide echoed %v, want 7", dr.Accel)
+	}
+	if dr.BatchSize < 1 {
+		t.Errorf("batch size %d", dr.BatchSize)
+	}
+	if dr.QueueMicros < 0 || dr.DecideMicros < 0 {
+		t.Errorf("negative latency attribution: queue %d decide %d", dr.QueueMicros, dr.DecideMicros)
+	}
+	if dr.Attention != nil {
+		t.Error("attention returned without ?attention=1 opt-in")
+	}
+
+	// Attention rows come back only on opt-in.
+	resp2, err := http.Post(srv.URL+"/v1/decide?attention=1", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var dr2 DecideResponse
+	if err := json.NewDecoder(resp2.Body).Decode(&dr2); err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if len(dr2.Attention) == 0 {
+		t.Error("?attention=1 returned no attention rows")
+	}
+
+	// Wrong frame count → 400.
+	bad, _ := json.Marshal(Observation{Frames: make([]Frame, 3)})
+	if resp, out := postDecide(t, srv.URL, bad); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("3-frame observation: status %d, body %s", resp.StatusCode, out)
+	}
+
+	// Malformed JSON → 400.
+	if resp, _ := postDecide(t, srv.URL, []byte("{not json")); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("garbage body: status %d", resp.StatusCode)
+	}
+
+	// GET on the decide route → 405 (method pattern).
+	getResp, err := http.Get(srv.URL + "/v1/decide")
+	if err != nil {
+		t.Fatal(err)
+	}
+	getResp.Body.Close()
+	if getResp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET /v1/decide: status %d, want 405", getResp.StatusCode)
+	}
+
+	// Health endpoint reflects the effective config.
+	hresp, err := http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var h healthResponse
+	if err := json.NewDecoder(hresp.Body).Decode(&h); err != nil {
+		t.Fatal(err)
+	}
+	hresp.Body.Close()
+	if hresp.StatusCode != http.StatusOK || h.Status != "ok" || h.Batch != 4 || h.Frames != 1 {
+		t.Errorf("healthz: status %d body %+v", hresp.StatusCode, h)
+	}
+
+	// The shared obs surface rides the same mux and has seen the traffic.
+	mresp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mbuf bytes.Buffer
+	mbuf.ReadFrom(mresp.Body)
+	mresp.Body.Close()
+	if mresp.StatusCode != http.StatusOK || !strings.Contains(mbuf.String(), "serve_requests") {
+		t.Errorf("metrics: status %d, body lacks serve_requests:\n%s", mresp.StatusCode, mbuf.String())
+	}
+
+	// After Close, decide turns into 503 while healthz stays up.
+	b.Close()
+	if resp, _ := postDecide(t, srv.URL, body); resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("post-Close decide: status %d, want 503", resp.StatusCode)
+	}
+}
+
+func TestHTTPBodyLimit(t *testing.T) {
+	b := NewBatcher(BatcherConfig{MaxBatch: 1, MaxWait: time.Millisecond},
+		func() Decider { return &echoDecider{} })
+	srv := httptest.NewServer(NewMux(b, 1, nil))
+	defer srv.Close()
+	defer b.Close()
+
+	huge := append([]byte(`{"frames":[{"av":{"lat":`), bytes.Repeat([]byte("1"), maxBodyBytes+1)...)
+	resp, _ := postDecide(t, srv.URL, huge)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("oversized body: status %d, want 400", resp.StatusCode)
+	}
+}

@@ -1,0 +1,200 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"head/internal/head"
+	"head/internal/predict"
+	"head/internal/rl"
+)
+
+func tinyEnvConfig() head.EnvConfig {
+	cfg := head.DefaultEnvConfig()
+	cfg.Traffic.World.RoadLength = 400
+	cfg.Traffic.Density = 100
+	cfg.MaxSteps = 40
+	return cfg
+}
+
+func tinyServePredictor() *predict.LSTGAT {
+	cfg := predict.DefaultLSTGATConfig()
+	cfg.AttnDim, cfg.GATOut, cfg.HiddenDim = 8, 6, 8
+	return predict.NewLSTGAT(cfg, rand.New(rand.NewSource(3)))
+}
+
+// tinyServeAgent builds a BP-DQN from a fixed seed; two calls with the same
+// env geometry produce bit-identical weights, which is how the serial env
+// and the serving replica share "trained" parameters in these tests.
+func tinyServeAgent(env *head.Env) rl.BatchAgent {
+	return rl.NewBPDQN(rl.DefaultPDQNConfig(), env.Spec(), env.AMax(), 8, rand.New(rand.NewSource(9)))
+}
+
+// TestServedDecisionBitIdentity is the service's determinism contract:
+// snapshot the env's sensor history, push it through the JSON wire form,
+// decide via a Replica (inside a mixed batch, at different row positions),
+// and require the served maneuver, parameter vector, and attention rows to
+// equal the serial head.Env decision bit for bit.
+func TestServedDecisionBitIdentity(t *testing.T) {
+	cfg := tinyEnvConfig()
+	base := tinyServePredictor()
+
+	envPred := base.Clone()
+	env := head.NewEnv(cfg, envPred, rand.New(rand.NewSource(21)))
+	ctrl := &head.AgentController{ControllerName: "HEAD", Agent: tinyServeAgent(env)}
+	replica := NewReplica(ConfigFor(cfg), base.Clone(), tinyServeAgent(env))
+
+	env.Reset()
+	checked := 0
+	for !env.Done() && env.Steps() < 30 {
+		m := ctrl.Decide(env)
+		var serialAttn [][]float64
+		for _, row := range envPred.LastAttention() {
+			serialAttn = append(serialAttn, append([]float64(nil), row...))
+		}
+
+		// Wire round trip: exactly what an HTTP client would send.
+		data, err := json.Marshal(Snapshot(env.SensorHistory()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var o Observation
+		if err := json.Unmarshal(data, &o); err != nil {
+			t.Fatal(err)
+		}
+		o.ReturnAttention = true
+
+		if o.Validate(cfg.Sensor.Z) == nil {
+			// A perturbed neighbor in the middle row proves per-row
+			// independence: foreign batch mates must not leak into rows
+			// 0 and 2.
+			perturbed := o
+			perturbed.Frames = append([]Frame(nil), o.Frames...)
+			perturbed.Frames[0].AV.V += 0.5
+			out := make([]Decision, 3)
+			if err := replica.DecideBatch([]*Observation{&o, &perturbed, &o}, out); err != nil {
+				t.Fatalf("step %d: DecideBatch: %v", env.Steps(), err)
+			}
+			for _, idx := range []int{0, 2} {
+				d := out[idx]
+				if d.Behavior != int(m.B) || math.Float64bits(d.Accel) != math.Float64bits(m.A) {
+					t.Fatalf("step %d row %d: served (%d, %x) != serial (%d, %x)",
+						env.Steps(), idx, d.Behavior, math.Float64bits(d.Accel),
+						int(m.B), math.Float64bits(m.A))
+				}
+				if len(d.Params) != len(serialAttn) && len(d.Params) == 0 {
+					t.Fatalf("step %d row %d: empty parameter vector", env.Steps(), idx)
+				}
+				if len(d.Attention) != len(serialAttn) {
+					t.Fatalf("step %d row %d: %d attention rows, serial has %d",
+						env.Steps(), idx, len(d.Attention), len(serialAttn))
+				}
+				for r := range serialAttn {
+					if len(d.Attention[r]) != len(serialAttn[r]) {
+						t.Fatalf("step %d row %d: attention row %d width %d != %d",
+							env.Steps(), idx, r, len(d.Attention[r]), len(serialAttn[r]))
+					}
+					for c := range serialAttn[r] {
+						if math.Float64bits(d.Attention[r][c]) != math.Float64bits(serialAttn[r][c]) {
+							t.Fatalf("step %d row %d: attention[%d][%d] served %x != serial %x",
+								env.Steps(), idx, r, c,
+								math.Float64bits(d.Attention[r][c]), math.Float64bits(serialAttn[r][c]))
+						}
+					}
+				}
+			}
+			checked++
+		}
+		env.StepManeuver(m)
+	}
+	if checked == 0 {
+		t.Fatal("no servable steps: the sensor history never filled to Z frames")
+	}
+	t.Logf("verified %d served decisions bit-identical to serial", checked)
+}
+
+// TestBatcherServesIdentical runs the full service path — concurrent
+// Submits through a Batcher over real Replicas — and requires every copy of
+// the same observation to come back with the serial env's exact decision,
+// regardless of which replica or batch slot served it.
+func TestBatcherServesIdentical(t *testing.T) {
+	cfg := tinyEnvConfig()
+	base := tinyServePredictor()
+
+	envPred := base.Clone()
+	env := head.NewEnv(cfg, envPred, rand.New(rand.NewSource(33)))
+	ctrl := &head.AgentController{ControllerName: "HEAD", Agent: tinyServeAgent(env)}
+	rcfg := ConfigFor(cfg)
+
+	// Roll until the sensor history is servable.
+	env.Reset()
+	for !env.Done() {
+		o := Snapshot(env.SensorHistory())
+		if o.Validate(cfg.Sensor.Z) == nil {
+			break
+		}
+		env.StepManeuver(ctrl.Decide(env))
+	}
+	if env.Done() {
+		t.Fatal("episode ended before the sensor history filled")
+	}
+	want := ctrl.Decide(env)
+	snap := Snapshot(env.SensorHistory())
+
+	b := NewBatcher(BatcherConfig{MaxBatch: 4, MaxWait: time.Millisecond, Replicas: 2},
+		func() Decider { return NewReplica(rcfg, base.Clone(), tinyServeAgent(env)) })
+	defer b.Close()
+
+	const n = 12
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			o := snap // value copy; frames slice is shared read-only
+			res, err := b.Submit(context.Background(), &o)
+			if err != nil {
+				t.Errorf("submit: %v", err)
+				return
+			}
+			d := res.Decision
+			if d.Behavior != int(want.B) || math.Float64bits(d.Accel) != math.Float64bits(want.A) {
+				t.Errorf("served (%d, %x) != serial (%d, %x) at batch size %d",
+					d.Behavior, math.Float64bits(d.Accel),
+					int(want.B), math.Float64bits(want.A), res.BatchSize)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// TestSnapshotStableBytes: the wire form of the same history serializes to
+// identical bytes across calls (observation maps iterate randomly; Snapshot
+// must sort that away).
+func TestSnapshotStableBytes(t *testing.T) {
+	cfg := tinyEnvConfig()
+	env := head.NewEnv(cfg, tinyServePredictor(), rand.New(rand.NewSource(5)))
+	ctrl := &head.AgentController{ControllerName: "HEAD", Agent: tinyServeAgent(env)}
+	env.Reset()
+	for i := 0; i < cfg.Sensor.Z+2 && !env.Done(); i++ {
+		env.StepManeuver(ctrl.Decide(env))
+	}
+	first, err := json.Marshal(Snapshot(env.SensorHistory()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 8; i++ {
+		again, err := json.Marshal(Snapshot(env.SensorHistory()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(again) != string(first) {
+			t.Fatalf("snapshot bytes unstable:\n%s\nvs\n%s", first, again)
+		}
+	}
+}
