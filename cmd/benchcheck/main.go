@@ -26,12 +26,15 @@
 // A separate mode gates serving snapshots instead of bench output:
 //
 //	benchcheck -serve BENCH_serve.json [-serve-row b8] [-serve-p99 150] [-min-rps 500] \
-//	    [-serve-base b1 -serve-cand b8 -min-serve-speedup 1.2]
+//	    [-serve-base b1 -serve-cand b8 -min-serve-speedup 1.2] \
+//	    [-overhead-base notel -overhead-cand tel -max-overhead 0.05]
 //
 // -serve reads a cmd/headload snapshot and enforces a p99 latency ceiling
-// (milliseconds), a throughput floor, zero request errors, and a
+// (milliseconds), a throughput floor, zero request errors, a
 // micro-batching throughput win between two named rows (candidate rps ÷
-// base rps). No bench output is read in this mode.
+// base rps), and a feature-overhead ceiling between two named rows (the
+// candidate's p99 at most (1+max-overhead)× the base's — the telemetry
+// tax fence). No bench output is read in this mode.
 package main
 
 import (
@@ -183,12 +186,16 @@ func main() {
 	serveBase := flag.String("serve-base", "", "baseline serve row for the micro-batching speedup gate ('' disables)")
 	serveCand := flag.String("serve-cand", "", "candidate serve row for the micro-batching speedup gate")
 	minServeSp := flag.Float64("min-serve-speedup", 1.2, "throughput floor of candidate over baseline serve row")
+	ovBase := flag.String("overhead-base", "", "feature-off serve row for the overhead gate ('' disables)")
+	ovCand := flag.String("overhead-cand", "", "feature-on serve row for the overhead gate")
+	maxOverhead := flag.Float64("max-overhead", 0.05, "allowed fractional p99 increase of overhead-cand over overhead-base")
 	flag.Parse()
 
 	if *servePath != "" {
 		os.Exit(checkServe(*servePath, serve.ServeGate{
 			Row: *serveRow, MaxP99Ms: *serveP99, MinRPS: *minRPS,
 			Base: *serveBase, Cand: *serveCand, MinSpeedup: *minServeSp,
+			OverheadBase: *ovBase, OverheadCand: *ovCand, MaxOverhead: *maxOverhead,
 		}))
 	}
 
@@ -312,6 +319,14 @@ func checkServe(path string, gate serve.ServeGate) int {
 			if cand, ok := f.FindRow(gate.Cand); ok && base.RPS > 0 {
 				fmt.Printf("benchcheck: serve %s/%s throughput ratio %.2fx (floor %.2fx)\n",
 					gate.Cand, gate.Base, cand.RPS/base.RPS, gate.MinSpeedup)
+			}
+		}
+	}
+	if gate.OverheadBase != "" && gate.OverheadCand != "" {
+		if base, ok := f.FindRow(gate.OverheadBase); ok {
+			if cand, ok := f.FindRow(gate.OverheadCand); ok && base.P99Ms > 0 {
+				fmt.Printf("benchcheck: serve %s vs %s p99 overhead %+.1f%% (ceiling +%.0f%%)\n",
+					gate.OverheadCand, gate.OverheadBase, (cand.P99Ms/base.P99Ms-1)*100, gate.MaxOverhead*100)
 			}
 		}
 	}

@@ -7,7 +7,17 @@
 // After a warm-up phase it measures a fixed window and appends one row —
 // throughput, error count, exact latency percentiles, mean micro-batch
 // occupancy — to a BENCH_serve.json snapshot, which cmd/benchcheck gates
-// in CI (p99 ceiling, RPS floor, micro-batch speedup).
+// in CI (p99 ceiling, RPS floor, micro-batch speedup, telemetry overhead).
+//
+// Every request carries an X-Request-ID; the server echoes it and reports
+// its phase timestamps in the response envelope, so the client can separate
+// what it observed (end-to-end latency) from what the server accounted for
+// (batch wait, seal, inference, reply) — the remainder is network plus
+// client overhead. The row records per-component percentiles, and
+// -trace-out writes a joined Chrome trace (one lane per session, each
+// measured request a span tree: queue / batch_seal / replica_infer / reply
+// from the server envelope plus the network remainder) that headtrace
+// analyzes and -check verifies.
 //
 // Usage:
 //
@@ -26,6 +36,7 @@
 //	headload -url http://localhost:8100 [-sessions 64] [-duration 5s] [-warmup 1s]
 //	headload ... [-mode closed|replay] [-scale quick|record|paper] [-seed N]
 //	headload ... -bench-out BENCH_serve.json -run-name b8     # append a gated row
+//	headload ... -trace-out trace.json                        # joined client+server trace
 package main
 
 import (
@@ -36,6 +47,7 @@ import (
 	"log"
 	"math/rand"
 	"net/http"
+	"os"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -44,6 +56,7 @@ import (
 	"head/internal/experiments"
 	"head/internal/head"
 	"head/internal/obs"
+	"head/internal/obs/span"
 	"head/internal/parallel"
 	"head/internal/serve"
 	"head/internal/world"
@@ -63,6 +76,7 @@ func main() {
 		seed      = flag.Int64("seed", 1, "base seed for the session environments")
 		benchOut  = flag.String("bench-out", "", "append a row to this BENCH_serve.json snapshot (empty disables)")
 		runName   = flag.String("run-name", "default", "row name inside the bench snapshot")
+		traceOut  = flag.String("trace-out", "", "write a joined client+server Chrome trace of the measured requests here (empty disables)")
 	)
 	flag.Parse()
 
@@ -107,6 +121,7 @@ func main() {
 		log.Fatalf("unknown mode %q (want closed or replay)", *mode)
 	}
 
+	keepRecords := *traceOut != ""
 	results := make([]sessionResult, *sessions)
 	var wg sync.WaitGroup
 	for i := 0; i < *sessions; i++ {
@@ -114,10 +129,10 @@ func main() {
 		go func(i int) {
 			defer wg.Done()
 			if pool != nil {
-				results[i] = runReplaySession(client, *url, pool, i, &recording, &stop, latHist)
+				results[i] = runReplaySession(client, *url, pool, i, keepRecords, &recording, &stop, latHist)
 				return
 			}
-			results[i] = runSession(client, *url, cfg,
+			results[i] = runSession(client, *url, cfg, i, keepRecords,
 				parallel.Rand(*seed, int64(i)), &recording, &stop, latHist)
 		}(i)
 	}
@@ -131,11 +146,14 @@ func main() {
 	stop.Store(true)
 	wg.Wait()
 
-	var lats []float64
+	var lats, queues, infers, nets []float64
 	var requests, errs int64
 	var batchSum float64
 	for _, r := range results {
 		lats = append(lats, r.latenciesMs...)
+		queues = append(queues, r.queueMs...)
+		infers = append(infers, r.inferMs...)
+		nets = append(nets, r.netMs...)
 		requests += r.requests
 		errs += r.errors
 		batchSum += r.batchSum
@@ -144,49 +162,108 @@ func main() {
 		log.Fatalf("no requests completed in the %v window (%d errors) — is headserve up at %s?", window, errs, *url)
 	}
 	sort.Float64s(lats)
+	sort.Float64s(queues)
+	sort.Float64s(infers)
+	sort.Float64s(nets)
 	row := serve.Row{
-		Name:      *runName,
-		Sessions:  *sessions,
-		Requests:  requests,
-		Errors:    errs,
-		DurationS: window.Seconds(),
-		RPS:       float64(requests) / window.Seconds(),
-		P50Ms:     pct(lats, 0.50),
-		P90Ms:     pct(lats, 0.90),
-		P99Ms:     pct(lats, 0.99),
-		MaxMs:     lats[len(lats)-1],
-		AvgBatch:  batchSum / float64(requests),
+		Name:       *runName,
+		Sessions:   *sessions,
+		Requests:   requests,
+		Errors:     errs,
+		DurationS:  window.Seconds(),
+		RPS:        float64(requests) / window.Seconds(),
+		P50Ms:      pct(lats, 0.50),
+		P90Ms:      pct(lats, 0.90),
+		P99Ms:      pct(lats, 0.99),
+		MaxMs:      lats[len(lats)-1],
+		QueueP50Ms: pct(queues, 0.50),
+		QueueP99Ms: pct(queues, 0.99),
+		InferP50Ms: pct(infers, 0.50),
+		InferP99Ms: pct(infers, 0.99),
+		NetP50Ms:   pct(nets, 0.50),
+		NetP99Ms:   pct(nets, 0.99),
+		AvgBatch:   batchSum / float64(requests),
 	}
 	fmt.Printf("%s: %d sessions, %d requests in %.2fs = %.0f rps, p50 %.2fms p90 %.2fms p99 %.2fms max %.2fms, avg batch %.2f, %d errors (hist p99 %.2fms)\n",
 		row.Name, row.Sessions, row.Requests, row.DurationS, row.RPS,
 		row.P50Ms, row.P90Ms, row.P99Ms, row.MaxMs, row.AvgBatch, row.Errors,
 		latHist.Quantile(0.99)*1e3)
+	fmt.Printf("  breakdown: queue p50 %.2fms p99 %.2fms | infer p50 %.2fms p99 %.2fms | net p50 %.2fms p99 %.2fms\n",
+		row.QueueP50Ms, row.QueueP99Ms, row.InferP50Ms, row.InferP99Ms, row.NetP50Ms, row.NetP99Ms)
 	if *benchOut != "" {
 		if err := serve.AppendRow(*benchOut, row); err != nil {
 			log.Fatal(err)
 		}
 		log.Printf("row %q appended to %s", *runName, *benchOut)
 	}
+	if *traceOut != "" {
+		if err := writeJoinedTrace(*traceOut, results); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("joined trace written to %s", *traceOut)
+	}
 }
 
 type sessionResult struct {
 	latenciesMs []float64
-	requests    int64
-	errors      int64
-	batchSum    float64
+	// Per-request server-vs-client decomposition (ms): queueMs is the
+	// server-reported batch wait, inferMs the seal + batched forwards, and
+	// netMs what the server never saw — network, serialization, and client
+	// overhead (end-to-end minus the server-accounted phases).
+	queueMs  []float64
+	inferMs  []float64
+	netMs    []float64
+	records  []reqRecord
+	requests int64
+	errors   int64
+	batchSum float64
+}
+
+// reqRecord is one measured request retained for the joined trace: the
+// client-observed start and end-to-end latency plus the server's phase
+// attribution from the response envelope.
+type reqRecord struct {
+	id      string
+	at      time.Time
+	e2eMs   float64
+	queueUs int64
+	sealUs  int64
+	inferUs int64
+	replyUs int64
+}
+
+// account records one measured request into the session's distributions.
+func (r *sessionResult) account(dr serve.DecideResponse, id string, t0 time.Time,
+	lat time.Duration, keepRecords bool, latHist *obs.Histogram) {
+	latMs := lat.Seconds() * 1e3
+	r.requests++
+	r.latenciesMs = append(r.latenciesMs, latMs)
+	r.batchSum += float64(dr.BatchSize)
+	latHist.Observe(lat.Seconds())
+	serverMs := float64(dr.QueueMicros+dr.SealMicros+dr.InferMicros+dr.ReplyMicros) / 1e3
+	r.queueMs = append(r.queueMs, float64(dr.QueueMicros)/1e3)
+	r.inferMs = append(r.inferMs, float64(dr.SealMicros+dr.InferMicros)/1e3)
+	r.netMs = append(r.netMs, max(latMs-serverMs, 0))
+	if keepRecords {
+		r.records = append(r.records, reqRecord{
+			id: id, at: t0, e2eMs: latMs,
+			queueUs: dr.QueueMicros, sealUs: dr.SealMicros,
+			inferUs: dr.InferMicros, replyUs: dr.ReplyMicros,
+		})
+	}
 }
 
 // runSession closes the loop for one synthetic vehicle: sense locally,
 // decide remotely, execute the served maneuver, repeat across episodes
 // until stop. The environment has no local predictor — perception
 // enhancement happens server-side, which is the point of the service.
-func runSession(client *http.Client, base string, cfg head.EnvConfig,
+func runSession(client *http.Client, base string, cfg head.EnvConfig, si int, keepRecords bool,
 	rng *rand.Rand, recording, stop *atomic.Bool, latHist *obs.Histogram) sessionResult {
 	var res sessionResult
 	env := head.NewEnv(cfg, nil, rng)
 	env.Reset()
 	coast := world.Maneuver{B: world.LaneKeep, A: 0}
-	for !stop.Load() {
+	for n := 0; !stop.Load(); n++ {
 		if env.Done() {
 			env.Reset()
 			continue
@@ -201,8 +278,9 @@ func runSession(client *http.Client, base string, cfg head.EnvConfig,
 		if err != nil {
 			log.Fatal(err)
 		}
+		id := fmt.Sprintf("ld-%03d-%06d", si, n)
 		t0 := time.Now()
-		dr, err := postDecide(client, base, body)
+		dr, err := postDecide(client, base, id, body)
 		lat := time.Since(t0)
 		if rec := recording.Load(); err != nil {
 			if rec {
@@ -211,10 +289,7 @@ func runSession(client *http.Client, base string, cfg head.EnvConfig,
 			env.StepManeuver(coast)
 			continue
 		} else if rec {
-			res.requests++
-			res.latenciesMs = append(res.latenciesMs, lat.Seconds()*1e3)
-			res.batchSum += float64(dr.BatchSize)
-			latHist.Observe(lat.Seconds())
+			res.account(dr, id, t0, lat, keepRecords, latHist)
 		}
 		env.StepManeuver(dr.Maneuver())
 	}
@@ -249,30 +324,34 @@ func captureObservations(cfg head.EnvConfig, seed int64, n int) ([][]byte, error
 // runReplaySession fires pool observations back-to-back with no simulation
 // between requests, measuring the service's capacity rather than the
 // closed loop's.
-func runReplaySession(client *http.Client, base string, pool [][]byte, offset int,
+func runReplaySession(client *http.Client, base string, pool [][]byte, offset int, keepRecords bool,
 	recording, stop *atomic.Bool, latHist *obs.Histogram) sessionResult {
 	var res sessionResult
 	for i := offset; !stop.Load(); i++ {
+		id := fmt.Sprintf("ld-%03d-%06d", offset, i-offset)
 		t0 := time.Now()
-		dr, err := postDecide(client, base, pool[i%len(pool)])
+		dr, err := postDecide(client, base, id, pool[i%len(pool)])
 		lat := time.Since(t0)
 		if rec := recording.Load(); err != nil {
 			if rec {
 				res.errors++
 			}
 		} else if rec {
-			res.requests++
-			res.latenciesMs = append(res.latenciesMs, lat.Seconds()*1e3)
-			res.batchSum += float64(dr.BatchSize)
-			latHist.Observe(lat.Seconds())
+			res.account(dr, id, t0, lat, keepRecords, latHist)
 		}
 	}
 	return res
 }
 
-func postDecide(client *http.Client, base string, body []byte) (serve.DecideResponse, error) {
+func postDecide(client *http.Client, base, id string, body []byte) (serve.DecideResponse, error) {
 	var dr serve.DecideResponse
-	resp, err := client.Post(base+"/v1/decide", "application/json", bytes.NewReader(body))
+	req, err := http.NewRequest("POST", base+"/v1/decide", bytes.NewReader(body))
+	if err != nil {
+		return dr, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(serve.RequestIDHeader, id)
+	resp, err := client.Do(req)
 	if err != nil {
 		return dr, err
 	}
@@ -281,6 +360,75 @@ func postDecide(client *http.Client, base string, body []byte) (serve.DecideResp
 		return dr, fmt.Errorf("decide: status %d", resp.StatusCode)
 	}
 	return dr, json.NewDecoder(resp.Body).Decode(&dr)
+}
+
+// writeJoinedTrace joins the client and server views of every measured
+// request into one Chrome trace: per session lane, each request is a span
+// tree whose queue / batch_seal / replica_infer / reply children carry the
+// server-reported phase durations laid out from the client's send
+// timestamp, with the unaccounted remainder as a closing network span —
+// so the tree sums exactly to the client-observed end-to-end latency and
+// headtrace -check's request accounting identity closes.
+func writeJoinedTrace(path string, results []sessionResult) error {
+	var earliest time.Time
+	total := 0
+	for _, r := range results {
+		total += len(r.records)
+		for _, rec := range r.records {
+			if earliest.IsZero() || rec.at.Before(earliest) {
+				earliest = rec.at
+			}
+		}
+	}
+	if total == 0 {
+		return fmt.Errorf("no measured requests to trace")
+	}
+	tr := span.New(span.Config{Capacity: 6*total + 16})
+	for si, r := range results {
+		if len(r.records) == 0 {
+			continue
+		}
+		lane := tr.Lane(fmt.Sprintf("session-%03d", si)).ID()
+		for _, rec := range r.records {
+			start := int64(rec.at.Sub(earliest))
+			e2e := int64(rec.e2eMs * 1e6)
+			at := start
+			var child int64
+			emit := func(name string, durUs int64) {
+				d := durUs * 1e3
+				if d < 0 {
+					d = 0
+				}
+				tr.Record(span.Span{
+					Name: name, Parent: "request", Req: rec.id, Lane: lane,
+					Start: at, Dur: d, Ep: -1, Step: -1,
+				})
+				at += d
+				child += d
+			}
+			emit("queue", rec.queueUs)
+			emit("batch_seal", rec.sealUs)
+			emit("replica_infer", rec.inferUs)
+			emit("reply", rec.replyUs)
+			// The remainder the server never saw: network + serialization +
+			// client overhead. Clamped so the identity holds even under
+			// pathological clock skew.
+			emit("network", max(e2e-child, 0)/1e3)
+			tr.Record(span.Span{
+				Name: "request", Parent: "", Req: rec.id, Lane: lane,
+				Start: start, Dur: child, Child: child, Ep: -1, Step: -1,
+			})
+		}
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := tr.WriteChrome(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // pct is the exact (nearest-rank, linear-interpolated) percentile of a

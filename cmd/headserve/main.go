@@ -6,16 +6,25 @@
 // to the in-process serial path.
 //
 // Endpoints (one listener): POST /v1/decide (observation snapshot in,
-// maneuver + parameterized action + attention rows out), GET /healthz, and
-// the shared observability surface (/metrics, /debug/pprof/*, /debug/vars).
-// On SIGINT/SIGTERM the server drains: new decides are refused, in-flight
-// requests are answered, and a run manifest is written.
+// maneuver + parameterized action + attention rows out), GET /healthz, the
+// shared observability surface (/metrics, /debug/pprof/*, /debug/vars),
+// and — with telemetry on — /debug/slo (rolling SLO evaluation),
+// /debug/trace (request span dump, Chrome trace JSON) and /debug/exemplars
+// (current tail captures). On SIGINT/SIGTERM the server drains: new
+// decides are refused, in-flight requests are answered, the exemplar ring
+// is flushed, and a run manifest (plus trace.json) is written.
+//
+// Request telemetry is strictly out of band: served decisions are
+// bit-identical with -telemetry on, off, or sampled.
 //
 // Usage:
 //
 //	headserve -load dir [-scale quick|record|paper] [-seed N]       # must match training
 //	headserve ... [-addr :8100] [-batch 8] [-max-wait 2ms] [-replicas N] [-queue N]
-//	headserve ... [-out dir]                                        # manifest.json on shutdown
+//	headserve ... [-out dir]                                        # manifest.json + trace.json on shutdown
+//	headserve ... [-telemetry=false] [-trace-sample 0.1]            # request tracing off / sampled
+//	headserve ... [-slo-p50 10ms] [-slo-p99 50ms] [-slo-errors 0.01] [-slo-window 60s]
+//	headserve ... [-tail-exemplars 8]                               # slowest-K capture per window
 package main
 
 import (
@@ -27,6 +36,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"runtime"
 	"syscall"
 	"time"
@@ -34,6 +44,7 @@ import (
 	"head/internal/experiments"
 	"head/internal/nn"
 	"head/internal/obs"
+	"head/internal/obs/span"
 	"head/internal/rl"
 	"head/internal/serve"
 )
@@ -50,7 +61,15 @@ func main() {
 		maxWait   = flag.Duration("max-wait", 2*time.Millisecond, "flush deadline: maximum time a request waits for batch mates")
 		replicas  = flag.Int("replicas", 1, "model replicas answering batches concurrently")
 		queue     = flag.Int("queue", 0, "submit queue bound (0 = 4x batch)")
-		out       = flag.String("out", "", "directory to write manifest.json into on shutdown (empty disables)")
+		out       = flag.String("out", "", "directory to write manifest.json (and trace.json) into on shutdown (empty disables)")
+
+		telemetry = flag.Bool("telemetry", true, "request telemetry: span recording, SLO evaluation, tail exemplars")
+		sample    = flag.Float64("trace-sample", 1, "fraction of requests whose spans are recorded (0 or 1 = all)")
+		sloP50    = flag.Duration("slo-p50", 10*time.Millisecond, "p50 latency objective")
+		sloP99    = flag.Duration("slo-p99", 50*time.Millisecond, "p99 latency objective")
+		sloErrors = flag.Float64("slo-errors", 0.01, "error-rate budget (fraction of the window)")
+		sloWindow = flag.Duration("slo-window", time.Minute, "rolling SLO evaluation window")
+		tailK     = flag.Int("tail-exemplars", 8, "capture the slowest K requests per window (0 disables)")
 	)
 	flag.Parse()
 	if *load == "" {
@@ -95,7 +114,33 @@ func main() {
 		return serve.NewReplica(rcfg, predictor.Clone(), a)
 	})
 
-	srv := obs.NewHTTPServer(serve.NewMux(b, cfg.Sensor.Z, reg))
+	// Request telemetry: a span tracer for per-request phase attribution, a
+	// rolling SLO engine exported through /metrics, and a tail-exemplar
+	// ring. All out of band — decisions are identical with -telemetry=false.
+	var (
+		tel    *serve.Telemetry
+		tracer *span.Tracer
+		slo    *obs.SLO
+		ring   *serve.ExemplarRing
+	)
+	if *telemetry {
+		tracer = span.New(span.Config{})
+		slo = obs.NewSLO(obs.SLOConfig{
+			Window:      *sloWindow,
+			P50TargetMs: float64(*sloP50) / float64(time.Millisecond),
+			P99TargetMs: float64(*sloP99) / float64(time.Millisecond),
+			ErrorBudget: *sloErrors,
+		})
+		slo.Bind(reg, "slo")
+		if *tailK > 0 {
+			ring = serve.NewExemplarRing(*tailK, *sloWindow, nil)
+		}
+		tel = serve.NewTelemetry(serve.TelemetryConfig{
+			Tracer: tracer, Sample: *sample, SLO: slo, Exemplars: ring,
+		})
+	}
+
+	srv := obs.NewHTTPServer(serve.NewMux(b, cfg.Sensor.Z, reg, tel))
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		log.Fatal(err)
@@ -134,11 +179,29 @@ func main() {
 			End:        time.Now(),
 			Final:      reg.Snapshot(),
 		}
+		if slo != nil {
+			man.SLO = slo.Status()
+		}
+		if exs := ring.Drain(); exs != nil {
+			man.Exemplars = exs
+		}
 		if err := os.MkdirAll(*out, 0o755); err != nil {
 			log.Fatal(err)
 		}
 		if err := man.Write(*out); err != nil {
 			log.Fatal(err)
+		}
+		if tracer != nil {
+			f, err := os.Create(filepath.Join(*out, "trace.json"))
+			if err != nil {
+				log.Fatal(err)
+			}
+			if err := tracer.WriteChrome(f); err != nil {
+				log.Fatal(err)
+			}
+			if err := f.Close(); err != nil {
+				log.Fatal(err)
+			}
 		}
 		log.Printf("manifest written to %s", *out)
 	}

@@ -1,16 +1,21 @@
 // Command headtrace analyzes a flight-recorder directory written by the
 // -trace-out flag of the experiment CLIs: latency attribution per phase,
 // per-episode critical paths, a coverage check of the tracer's self-time
-// accounting, and a summary of the per-step decision records.
+// accounting, and a summary of the per-step decision records. Traces with
+// request telemetry (headserve's /debug/trace dump, headload's joined
+// client+server trace) additionally get per-request latency attribution:
+// queue / batch_seal / replica_infer / reply (/ network) percentiles and
+// the slowest requests.
 //
 // Usage:
 //
 //	headtrace [-check] [-top N] dir                    # dir holding trace.json + decisions.jsonl
 //	headtrace [-check] -trace t.json [-decisions d.jsonl]
 //
-// With -check the exit status is non-zero when the phase durations plus
-// the steps' self time fail to reproduce the step totals within 1% — the
-// accounting identity the tracer guarantees.
+// With -check the exit status is non-zero when an accounting identity
+// fails by more than 1%: phase durations plus self time must reproduce
+// the step totals (training traces) and the request totals (serving
+// traces) — the identities the tracer guarantees.
 package main
 
 import (
@@ -58,6 +63,7 @@ func main() {
 
 	printPhases(a, *top)
 	ok := printCoverage(a)
+	ok = printRequests(a, *top) && ok
 	printEpisodes(a, *top)
 
 	if *decPath != "" {
@@ -120,6 +126,79 @@ func printCoverage(a *span.Analysis) bool {
 		return true
 	}
 	return relErr <= 0.01
+}
+
+// printRequests reports the serving-side view of a trace with request
+// telemetry: the request accounting identity, per-phase percentiles over
+// the request population, and the slowest individual requests. Returns
+// whether the identity holds within 1% (true when the trace has no
+// request spans).
+func printRequests(a *span.Analysis, top int) bool {
+	reqs := a.Requests()
+	if len(reqs) == 0 {
+		return true
+	}
+	total, phases, self, relErr := a.RequestCoverage()
+	fmt.Printf("Requests (%d traced)\n", len(reqs))
+	fmt.Printf("  accounting: requests %s  phases %s  self %s  error %.3f%%\n",
+		us(total), us(phases), us(self), relErr*100)
+
+	names := []string{"queue", "batch_seal", "replica_infer", "reply", "network"}
+	byPhase := map[string][]float64{}
+	var durs []float64
+	for _, r := range reqs {
+		durs = append(durs, r.Dur)
+		for _, n := range names {
+			if d, ok := r.Phase[n]; ok {
+				byPhase[n] = append(byPhase[n], d)
+			}
+		}
+	}
+	sort.Float64s(durs)
+	fmt.Printf("  %-14s %8s %12s %12s %12s\n", "phase", "count", "p50", "p99", "max")
+	fmt.Printf("  %-14s %8d %12s %12s %12s\n", "e2e",
+		len(durs), us(quantile(durs, 0.50)), us(quantile(durs, 0.99)), us(durs[len(durs)-1]))
+	for _, n := range names {
+		ds := byPhase[n]
+		if len(ds) == 0 {
+			continue
+		}
+		sort.Float64s(ds)
+		fmt.Printf("  %-14s %8d %12s %12s %12s\n", n,
+			len(ds), us(quantile(ds, 0.50)), us(quantile(ds, 0.99)), us(ds[len(ds)-1]))
+	}
+
+	slowest := append([]span.RequestStat(nil), reqs...)
+	sort.Slice(slowest, func(i, j int) bool { return slowest[i].Dur > slowest[j].Dur })
+	n := 5
+	if top > 0 && top < n {
+		n = top
+	}
+	if n > len(slowest) {
+		n = len(slowest)
+	}
+	fmt.Println("  slowest:")
+	for _, r := range slowest[:n] {
+		fmt.Printf("    %-16s %10s  queue %s  seal %s  infer %s  reply %s\n",
+			r.Req, us(r.Dur), us(r.Phase["queue"]), us(r.Phase["batch_seal"]),
+			us(r.Phase["replica_infer"]), us(r.Phase["reply"]))
+	}
+	fmt.Println()
+	return relErr <= 0.01
+}
+
+// quantile is the linear-interpolated percentile of a sorted sample.
+func quantile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(pos)
+	if lo >= len(sorted)-1 {
+		return sorted[len(sorted)-1]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[lo+1]*frac
 }
 
 func printEpisodes(a *span.Analysis, top int) {

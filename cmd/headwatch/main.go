@@ -1,0 +1,265 @@
+// Command headwatch renders an operator's view of the decision service:
+// SLO objectives with burn rates, the latency distribution and its
+// server-side phase attribution, and the captured tail exemplars — the
+// "why is p99 slow" report, from either a live server or a saved bundle.
+//
+// Live mode polls a running headserve's debug surfaces (/debug/slo,
+// /debug/exemplars, /debug/trace) and re-renders every -interval; -once
+// renders a single report and exits, which is what the CI smoke job runs.
+// Bundle mode reads a directory written by headserve -out on drain
+// (manifest.json with the final SLO state and flushed exemplar ring,
+// trace.json with the request spans) and renders the same report post
+// mortem.
+//
+// The exit status is non-zero when the service (or bundle) is unreadable
+// or the report would be empty — a watch that sees nothing is a broken
+// deploy, not a healthy one.
+//
+// Usage:
+//
+//	headwatch -url http://localhost:8100 [-interval 2s]   # live, re-rendering
+//	headwatch -url http://localhost:8100 -once            # one report (CI)
+//	headwatch -bundle dir                                 # post-mortem from headserve -out
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"path/filepath"
+	"sort"
+	"time"
+
+	"head/internal/obs"
+	"head/internal/obs/span"
+	"head/internal/serve"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("headwatch: ")
+	var (
+		url      = flag.String("url", "", "base URL of a running headserve (live mode)")
+		bundle   = flag.String("bundle", "", "directory written by headserve -out (post-mortem mode)")
+		interval = flag.Duration("interval", 2*time.Second, "re-render period in live mode")
+		once     = flag.Bool("once", false, "render one live report and exit")
+	)
+	flag.Parse()
+
+	switch {
+	case *bundle != "":
+		r, err := readBundle(*bundle)
+		if err != nil {
+			log.Fatal(err)
+		}
+		render(r)
+	case *url != "":
+		client := &http.Client{Timeout: 5 * time.Second}
+		for {
+			r, err := fetchLive(client, *url)
+			if err != nil {
+				log.Fatal(err)
+			}
+			render(r)
+			if *once {
+				return
+			}
+			time.Sleep(*interval)
+			fmt.Println()
+		}
+	default:
+		log.Fatal("pass -url http://host:port (live) or -bundle dir (post-mortem); see -h")
+	}
+}
+
+// report is everything one render needs, however it was sourced.
+type report struct {
+	source    string
+	slo       *obs.SLOStatus
+	exemplars []serve.Exemplar
+	trace     *span.Analysis
+}
+
+// fetchLive polls a running server's debug surfaces. The SLO endpoint is
+// mandatory — a service worth watching has telemetry on; exemplars and
+// trace are best-effort.
+func fetchLive(client *http.Client, base string) (report, error) {
+	r := report{source: base}
+	var st obs.SLOStatus
+	if err := getJSON(client, base+"/debug/slo", &st); err != nil {
+		return r, fmt.Errorf("%s: %w (is headserve running with telemetry on?)", base, err)
+	}
+	if len(st.Objectives) == 0 {
+		return r, fmt.Errorf("%s/debug/slo: no objectives — malformed SLO state", base)
+	}
+	r.slo = &st
+	if err := getJSON(client, base+"/debug/exemplars", &r.exemplars); err != nil {
+		r.exemplars = nil
+	}
+	if resp, err := client.Get(base + "/debug/trace"); err == nil {
+		if resp.StatusCode == http.StatusOK {
+			r.trace, _ = span.ReadChrome(resp.Body)
+		}
+		resp.Body.Close()
+	}
+	return r, nil
+}
+
+// bundleManifest is the slice of headserve's drain manifest headwatch
+// reads: the final SLO evaluation and the flushed exemplar ring.
+type bundleManifest struct {
+	Tool      string           `json:"tool"`
+	SLO       *obs.SLOStatus   `json:"slo"`
+	Exemplars []serve.Exemplar `json:"tail_exemplars"`
+}
+
+// readBundle loads a headserve -out directory written on drain.
+func readBundle(dir string) (report, error) {
+	r := report{source: dir}
+	data, err := os.ReadFile(filepath.Join(dir, "manifest.json"))
+	if err != nil {
+		return r, err
+	}
+	var man bundleManifest
+	if err := json.Unmarshal(data, &man); err != nil {
+		return r, fmt.Errorf("%s: manifest: %w", dir, err)
+	}
+	r.slo = man.SLO
+	r.exemplars = man.Exemplars
+	if f, err := os.Open(filepath.Join(dir, "trace.json")); err == nil {
+		r.trace, _ = span.ReadChrome(f)
+		f.Close()
+	}
+	if r.slo == nil && len(r.exemplars) == 0 && r.trace == nil {
+		return r, fmt.Errorf("%s: no SLO state, exemplars, or trace — was headserve run with telemetry on?", dir)
+	}
+	return r, nil
+}
+
+func getJSON(client *http.Client, url string, v any) error {
+	resp, err := client.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("%s: status %d", url, resp.StatusCode)
+	}
+	return json.NewDecoder(resp.Body).Decode(v)
+}
+
+func render(r report) {
+	fmt.Printf("decision service — %s\n", r.source)
+	if r.slo != nil {
+		renderSLO(r.slo)
+	}
+	if r.trace != nil {
+		renderAttribution(r.trace)
+	}
+	if len(r.exemplars) > 0 {
+		renderExemplars(r.exemplars)
+	}
+}
+
+func renderSLO(st *obs.SLOStatus) {
+	verdict := "OK"
+	if !st.OK {
+		verdict = "VIOLATED"
+	}
+	fmt.Printf("\nSLO (%gs window): %s — %d requests, %.2f%% errors, p50 %.2fms p90 %.2fms p99 %.2fms\n",
+		st.WindowS, verdict, st.Total, st.ErrorRate*100, st.P50Ms, st.P90Ms, st.P99Ms)
+	fmt.Printf("  %-14s %10s %10s %10s %8s\n", "objective", "target", "observed", "burn", "status")
+	for _, o := range st.Objectives {
+		target := fmt.Sprintf("%.2f%%", o.Budget*100)
+		if o.TargetMs > 0 {
+			target = fmt.Sprintf("%.0fms@%.0f%%", o.TargetMs, o.Budget*100)
+		}
+		status := "ok"
+		if !o.OK {
+			status = "BURNING"
+		}
+		fmt.Printf("  %-14s %10s %9.2f%% %9.2fx %8s\n",
+			o.Name, target, o.Observed*100, o.BurnRate, status)
+	}
+}
+
+// renderAttribution turns the request spans into a where-does-p99-live
+// table: per-phase percentiles over the traced request population.
+func renderAttribution(a *span.Analysis) {
+	reqs := a.Requests()
+	if len(reqs) == 0 {
+		return
+	}
+	phases := []string{"queue", "batch_seal", "replica_infer", "reply", "network"}
+	byPhase := map[string][]float64{}
+	var durs []float64
+	for _, r := range reqs {
+		durs = append(durs, r.Dur)
+		for _, p := range phases {
+			if d, ok := r.Phase[p]; ok {
+				byPhase[p] = append(byPhase[p], d)
+			}
+		}
+	}
+	sort.Float64s(durs)
+	fmt.Printf("\nLatency attribution (%d traced requests)\n", len(reqs))
+	fmt.Printf("  %-14s %8s %10s %10s %10s\n", "phase", "count", "p50", "p99", "max")
+	fmt.Printf("  %-14s %8d %10s %10s %10s\n", "e2e",
+		len(durs), ms(pct(durs, 0.50)), ms(pct(durs, 0.99)), ms(durs[len(durs)-1]))
+	for _, p := range phases {
+		ds := byPhase[p]
+		if len(ds) == 0 {
+			continue
+		}
+		sort.Float64s(ds)
+		fmt.Printf("  %-14s %8d %10s %10s %10s\n", p,
+			len(ds), ms(pct(ds, 0.50)), ms(pct(ds, 0.99)), ms(ds[len(ds)-1]))
+	}
+}
+
+func renderExemplars(exs []serve.Exemplar) {
+	n := 8
+	if len(exs) < n {
+		n = len(exs)
+	}
+	fmt.Printf("\nTail exemplars (%d captured, slowest first)\n", len(exs))
+	fmt.Printf("  %-16s %10s %9s %9s %9s %9s %6s %7s\n",
+		"request", "e2e", "queue", "seal", "infer", "reply", "batch", "status")
+	for _, ex := range exs[:n] {
+		status := fmt.Sprintf("%d", ex.Status)
+		if ex.Err != "" {
+			status += "!"
+		}
+		fmt.Printf("  %-16s %9.2fms %8.2fms %8.2fms %8.2fms %8.2fms %6d %7s\n",
+			ex.ID, ex.E2EMs, ex.QueueMs, ex.SealMs, ex.InferMs, ex.ReplyMs, ex.BatchSize, status)
+	}
+}
+
+// ms renders a microsecond quantity in adaptive units.
+func ms(us float64) string {
+	switch {
+	case us >= 1e6:
+		return fmt.Sprintf("%.2fs", us/1e6)
+	case us >= 1e3:
+		return fmt.Sprintf("%.2fms", us/1e3)
+	default:
+		return fmt.Sprintf("%.0fµs", us)
+	}
+}
+
+// pct is the linear-interpolated percentile of a sorted sample.
+func pct(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(pos)
+	if lo >= len(sorted)-1 {
+		return sorted[len(sorted)-1]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[lo+1]*frac
+}

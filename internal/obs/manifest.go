@@ -28,6 +28,11 @@ type Manifest struct {
 	End        time.Time          `json:"end"`
 	DurationS  float64            `json:"duration_seconds"`
 	Final      map[string]float64 `json:"final_metrics,omitempty"`
+	// SLO is the final rolling-window SLO evaluation of a serving run
+	// (an SLOStatus), and Exemplars the drained tail-exemplar ring —
+	// both typed any so obs stays ignorant of the service wire forms.
+	SLO       any `json:"slo,omitempty"`
+	Exemplars any `json:"tail_exemplars,omitempty"`
 }
 
 // Write stores the manifest as dir/manifest.json (indented, trailing

@@ -159,6 +159,9 @@ type Registry struct {
 	counters map[string]*Counter
 	gauges   map[string]*Gauge
 	hists    map[string]*Histogram
+
+	hookMu sync.Mutex
+	hooks  []func()
 }
 
 // NewRegistry returns an empty registry.
@@ -263,6 +266,33 @@ func (r *Registry) Timer(name string) func() {
 // Timer is Registry.Timer on the Default registry.
 func Timer(name string) func() { return Default.Timer(name) }
 
+// AddScrapeHook registers fn to run at the start of every exposition
+// (WritePrometheus and Snapshot), before any metric is read. Components
+// that evaluate lazily — the SLO engine's rolling window, for one — use a
+// hook to refresh their exported gauges only when someone is looking.
+// Hooks run outside the registry lock, so they may freely set metrics.
+func (r *Registry) AddScrapeHook(fn func()) {
+	if r == nil || fn == nil {
+		return
+	}
+	r.hookMu.Lock()
+	r.hooks = append(r.hooks, fn)
+	r.hookMu.Unlock()
+}
+
+// runScrapeHooks invokes the registered hooks in registration order.
+func (r *Registry) runScrapeHooks() {
+	if r == nil {
+		return
+	}
+	r.hookMu.Lock()
+	hooks := append([]func(){}, r.hooks...)
+	r.hookMu.Unlock()
+	for _, fn := range hooks {
+		fn()
+	}
+}
+
 // Snapshot flattens the registry into a name → value map: counters and
 // gauges map to their value, a histogram h maps to h.count and h.sum
 // entries (enough to track rates and means as a time series; full bucket
@@ -273,6 +303,7 @@ func (r *Registry) Snapshot() map[string]float64 {
 	if r == nil {
 		return out
 	}
+	r.runScrapeHooks()
 	r.mu.RLock()
 	defer r.mu.RUnlock()
 	for name, c := range r.counters {

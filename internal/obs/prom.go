@@ -37,6 +37,7 @@ func promFloat(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
 // and _count. Metrics are emitted in sorted name order, so successive
 // scrapes of an unchanged registry are byte-identical.
 func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.runScrapeHooks()
 	r.mu.RLock()
 	counters := make([]string, 0, len(r.counters))
 	for name := range r.counters {

@@ -21,6 +21,7 @@ type Analysis struct {
 type Event struct {
 	Name   string
 	Parent string
+	Req    string // request id for request-scoped spans ("" elsewhere)
 	Tid    int64
 	Ts     float64
 	Dur    float64
@@ -64,11 +65,13 @@ func ReadChrome(r io.Reader) (*Analysis, error) {
 			var args struct {
 				SelfUs *float64 `json:"self_us"`
 				Parent string   `json:"parent"`
+				Req    string   `json:"req"`
 				Ep     *int     `json:"ep"`
 				Step   *int     `json:"step"`
 			}
 			if len(ev.Args) > 0 && json.Unmarshal(ev.Args, &args) == nil {
 				e.Parent = args.Parent
+				e.Req = args.Req
 				if args.SelfUs != nil {
 					e.Self = *args.SelfUs
 				}
@@ -133,19 +136,74 @@ func (a *Analysis) Phases() []PhaseStat {
 // (µs) and the relative error |phases+self−steps| / steps (0 when no
 // steps were traced).
 func (a *Analysis) Coverage() (steps, phases, self, relErr float64) {
+	return a.CoverageOf("step")
+}
+
+// RequestCoverage is the serving-side accounting identity: the phases
+// directly under the request spans (queue, batch_seal, replica_infer,
+// reply, network) plus the requests' own self time must reproduce the
+// request spans' end-to-end totals.
+func (a *Analysis) RequestCoverage() (requests, phases, self, relErr float64) {
+	return a.CoverageOf("request")
+}
+
+// CoverageOf evaluates the accounting identity for one root span name:
+// Σ dur(children of root) + Σ self(root) vs Σ dur(root). It returns the
+// three sums (µs) and the relative error (0 when no root spans exist).
+func (a *Analysis) CoverageOf(root string) (total, phases, self, relErr float64) {
 	for _, e := range a.Events {
 		switch {
-		case e.Name == "step":
-			steps += e.Dur
+		case e.Name == root:
+			total += e.Dur
 			self += e.Self
-		case e.Parent == "step":
+		case e.Parent == root:
 			phases += e.Dur
 		}
 	}
-	if steps > 0 {
-		relErr = math.Abs(phases+self-steps) / steps
+	if total > 0 {
+		relErr = math.Abs(phases+self-total) / total
 	}
-	return steps, phases, self, relErr
+	return total, phases, self, relErr
+}
+
+// RequestStat is one request-scoped span tree flattened: the request's
+// id, lane, end-to-end duration, and per-phase durations, all µs.
+type RequestStat struct {
+	Req   string
+	Tid   int64
+	Ts    float64
+	Dur   float64
+	Phase map[string]float64
+}
+
+// Requests groups the request-scoped spans by request id, in trace
+// order: one RequestStat per "request" span, its Phase map folding the
+// spans recorded under it (matched by request id, so the grouping
+// survives lane sharing). Traces without request telemetry return nil.
+func (a *Analysis) Requests() []RequestStat {
+	idx := map[string]int{}
+	var out []RequestStat
+	for _, e := range a.Events {
+		if e.Req == "" {
+			continue
+		}
+		if e.Name == "request" {
+			idx[e.Req] = len(out)
+			out = append(out, RequestStat{
+				Req: e.Req, Tid: e.Tid, Ts: e.Ts, Dur: e.Dur,
+				Phase: map[string]float64{},
+			})
+		}
+	}
+	for _, e := range a.Events {
+		if e.Req == "" || e.Name == "request" {
+			continue
+		}
+		if i, ok := idx[e.Req]; ok {
+			out[i].Phase[e.Name] += e.Dur
+		}
+	}
+	return out
 }
 
 // EpisodeStat is the per-episode critical-path summary: where one

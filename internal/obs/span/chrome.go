@@ -63,6 +63,9 @@ func (t *Tracer) WriteChrome(w io.Writer) error {
 			"self_us": float64(s.Dur-s.Child) / 1e3,
 			"parent":  s.Parent,
 		}
+		if s.Req != "" {
+			args["req"] = s.Req
+		}
 		if s.Ep >= 0 {
 			args["ep"] = s.Ep
 		}

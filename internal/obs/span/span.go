@@ -31,6 +31,7 @@ import (
 type Span struct {
 	Name   string
 	Parent string // name of the enclosing span ("" for a root span)
+	Req    string // request id for request-scoped spans ("" elsewhere)
 	Lane   int64  // owning lane id (the Chrome trace tid)
 	Start  int64  // ns since the tracer epoch
 	Dur    int64  // ns
@@ -108,6 +109,38 @@ func New(cfg Config) *Tracer {
 
 // now returns nanoseconds since the tracer epoch.
 func (t *Tracer) now() int64 { return int64(time.Since(t.epoch)) }
+
+// Epoch returns the tracer's time zero: every span's Start is nanoseconds
+// after this instant. Callers timing regions with their own clocks (see
+// Record) convert through it.
+func (t *Tracer) Epoch() time.Time {
+	if t == nil {
+		return time.Time{}
+	}
+	return t.epoch
+}
+
+// Since converts an absolute timestamp to span time (ns since the
+// epoch) — the Start value Record expects.
+func (t *Tracer) Since(at time.Time) int64 {
+	if t == nil {
+		return 0
+	}
+	return int64(at.Sub(t.epoch))
+}
+
+// Record appends one externally-timed completed span to the ring. It is
+// the entry point for lifecycles that cannot ride a Lane's stack — a
+// served request crosses the HTTP handler, the batcher's flush loop, and
+// a replica worker, so its phases are timed with plain timestamps and
+// recorded post-hoc by whichever goroutine saw the reply. Safe for
+// concurrent use; a nil tracer discards.
+func (t *Tracer) Record(s Span) {
+	if t == nil {
+		return
+	}
+	t.record(s)
+}
 
 // Lane opens a new lane (a Chrome trace thread track) with the given
 // display name. Every call returns a fresh lane, so concurrent units may
@@ -241,6 +274,16 @@ func (l *Lane) Name() string {
 		return ""
 	}
 	return l.name
+}
+
+// ID returns the lane's tracer-unique id (the Chrome trace tid), 0 for a
+// nil lane. Request telemetry allocates lanes only for their named track
+// ids and records spans onto them via Tracer.Record.
+func (l *Lane) ID() int64 {
+	if l == nil {
+		return 0
+	}
+	return l.id
 }
 
 // Region is an open span returned by the Start family; call End exactly

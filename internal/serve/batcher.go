@@ -56,15 +56,20 @@ func (c BatcherConfig) withDefaults() BatcherConfig {
 
 // Result is one served decision plus the timestamps that attribute its
 // latency: Enqueued (Submit accepted it), Flushed (the size-or-deadline
-// loop sealed its batch), Replied (its replica finished), and the size of
-// the batch it rode in.
+// loop sealed its batch), InferStart (a replica worker picked the sealed
+// batch up), InferDone (the batched forward returned), Replied (the
+// response was handed to the waiter), and the size of the batch it rode
+// in. Consecutive differences are the request's queue / batch_seal /
+// replica_infer phases; request telemetry records them as spans.
 type Result struct {
-	Decision  Decision
-	Err       error
-	Enqueued  time.Time
-	Flushed   time.Time
-	Replied   time.Time
-	BatchSize int
+	Decision   Decision
+	Err        error
+	Enqueued   time.Time
+	Flushed    time.Time
+	InferStart time.Time
+	InferDone  time.Time
+	Replied    time.Time
+	BatchSize  int
 }
 
 // pending is one in-flight request: the observation, its enqueue
@@ -277,10 +282,15 @@ func (b *Batcher) worker(d Decider) {
 		for i, p := range batch {
 			obsBuf[i] = p.obs
 		}
+		inferStart := time.Now()
 		err := safeDecide(d, obsBuf, out)
-		now := time.Now()
+		inferDone := time.Now()
 		for i, p := range batch {
-			r := Result{Err: err, Enqueued: p.enq, Flushed: p.flush, Replied: now, BatchSize: n}
+			r := Result{
+				Err: err, Enqueued: p.enq, Flushed: p.flush,
+				InferStart: inferStart, InferDone: inferDone,
+				Replied: time.Now(), BatchSize: n,
+			}
 			if err == nil {
 				r.Decision = out[i]
 			}

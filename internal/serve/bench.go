@@ -27,6 +27,19 @@ type Row struct {
 	P90Ms float64 `json:"p90_ms"`
 	P99Ms float64 `json:"p99_ms"`
 	MaxMs float64 `json:"max_ms"`
+	// The client-observed latency decomposed against the server-reported
+	// phase timestamps of the response envelope, per percentile: queue is
+	// the size-or-deadline batch wait, infer the seal + batched forwards,
+	// net the remainder (network, serialization, client overhead). Each
+	// component's percentile is taken over its own distribution, so the
+	// three don't sum to the end-to-end percentile exactly — they answer
+	// "where does a typical/worst queue wait sit", not "which request".
+	QueueP50Ms float64 `json:"queue_p50_ms,omitempty"`
+	QueueP99Ms float64 `json:"queue_p99_ms,omitempty"`
+	InferP50Ms float64 `json:"infer_p50_ms,omitempty"`
+	InferP99Ms float64 `json:"infer_p99_ms,omitempty"`
+	NetP50Ms   float64 `json:"net_p50_ms,omitempty"`
+	NetP99Ms   float64 `json:"net_p99_ms,omitempty"`
 	// AvgBatch is the mean micro-batch occupancy the server reported.
 	AvgBatch float64 `json:"avg_batch"`
 }
@@ -77,6 +90,14 @@ type ServeGate struct {
 	// (typically Base "b1", Cand "b8" at a fixed client count).
 	Base, Cand string
 	MinSpeedup float64
+	// OverheadBase and OverheadCand name two rows measuring the same
+	// serving configuration with a feature off (base) and on (cand);
+	// the candidate's p99 may exceed the base's by at most MaxOverhead
+	// (fractional — 0.05 allows +5%). The telemetry CI fence: request
+	// tracing, SLO evaluation, and tail capture must stay out of the
+	// tail.
+	OverheadBase, OverheadCand string
+	MaxOverhead                float64
 }
 
 // Check evaluates the gates against a snapshot and returns one message per
@@ -113,6 +134,19 @@ func (g ServeGate) Check(f BenchFile) []string {
 		case cand.RPS/base.RPS < g.MinSpeedup:
 			failures = append(failures, fmt.Sprintf("%s is %.2fx of %s, below the %.2fx floor",
 				g.Cand, cand.RPS/base.RPS, g.Base, g.MinSpeedup))
+		}
+	}
+	if g.OverheadBase != "" || g.OverheadCand != "" {
+		base, okB := f.FindRow(g.OverheadBase)
+		cand, okC := f.FindRow(g.OverheadCand)
+		switch {
+		case !okB || !okC:
+			failures = append(failures, fmt.Sprintf("overhead rows %q/%q not both in snapshot", g.OverheadBase, g.OverheadCand))
+		case base.P99Ms <= 0:
+			failures = append(failures, fmt.Sprintf("row %q: non-positive p99", g.OverheadBase))
+		case cand.P99Ms > base.P99Ms*(1+g.MaxOverhead):
+			failures = append(failures, fmt.Sprintf("%s p99 %.2fms is +%.1f%% over %s p99 %.2fms, beyond the %.0f%% overhead ceiling",
+				g.OverheadCand, cand.P99Ms, (cand.P99Ms/base.P99Ms-1)*100, g.OverheadBase, base.P99Ms, g.MaxOverhead*100))
 		}
 	}
 	return failures

@@ -68,3 +68,26 @@ func TestServeGateCheck(t *testing.T) {
 		t.Errorf("error rows: %v", fails)
 	}
 }
+
+// TestServeGateOverhead: the telemetry-overhead fence compares a
+// feature-off row against a feature-on row and bounds the p99 regression.
+func TestServeGateOverhead(t *testing.T) {
+	f := BenchFile{Rows: []Row{
+		{Name: "notel", RPS: 1000, P99Ms: 40},
+		{Name: "tel", RPS: 990, P99Ms: 41},      // +2.5%: inside a 5% ceiling
+		{Name: "slow-tel", RPS: 900, P99Ms: 50}, // +25%: out
+	}}
+	if fails := (ServeGate{OverheadBase: "notel", OverheadCand: "tel", MaxOverhead: 0.05}).Check(f); len(fails) != 0 {
+		t.Errorf("2.5%% overhead failed a 5%% ceiling: %v", fails)
+	}
+	if fails := (ServeGate{OverheadBase: "notel", OverheadCand: "slow-tel", MaxOverhead: 0.05}).Check(f); len(fails) != 1 || !strings.Contains(fails[0], "overhead ceiling") {
+		t.Errorf("25%% overhead passed a 5%% ceiling: %v", fails)
+	}
+	if fails := (ServeGate{OverheadBase: "notel", OverheadCand: "missing", MaxOverhead: 0.05}).Check(f); len(fails) != 1 {
+		t.Errorf("missing overhead row: %v", fails)
+	}
+	zero := BenchFile{Rows: []Row{{Name: "a"}, {Name: "b", P99Ms: 1}}}
+	if fails := (ServeGate{OverheadBase: "a", OverheadCand: "b", MaxOverhead: 0.05}).Check(zero); len(fails) != 1 {
+		t.Errorf("zero-p99 base: %v", fails)
+	}
+}

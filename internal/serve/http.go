@@ -14,15 +14,32 @@ import (
 // a few KB.
 const maxBodyBytes = 1 << 20
 
+// RequestIDHeader carries the request id end to end: clients may set it
+// (cmd/headload stamps every request), ingress assigns one when absent,
+// and every response — success or error — echoes it back, so fleet
+// clients can correlate failures and server-side spans with their own
+// timelines.
+const RequestIDHeader = "X-Request-ID"
+
 // DecideResponse is the body of POST /v1/decide: the decision plus the
 // latency attribution of the micro-batch it rode in.
 type DecideResponse struct {
 	Decision
+	// RequestID echoes the request's id (client-provided or
+	// server-assigned) for correlation with traces and exemplars.
+	RequestID string `json:"request_id"`
 	// BatchSize is how many requests shared the batched forward.
 	BatchSize int `json:"batch_size"`
-	// QueueMicros is enqueue → flush (the size-or-deadline wait);
-	// DecideMicros is flush → reply (the batched forwards).
+	// The server-side phase breakdown, microseconds: QueueMicros is
+	// enqueue → batch seal (the size-or-deadline wait), SealMicros is
+	// seal → a replica picking the batch up, InferMicros the batched
+	// forwards themselves, and ReplyMicros the reply handoff measured up
+	// to response serialization. DecideMicros = SealMicros + InferMicros
+	// (the pre-telemetry aggregate, kept for continuity).
 	QueueMicros  int64 `json:"queue_us"`
+	SealMicros   int64 `json:"seal_us"`
+	InferMicros  int64 `json:"infer_us"`
+	ReplyMicros  int64 `json:"reply_us"`
 	DecideMicros int64 `json:"decide_us"`
 }
 
@@ -36,21 +53,26 @@ type healthResponse struct {
 	Frames   int     `json:"frames"`
 }
 
-// errorResponse is every non-200 body.
+// errorResponse is every non-200 body. RequestID lets a fleet client tie
+// the failure to its own request log even when the body is all it kept.
 type errorResponse struct {
-	Error string `json:"error"`
+	Error     string `json:"error"`
+	RequestID string `json:"request_id,omitempty"`
 }
 
 // NewMux builds the decision service's HTTP surface: POST /v1/decide and
 // GET /healthz over the batcher, plus — when reg is non-nil — the shared
 // observability endpoints (/metrics, /debug/pprof/*, /debug/vars) via
 // obs.Mount, so one listener serves decisions and their live metrics.
+// tel (nil disables) attaches request telemetry and its debug surfaces:
+// /debug/slo (rolling SLO evaluation), /debug/trace (request span dump,
+// Chrome trace JSON), and /debug/exemplars (current tail captures).
 // z is the observation history length requests must carry.
-func NewMux(b *Batcher, z int, reg *obs.Registry) *http.ServeMux {
+func NewMux(b *Batcher, z int, reg *obs.Registry, tel *Telemetry) *http.ServeMux {
 	mux := http.NewServeMux()
 	start := time.Now()
 	mux.HandleFunc("POST /v1/decide", func(w http.ResponseWriter, r *http.Request) {
-		handleDecide(w, r, b, z)
+		handleDecide(w, r, b, z, tel)
 	})
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 		cfg := b.Config()
@@ -66,10 +88,34 @@ func NewMux(b *Batcher, z int, reg *obs.Registry) *http.ServeMux {
 	if reg != nil {
 		obs.Mount(mux, reg)
 	}
+	if slo := tel.SLO(); slo != nil {
+		mux.HandleFunc("GET /debug/slo", func(w http.ResponseWriter, _ *http.Request) {
+			writeJSON(w, http.StatusOK, slo.Status())
+		})
+	}
+	if tr := tel.Tracer(); tr != nil {
+		mux.Handle("GET /debug/trace", tr)
+	}
+	if ring := tel.Exemplars(); ring != nil {
+		mux.HandleFunc("GET /debug/exemplars", func(w http.ResponseWriter, _ *http.Request) {
+			exs := ring.Snapshot()
+			if exs == nil {
+				exs = []Exemplar{}
+			}
+			writeJSON(w, http.StatusOK, exs)
+		})
+	}
 	return mux
 }
 
-func handleDecide(w http.ResponseWriter, r *http.Request, b *Batcher, z int) {
+func handleDecide(w http.ResponseWriter, r *http.Request, b *Batcher, z int, tel *Telemetry) {
+	rt := tel.Begin(r.Header.Get(RequestIDHeader))
+	w.Header().Set(RequestIDHeader, rt.ID)
+	fail := func(status int, err error, o *Observation, res Result) {
+		writeJSON(w, status, errorResponse{Error: err.Error(), RequestID: rt.ID})
+		rt.Finish(o, res, status, err)
+	}
+
 	// Attention rows are diagnostic weight (dozens of floats per response);
 	// clients that want them opt in with ?attention=1 so the hot fleet path
 	// doesn't pay their serialization.
@@ -77,11 +123,18 @@ func handleDecide(w http.ResponseWriter, r *http.Request, b *Batcher, z int) {
 	var o Observation
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
 	if err := dec.Decode(&o); err != nil {
-		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "decode observation: " + err.Error()})
+		// An over-cap body is the client's payload being too large, not a
+		// malformed one: 413 tells it to shrink, not to retry verbatim.
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			fail(http.StatusRequestEntityTooLarge, err, nil, Result{})
+			return
+		}
+		fail(http.StatusBadRequest, errors.New("decode observation: "+err.Error()), nil, Result{})
 		return
 	}
 	if err := o.Validate(z); err != nil {
-		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+		fail(http.StatusBadRequest, err, &o, Result{})
 		return
 	}
 	o.ReturnAttention = wantAttention
@@ -89,15 +142,15 @@ func handleDecide(w http.ResponseWriter, r *http.Request, b *Batcher, z int) {
 	switch {
 	case err == nil:
 	case errors.Is(err, ErrClosed):
-		writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: err.Error()})
+		fail(http.StatusServiceUnavailable, err, &o, res)
 		return
 	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
 		// The client went away or timed out; 503 tells retrying proxies
 		// the truth without inventing a status for a dead peer.
-		writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: err.Error()})
+		fail(http.StatusServiceUnavailable, err, &o, res)
 		return
 	default:
-		writeJSON(w, http.StatusInternalServerError, errorResponse{Error: err.Error()})
+		fail(http.StatusInternalServerError, err, &o, res)
 		return
 	}
 	if !wantAttention {
@@ -105,10 +158,17 @@ func handleDecide(w http.ResponseWriter, r *http.Request, b *Batcher, z int) {
 	}
 	writeJSON(w, http.StatusOK, DecideResponse{
 		Decision:     res.Decision,
+		RequestID:    rt.ID,
 		BatchSize:    res.BatchSize,
 		QueueMicros:  res.Flushed.Sub(res.Enqueued).Microseconds(),
-		DecideMicros: res.Replied.Sub(res.Flushed).Microseconds(),
+		SealMicros:   res.InferStart.Sub(res.Flushed).Microseconds(),
+		InferMicros:  res.InferDone.Sub(res.InferStart).Microseconds(),
+		ReplyMicros:  time.Since(res.InferDone).Microseconds(),
+		DecideMicros: res.InferDone.Sub(res.Flushed).Microseconds(),
 	})
+	// Finish after the response is written, so the recorded request span
+	// and the reply phase cover serialization too.
+	rt.Finish(&o, res, http.StatusOK, nil)
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {

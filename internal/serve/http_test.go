@@ -3,6 +3,7 @@ package serve
 import (
 	"bytes"
 	"encoding/json"
+	"fmt"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -10,6 +11,7 @@ import (
 	"time"
 
 	"head/internal/obs"
+	"head/internal/obs/span"
 )
 
 func postDecide(t *testing.T, url string, body []byte) (*http.Response, []byte) {
@@ -30,7 +32,7 @@ func TestHTTPDecide(t *testing.T) {
 	reg := obs.NewRegistry()
 	b := NewBatcher(BatcherConfig{MaxBatch: 4, MaxWait: time.Millisecond, Metrics: reg},
 		func() Decider { return &echoDecider{} })
-	srv := httptest.NewServer(NewMux(b, 1, reg))
+	srv := httptest.NewServer(NewMux(b, 1, reg, nil))
 	defer srv.Close()
 	defer b.Close()
 
@@ -55,6 +57,30 @@ func TestHTTPDecide(t *testing.T) {
 	}
 	if dr.Attention != nil {
 		t.Error("attention returned without ?attention=1 opt-in")
+	}
+	// A server-assigned request id comes back in both header and body even
+	// with no Telemetry attached.
+	if dr.RequestID == "" || resp.Header.Get(RequestIDHeader) != dr.RequestID {
+		t.Errorf("request id: body %q, header %q", dr.RequestID, resp.Header.Get(RequestIDHeader))
+	}
+
+	// A client-provided id is echoed verbatim, including on errors.
+	req, _ := http.NewRequest("POST", srv.URL+"/v1/decide", bytes.NewReader([]byte("{not json")))
+	req.Header.Set(RequestIDHeader, "veh-42-0007")
+	resp3, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var e errorResponse
+	if err := json.NewDecoder(resp3.Body).Decode(&e); err != nil {
+		t.Fatal(err)
+	}
+	resp3.Body.Close()
+	if resp3.StatusCode != http.StatusBadRequest || e.RequestID != "veh-42-0007" {
+		t.Errorf("error echo: status %d, request_id %q (want 400, veh-42-0007)", resp3.StatusCode, e.RequestID)
+	}
+	if got := resp3.Header.Get(RequestIDHeader); got != "veh-42-0007" {
+		t.Errorf("error header echo: %q", got)
 	}
 
 	// Attention rows come back only on opt-in.
@@ -128,13 +154,112 @@ func TestHTTPDecide(t *testing.T) {
 func TestHTTPBodyLimit(t *testing.T) {
 	b := NewBatcher(BatcherConfig{MaxBatch: 1, MaxWait: time.Millisecond},
 		func() Decider { return &echoDecider{} })
-	srv := httptest.NewServer(NewMux(b, 1, nil))
+	srv := httptest.NewServer(NewMux(b, 1, nil, nil))
 	defer srv.Close()
 	defer b.Close()
 
+	// Over-cap bodies are "payload too large", not "bad request": 413 tells
+	// the client to shrink, and the body still carries its request id.
 	huge := append([]byte(`{"frames":[{"av":{"lat":`), bytes.Repeat([]byte("1"), maxBodyBytes+1)...)
-	resp, _ := postDecide(t, srv.URL, huge)
-	if resp.StatusCode != http.StatusBadRequest {
-		t.Errorf("oversized body: status %d, want 400", resp.StatusCode)
+	resp, out := postDecide(t, srv.URL, huge)
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Errorf("oversized body: status %d, want 413", resp.StatusCode)
+	}
+	var e errorResponse
+	if err := json.Unmarshal(out, &e); err != nil || e.RequestID == "" {
+		t.Errorf("413 body lacks request_id: %s (err %v)", out, err)
+	}
+}
+
+// TestHTTPTelemetry: with a Telemetry attached, /debug/slo, /debug/trace
+// and /debug/exemplars come up on the service mux, every decide lands in
+// the SLO window and the span flight recorder, and the layer's
+// started/finished accounting balances once the traffic completes.
+func TestHTTPTelemetry(t *testing.T) {
+	tr := span.New(span.Config{})
+	tel := NewTelemetry(TelemetryConfig{
+		Tracer:    tr,
+		SLO:       obs.NewSLO(obs.SLOConfig{P99TargetMs: 1000}),
+		Exemplars: NewExemplarRing(4, time.Minute, nil),
+	})
+	b := NewBatcher(BatcherConfig{MaxBatch: 2, MaxWait: time.Millisecond},
+		func() Decider { return &echoDecider{} })
+	srv := httptest.NewServer(NewMux(b, 1, nil, tel))
+	defer srv.Close()
+	defer b.Close()
+
+	body, _ := json.Marshal(mark(3))
+	const n = 5
+	for i := 0; i < n; i++ {
+		req, _ := http.NewRequest("POST", srv.URL+"/v1/decide", bytes.NewReader(body))
+		req.Header.Set(RequestIDHeader, fmt.Sprintf("t-%03d", i))
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("decide %d: status %d", i, resp.StatusCode)
+		}
+	}
+
+	var st obs.SLOStatus
+	sresp, err := http.Get(srv.URL + "/debug/slo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.NewDecoder(sresp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	sresp.Body.Close()
+	if st.Total != n || len(st.Objectives) == 0 {
+		t.Errorf("/debug/slo: total %d objectives %d, want %d/>0", st.Total, len(st.Objectives), n)
+	}
+
+	var exs []Exemplar
+	eresp, err := http.Get(srv.URL + "/debug/exemplars")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.NewDecoder(eresp.Body).Decode(&exs); err != nil {
+		t.Fatal(err)
+	}
+	eresp.Body.Close()
+	if len(exs) != 4 {
+		t.Errorf("/debug/exemplars: %d exemplars, want ring of 4", len(exs))
+	}
+	for _, ex := range exs {
+		if ex.ID == "" || len(ex.Observation) == 0 {
+			t.Errorf("exemplar missing id or observation: %+v", ex)
+		}
+	}
+
+	tresp, err := http.Get(srv.URL + "/debug/trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tbuf bytes.Buffer
+	tbuf.ReadFrom(tresp.Body)
+	tresp.Body.Close()
+	if !strings.Contains(tbuf.String(), `"request"`) || !strings.Contains(tbuf.String(), `"t-000"`) {
+		t.Errorf("/debug/trace lacks tagged request spans:\n%.400s", tbuf.String())
+	}
+
+	spans, _ := tr.Snapshot()
+	roots := 0
+	for _, s := range spans {
+		if s.Name == "request" {
+			roots++
+			if s.Req == "" {
+				t.Error("request span without req id")
+			}
+		}
+	}
+	if roots != n {
+		t.Errorf("%d request root spans, want %d", roots, n)
+	}
+	if tel.Started() != int64(n) || tel.Finished() != int64(n) {
+		t.Errorf("telemetry accounting: started %d finished %d, want %d/%d",
+			tel.Started(), tel.Finished(), n, n)
 	}
 }

@@ -1,15 +1,20 @@
 package serve
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"math"
 	"math/rand"
+	"net/http"
+	"net/http/httptest"
 	"sync"
 	"testing"
 	"time"
 
 	"head/internal/head"
+	"head/internal/obs"
+	"head/internal/obs/span"
 	"head/internal/predict"
 	"head/internal/rl"
 )
@@ -171,6 +176,100 @@ func TestBatcherServesIdentical(t *testing.T) {
 		}()
 	}
 	wg.Wait()
+}
+
+// TestServedDecisionBitIdentityTelemetry extends the determinism contract
+// across the telemetry layer: the same observation served over HTTP with
+// telemetry off, fully on, and sampled must produce byte-identical
+// decisions. Request tracing, SLO evaluation, and tail capture are
+// strictly out of band — any divergence here is telemetry leaking into
+// the decision path.
+func TestServedDecisionBitIdentityTelemetry(t *testing.T) {
+	cfg := tinyEnvConfig()
+	base := tinyServePredictor()
+	env := head.NewEnv(cfg, base.Clone(), rand.New(rand.NewSource(21)))
+	ctrl := &head.AgentController{ControllerName: "HEAD", Agent: tinyServeAgent(env)}
+	rcfg := ConfigFor(cfg)
+
+	env.Reset()
+	for !env.Done() {
+		o := Snapshot(env.SensorHistory())
+		if o.Validate(cfg.Sensor.Z) == nil {
+			break
+		}
+		env.StepManeuver(ctrl.Decide(env))
+	}
+	if env.Done() {
+		t.Fatal("episode ended before the sensor history filled")
+	}
+	body, err := json.Marshal(Snapshot(env.SensorHistory()))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	modes := []struct {
+		name string
+		tel  func() *Telemetry
+	}{
+		{"off", func() *Telemetry { return nil }},
+		{"on", func() *Telemetry {
+			return NewTelemetry(TelemetryConfig{
+				Tracer:    span.New(span.Config{}),
+				SLO:       obs.NewSLO(obs.SLOConfig{}),
+				Exemplars: NewExemplarRing(4, time.Minute, nil),
+			})
+		}},
+		{"sampled", func() *Telemetry {
+			return NewTelemetry(TelemetryConfig{
+				Tracer: span.New(span.Config{}),
+				Sample: 0.5,
+				SLO:    obs.NewSLO(obs.SLOConfig{}),
+			})
+		}},
+	}
+	var bodies [][]byte
+	for _, mode := range modes {
+		b := NewBatcher(BatcherConfig{MaxBatch: 2, MaxWait: time.Millisecond},
+			func() Decider { return NewReplica(rcfg, base.Clone(), tinyServeAgent(env)) })
+		srv := httptest.NewServer(NewMux(b, cfg.Sensor.Z, nil, mode.tel()))
+		// Several requests per mode so the sampled mode exercises both the
+		// traced and untraced branches.
+		var first []byte
+		for i := 0; i < 4; i++ {
+			resp, err := http.Post(srv.URL+"/v1/decide?attention=1", "application/json", bytes.NewReader(body))
+			if err != nil {
+				t.Fatal(err)
+			}
+			var dr DecideResponse
+			if err := json.NewDecoder(resp.Body).Decode(&dr); err != nil {
+				t.Fatal(err)
+			}
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				t.Fatalf("mode %s request %d: status %d", mode.name, i, resp.StatusCode)
+			}
+			// Compare the decision payload alone: request ids and latency
+			// attribution legitimately differ between requests.
+			dec, err := json.Marshal(dr.Decision)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if first == nil {
+				first = dec
+			} else if !bytes.Equal(first, dec) {
+				t.Errorf("mode %s: request %d decision diverged:\n%s\nvs\n%s", mode.name, i, first, dec)
+			}
+		}
+		bodies = append(bodies, first)
+		srv.Close()
+		b.Close()
+	}
+	for i := 1; i < len(bodies); i++ {
+		if !bytes.Equal(bodies[0], bodies[i]) {
+			t.Errorf("telemetry mode %q changed the served decision:\n%s\nvs\n%s",
+				modes[i].name, bodies[0], bodies[i])
+		}
+	}
 }
 
 // TestSnapshotStableBytes: the wire form of the same history serializes to

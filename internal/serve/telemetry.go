@@ -1,0 +1,377 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"head/internal/obs"
+	"head/internal/obs/span"
+)
+
+// Exemplar is one captured tail request: enough context to replay and
+// explain a slow decision after the fact — the request id, the wall-clock
+// moment, the end-to-end latency with its server-side phase breakdown,
+// the micro-batch it rode in, and the full wire observation.
+type Exemplar struct {
+	ID        string    `json:"id"`
+	At        time.Time `json:"at"`
+	E2EMs     float64   `json:"e2e_ms"`
+	QueueMs   float64   `json:"queue_ms"`
+	SealMs    float64   `json:"seal_ms"`
+	InferMs   float64   `json:"infer_ms"`
+	ReplyMs   float64   `json:"reply_ms"`
+	BatchSize int       `json:"batch_size"`
+	Status    int       `json:"status"`
+	Err       string    `json:"error,omitempty"`
+	// Observation is the request's wire body, marshaled only when the
+	// request is actually admitted to the ring (tail capture must not tax
+	// the fast path).
+	Observation json.RawMessage `json:"observation,omitempty"`
+}
+
+// ExemplarRing captures the slowest K requests per rolling window. The
+// current window accumulates into a bounded slowest-first set; when the
+// window rotates, the completed window's exemplars are retained as the
+// "last" generation, so a snapshot always covers between one and two
+// windows of tail history. Safe for concurrent use.
+type ExemplarRing struct {
+	mu       sync.Mutex
+	k        int
+	window   time.Duration
+	clock    func() time.Time
+	winStart time.Time
+	cur      []Exemplar // unordered, bounded at k
+	last     []Exemplar // previous window, sorted slowest first
+	drained  bool
+}
+
+// NewExemplarRing returns a ring keeping the slowest k requests per
+// window (k ≤ 0 means 8; window ≤ 0 means 60s). clock is for tests (nil
+// means time.Now).
+func NewExemplarRing(k int, window time.Duration, clock func() time.Time) *ExemplarRing {
+	if k <= 0 {
+		k = 8
+	}
+	if window <= 0 {
+		window = time.Minute
+	}
+	if clock == nil {
+		clock = time.Now
+	}
+	return &ExemplarRing{k: k, window: window, clock: clock, winStart: clock()}
+}
+
+// rotate ages the current window out when it has expired. Callers hold mu.
+func (r *ExemplarRing) rotate(now time.Time) {
+	if now.Sub(r.winStart) < r.window {
+		return
+	}
+	// One full window elapsed: the current set becomes the last
+	// generation. More than one: the last generation is stale too.
+	if now.Sub(r.winStart) < 2*r.window {
+		r.last = sortSlowFirst(r.cur)
+	} else {
+		r.last = nil
+	}
+	r.cur = nil
+	// Re-anchor to the current window boundary so rotation stays aligned.
+	elapsed := now.Sub(r.winStart)
+	r.winStart = r.winStart.Add(elapsed - elapsed%r.window)
+}
+
+func sortSlowFirst(es []Exemplar) []Exemplar {
+	out := append([]Exemplar(nil), es...)
+	sort.Slice(out, func(i, j int) bool { return out[i].E2EMs > out[j].E2EMs })
+	return out
+}
+
+// Offer considers one completed request for tail capture. wire is invoked
+// only when the request displaces into the ring, so the fast path never
+// pays the observation marshal (nil wire skips the body).
+func (r *ExemplarRing) Offer(e Exemplar, wire func() []byte) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.drained {
+		return
+	}
+	r.rotate(r.clock())
+	if len(r.cur) < r.k {
+		if wire != nil {
+			e.Observation = wire()
+		}
+		r.cur = append(r.cur, e)
+		return
+	}
+	min := 0
+	for i := 1; i < len(r.cur); i++ {
+		if r.cur[i].E2EMs < r.cur[min].E2EMs {
+			min = i
+		}
+	}
+	if e.E2EMs > r.cur[min].E2EMs {
+		if wire != nil {
+			e.Observation = wire()
+		}
+		r.cur[min] = e
+	}
+}
+
+// Snapshot returns the retained exemplars — the current window's set plus
+// the previous generation — slowest first.
+func (r *ExemplarRing) Snapshot() []Exemplar {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.rotate(r.clock())
+	return sortSlowFirst(append(append([]Exemplar(nil), r.cur...), r.last...))
+}
+
+// Drain flushes the ring exactly once: the first call returns every
+// retained exemplar (slowest first) and seals the ring against further
+// capture; later calls return nil. This is the shutdown path — the drain
+// dump lands in the run manifest.
+func (r *ExemplarRing) Drain() []Exemplar {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.drained {
+		return nil
+	}
+	r.drained = true
+	out := sortSlowFirst(append(append([]Exemplar(nil), r.cur...), r.last...))
+	r.cur, r.last = nil, nil
+	return out
+}
+
+// TelemetryConfig wires the request-telemetry layer. Every field is
+// optional: a nil Tracer records no spans, a nil SLO evaluates nothing, a
+// nil Exemplars captures nothing — and a nil *Telemetry disables the
+// whole layer while request ids keep working.
+type TelemetryConfig struct {
+	// Tracer receives the per-request span trees (request → queue /
+	// batch_seal / replica_infer / reply), sharing the flight recorder's
+	// ring, Chrome export, and /debug/trace machinery.
+	Tracer *span.Tracer
+	// Sample is the fraction of requests whose spans are recorded; 0 as
+	// well as anything ≥ 1 records every request. The decision is a
+	// deterministic hash of the request sequence number — out of band, no
+	// experiment randomness.
+	Sample float64
+	// Lanes sizes the span track pool request spans round-robin onto
+	// (default 8). More lanes reduce visual overlap in Perfetto; the
+	// analyzer is indifferent.
+	Lanes int
+	// SLO receives every request's latency/error outcome.
+	SLO *obs.SLO
+	// Exemplars receives tail-capture candidates.
+	Exemplars *ExemplarRing
+}
+
+// Telemetry is the request-scoped telemetry layer of the decision
+// service: it assigns request ids, samples requests into the span flight
+// recorder, feeds the SLO engine, and offers every completed request to
+// the tail-exemplar ring. All of it is strictly out of band — served
+// decisions are bit-identical with telemetry off, on, or sampled.
+type Telemetry struct {
+	cfg       TelemetryConfig
+	sampleAll bool
+	laneIDs   []int64
+
+	seq      atomic.Uint64
+	started  atomic.Int64
+	finished atomic.Int64
+}
+
+// fallbackSeq mints request ids when no Telemetry is attached: ids must
+// exist for error correlation even with telemetry disabled.
+var fallbackSeq atomic.Uint64
+
+// NewTelemetry builds the layer and allocates its span lanes.
+func NewTelemetry(cfg TelemetryConfig) *Telemetry {
+	if cfg.Lanes <= 0 {
+		cfg.Lanes = 8
+	}
+	t := &Telemetry{cfg: cfg, sampleAll: cfg.Sample <= 0 || cfg.Sample >= 1}
+	if cfg.Tracer != nil {
+		t.laneIDs = make([]int64, cfg.Lanes)
+		for i := range t.laneIDs {
+			t.laneIDs[i] = cfg.Tracer.Lane(fmt.Sprintf("requests-%d", i)).ID()
+		}
+	}
+	return t
+}
+
+// Tracer returns the attached span tracer (nil when absent or on a nil
+// receiver).
+func (t *Telemetry) Tracer() *span.Tracer {
+	if t == nil {
+		return nil
+	}
+	return t.cfg.Tracer
+}
+
+// SLO returns the attached SLO engine (nil when absent).
+func (t *Telemetry) SLO() *obs.SLO {
+	if t == nil {
+		return nil
+	}
+	return t.cfg.SLO
+}
+
+// Exemplars returns the attached tail-exemplar ring (nil when absent).
+func (t *Telemetry) Exemplars() *ExemplarRing {
+	if t == nil {
+		return nil
+	}
+	return t.cfg.Exemplars
+}
+
+// Started counts requests that entered the layer (Begin calls); Finished
+// counts completed ones (Finish calls). The two are equal whenever no
+// request is in flight — the drain invariant the shutdown tests pin.
+func (t *Telemetry) Started() int64 {
+	if t == nil {
+		return 0
+	}
+	return t.started.Load()
+}
+
+// Finished counts completed requests (see Started).
+func (t *Telemetry) Finished() int64 {
+	if t == nil {
+		return 0
+	}
+	return t.finished.Load()
+}
+
+// sampled is the deterministic per-request trace decision: a SplitMix64
+// finalizer over the sequence number, the top 53 bits as a uniform
+// float — the same out-of-band scheme the step tracer uses.
+func (t *Telemetry) sampled(seq uint64) bool {
+	if t.sampleAll {
+		return true
+	}
+	z := (seq + 1) * 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	return float64(z>>11)/(1<<53) < t.cfg.Sample
+}
+
+// ReqTrace follows one request from ingress to reply. Begin opens it,
+// Finish closes it exactly once; the zero/done state makes repeated
+// Finish calls no-ops, so every handler exit path can call it safely.
+type ReqTrace struct {
+	tel   *Telemetry
+	ID    string
+	seq   uint64
+	start time.Time
+	done  bool
+}
+
+// Begin opens a request trace. id is the client-propagated request id
+// (X-Request-ID); empty mints a server-assigned one. Begin works on a nil
+// *Telemetry — ids must flow even with telemetry off — and never touches
+// the experiment random streams.
+func (t *Telemetry) Begin(id string) *ReqTrace {
+	var seq uint64
+	if t == nil {
+		seq = fallbackSeq.Add(1) - 1
+	} else {
+		seq = t.seq.Add(1) - 1
+		t.started.Add(1)
+	}
+	if id == "" {
+		id = fmt.Sprintf("srv-%06d", seq)
+	}
+	return &ReqTrace{tel: t, ID: id, seq: seq, start: time.Now()}
+}
+
+// Finish closes the request trace: the SLO engine sees its outcome, the
+// exemplar ring gets a tail-capture offer, and — when this request is
+// sampled — its span tree lands in the flight recorder. o may be nil
+// (the request never decoded); res carries the batcher timestamps when
+// the request reached a replica. Idempotent: only the first call records.
+func (rt *ReqTrace) Finish(o *Observation, res Result, status int, reqErr error) {
+	if rt == nil || rt.done {
+		return
+	}
+	rt.done = true
+	t := rt.tel
+	if t == nil {
+		return
+	}
+	end := time.Now()
+	e2e := end.Sub(rt.start)
+	t.finished.Add(1)
+
+	isErr := reqErr != nil || status >= 400
+	t.cfg.SLO.Observe(e2e, isErr)
+
+	if t.cfg.Exemplars != nil {
+		ex := Exemplar{
+			ID: rt.ID, At: rt.start, E2EMs: e2e.Seconds() * 1e3,
+			BatchSize: res.BatchSize, Status: status,
+		}
+		if reqErr != nil {
+			ex.Err = reqErr.Error()
+		}
+		if !res.Enqueued.IsZero() {
+			ex.QueueMs = res.Flushed.Sub(res.Enqueued).Seconds() * 1e3
+			ex.SealMs = res.InferStart.Sub(res.Flushed).Seconds() * 1e3
+			ex.InferMs = res.InferDone.Sub(res.InferStart).Seconds() * 1e3
+			ex.ReplyMs = end.Sub(res.InferDone).Seconds() * 1e3
+		}
+		var wire func() []byte
+		if o != nil {
+			wire = func() []byte {
+				b, err := json.Marshal(o)
+				if err != nil {
+					return nil
+				}
+				return b
+			}
+		}
+		t.cfg.Exemplars.Offer(ex, wire)
+	}
+
+	tr := t.cfg.Tracer
+	if tr == nil || !t.sampled(rt.seq) {
+		return
+	}
+	lane := t.laneIDs[rt.seq%uint64(len(t.laneIDs))]
+	var child int64
+	emit := func(name string, from, to time.Time) {
+		if from.IsZero() || to.Before(from) {
+			return
+		}
+		d := to.Sub(from)
+		child += int64(d)
+		tr.Record(span.Span{
+			Name: name, Parent: "request", Req: rt.ID, Lane: lane,
+			Start: tr.Since(from), Dur: int64(d), Ep: -1, Step: -1,
+		})
+	}
+	if !res.Enqueued.IsZero() {
+		emit("queue", res.Enqueued, res.Flushed)
+		emit("batch_seal", res.Flushed, res.InferStart)
+		emit("replica_infer", res.InferStart, res.InferDone)
+		emit("reply", res.InferDone, end)
+	}
+	tr.Record(span.Span{
+		Name: "request", Parent: "", Req: rt.ID, Lane: lane,
+		Start: tr.Since(rt.start), Dur: int64(e2e), Child: child,
+		Ep: -1, Step: -1,
+	})
+}
