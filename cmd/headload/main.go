@@ -74,6 +74,7 @@ func main() {
 		mode      = flag.String("mode", "closed", "closed = full sense/decide/act loop per session; replay = fire pre-captured observations back-to-back (server capacity)")
 		scaleName = flag.String("scale", "quick", "fleet environment scale: quick, record or paper")
 		seed      = flag.Int64("seed", 1, "base seed for the session environments")
+		density   = flag.Float64("density", 0, "override the fleet environments' traffic density (0 keeps the scale's value) — shifts the observation distribution, e.g. to exercise the server's drift detection")
 		benchOut  = flag.String("bench-out", "", "append a row to this BENCH_serve.json snapshot (empty disables)")
 		runName   = flag.String("run-name", "default", "row name inside the bench snapshot")
 		traceOut  = flag.String("trace-out", "", "write a joined client+server Chrome trace of the measured requests here (empty disables)")
@@ -90,6 +91,9 @@ func main() {
 		s = experiments.Paper()
 	default:
 		log.Fatalf("unknown scale %q (want quick, record or paper)", *scaleName)
+	}
+	if *density > 0 {
+		s.Density = *density
 	}
 	cfg := s.EnvConfig()
 

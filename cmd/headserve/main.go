@@ -9,8 +9,9 @@
 // maneuver + parameterized action + attention rows out), GET /healthz, the
 // shared observability surface (/metrics, /debug/pprof/*, /debug/vars),
 // and — with telemetry on — /debug/slo (rolling SLO evaluation),
-// /debug/trace (request span dump, Chrome trace JSON) and /debug/exemplars
-// (current tail captures). On SIGINT/SIGTERM the server drains: new
+// /debug/trace (request span dump, Chrome trace JSON), /debug/exemplars
+// (current tail captures), and — with -quality-baseline — /debug/quality
+// (rolling decision-drift status). On SIGINT/SIGTERM the server drains: new
 // decides are refused, in-flight requests are answered, the exemplar ring
 // is flushed, and a run manifest (plus trace.json) is written.
 //
@@ -25,6 +26,8 @@
 //	headserve ... [-telemetry=false] [-trace-sample 0.1]            # request tracing off / sampled
 //	headserve ... [-slo-p50 10ms] [-slo-p99 50ms] [-slo-errors 0.01] [-slo-window 60s]
 //	headserve ... [-tail-exemplars 8]                               # slowest-K capture per window
+//	headserve ... [-quality-baseline dir/quality_baseline.json]     # online decision-drift detection
+//	headserve ... [-quality-window 60s] [-quality-psi-warn 0.25]    # drift window and thresholds
 package main
 
 import (
@@ -44,6 +47,7 @@ import (
 	"head/internal/experiments"
 	"head/internal/nn"
 	"head/internal/obs"
+	"head/internal/obs/quality"
 	"head/internal/obs/span"
 	"head/internal/rl"
 	"head/internal/serve"
@@ -70,6 +74,10 @@ func main() {
 		sloErrors = flag.Float64("slo-errors", 0.01, "error-rate budget (fraction of the window)")
 		sloWindow = flag.Duration("slo-window", time.Minute, "rolling SLO evaluation window")
 		tailK     = flag.Int("tail-exemplars", 8, "capture the slowest K requests per window (0 disables)")
+
+		qualityBaseline = flag.String("quality-baseline", "", "behavioral baseline (quality_baseline.json) to monitor served decisions against (empty disables drift detection)")
+		qualityWindow   = flag.Duration("quality-window", time.Minute, "rolling drift-detection window")
+		qualityPSIWarn  = flag.Float64("quality-psi-warn", 0.25, "PSI warn threshold per metric (page at 2x)")
 	)
 	flag.Parse()
 	if *load == "" {
@@ -114,6 +122,29 @@ func main() {
 		return serve.NewReplica(rcfg, predictor.Clone(), a)
 	})
 
+	// Decision-quality drift detection: load the behavioral baseline the
+	// training run exported, score served decisions against it over a
+	// rolling window. Out of band like the rest of telemetry — decisions
+	// are bit-identical with or without -quality-baseline.
+	var monitor *quality.Monitor
+	if *qualityBaseline != "" {
+		baseline, err := quality.ReadBaseline(*qualityBaseline)
+		if err != nil {
+			log.Fatal("quality baseline: ", err)
+		}
+		if baseline.ConfigHash != "" && baseline.ConfigHash != s.ConfigHash() {
+			log.Printf("warning: quality baseline config hash %s != serving config %s (drift scores may reflect config skew, not behavior)",
+				baseline.ConfigHash, s.ConfigHash())
+		}
+		monitor = quality.NewMonitor(baseline, quality.MonitorConfig{
+			Window:  *qualityWindow,
+			WarnPSI: *qualityPSIWarn,
+		})
+		monitor.Bind(reg, "quality")
+		log.Printf("quality monitoring on: baseline %s (%s/%s, %d steps), window %v, warn PSI %g",
+			*qualityBaseline, baseline.Tool, baseline.Scale, baseline.Steps, *qualityWindow, *qualityPSIWarn)
+	}
+
 	// Request telemetry: a span tracer for per-request phase attribution, a
 	// rolling SLO engine exported through /metrics, and a tail-exemplar
 	// ring. All out of band — decisions are identical with -telemetry=false.
@@ -123,21 +154,26 @@ func main() {
 		slo    *obs.SLO
 		ring   *serve.ExemplarRing
 	)
-	if *telemetry {
-		tracer = span.New(span.Config{})
-		slo = obs.NewSLO(obs.SLOConfig{
-			Window:      *sloWindow,
-			P50TargetMs: float64(*sloP50) / float64(time.Millisecond),
-			P99TargetMs: float64(*sloP99) / float64(time.Millisecond),
-			ErrorBudget: *sloErrors,
-		})
-		slo.Bind(reg, "slo")
-		if *tailK > 0 {
-			ring = serve.NewExemplarRing(*tailK, *sloWindow, nil)
+	if *telemetry || monitor != nil {
+		tcfg := serve.TelemetryConfig{}
+		if *telemetry {
+			tracer = span.New(span.Config{})
+			slo = obs.NewSLO(obs.SLOConfig{
+				Window:      *sloWindow,
+				P50TargetMs: float64(*sloP50) / float64(time.Millisecond),
+				P99TargetMs: float64(*sloP99) / float64(time.Millisecond),
+				ErrorBudget: *sloErrors,
+			})
+			slo.Bind(reg, "slo")
+			if *tailK > 0 {
+				ring = serve.NewExemplarRing(*tailK, *sloWindow, nil)
+			}
+			tcfg = serve.TelemetryConfig{Tracer: tracer, Sample: *sample, SLO: slo, Exemplars: ring}
 		}
-		tel = serve.NewTelemetry(serve.TelemetryConfig{
-			Tracer: tracer, Sample: *sample, SLO: slo, Exemplars: ring,
-		})
+		if monitor != nil {
+			tcfg.Quality = &serve.QualityFeed{Monitor: monitor, VehicleLen: cfg.Traffic.World.VehicleLen}
+		}
+		tel = serve.NewTelemetry(tcfg)
 	}
 
 	srv := obs.NewHTTPServer(serve.NewMux(b, cfg.Sensor.Z, reg, tel))
@@ -184,6 +220,9 @@ func main() {
 		}
 		if exs := ring.Drain(); exs != nil {
 			man.Exemplars = exs
+		}
+		if monitor != nil {
+			man.Quality = monitor.Status()
 		}
 		if err := os.MkdirAll(*out, 0o755); err != nil {
 			log.Fatal(err)

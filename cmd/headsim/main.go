@@ -1,10 +1,13 @@
 // Command headsim reproduces the end-to-end evaluation of the HEAD paper:
 // Table I (baselines IDM-LC, ACC-LC, DRL-SC, TP-BTS vs HEAD) and, with
-// -ablation, Table II (the HEAD-variant ablation study).
+// -ablation, Table II (the HEAD-variant ablation study). With -quality-out
+// it additionally profiles every decision the full HEAD policy makes
+// during evaluation and writes the behavioral baseline
+// (quality_baseline.json) headserve's drift detection consumes.
 //
 // Usage:
 //
-//	headsim [-batch-envs N] [-scale quick|record|paper] [-ablation] [-episodes N] [-train N] [-seed N] [-workers N] [-debug-addr :8080] [-progress] [-trace-out dir] [-trace-sample 0.1]
+//	headsim [-batch-envs N] [-scale quick|record|paper] [-ablation] [-episodes N] [-train N] [-seed N] [-workers N] [-debug-addr :8080] [-progress] [-trace-out dir] [-trace-sample 0.1] [-quality-out dir]
 package main
 
 import (
@@ -12,8 +15,10 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"path/filepath"
 
 	"head/internal/experiments"
+	"head/internal/obs/quality"
 )
 
 func main() {
@@ -31,6 +36,7 @@ func main() {
 		progress  = flag.Bool("progress", false, "print a live heartbeat line per episode/epoch to stderr")
 		traceOut  = flag.String("trace-out", "", "directory to write trace.json (Chrome trace-event JSON) and decisions.jsonl into (empty disables tracing)")
 		traceSmpl = flag.Float64("trace-sample", 1, "fraction of steps traced, deterministic per (lane, episode, step); 0 or 1 traces every step")
+		qualOut   = flag.String("quality-out", "", "directory to write the HEAD decision-quality baseline (quality_baseline.json) into after the table run (empty disables)")
 	)
 	flag.Parse()
 
@@ -63,19 +69,43 @@ func main() {
 		}
 	}()
 
+	if *qualOut != "" {
+		// Profile the full HEAD policy's evaluation decisions; the other
+		// methods and variants evaluate unprofiled.
+		s.Quality = quality.NewRecorder("HEAD")
+	}
+
 	if *ablation {
 		rows, err := experiments.TableII(s)
 		if err != nil {
 			log.Fatal(err)
 		}
 		experiments.PrintEndToEnd(os.Stdout, "Table II — Ablation Study of HEAD-Variants and HEAD", rows)
-		return
+	} else {
+		rows, err := experiments.TableI(s)
+		if err != nil {
+			log.Fatal(err)
+		}
+		experiments.PrintEndToEnd(os.Stdout, "Table I — End-to-End Performance of Baselines and HEAD", rows)
 	}
-	rows, err := experiments.TableI(s)
-	if err != nil {
-		log.Fatal(err)
+
+	if *qualOut != "" {
+		if err := os.MkdirAll(*qualOut, 0o755); err != nil {
+			log.Fatal(err)
+		}
+		b := s.Quality.Baseline(quality.Baseline{
+			Tool: "headsim", Scale: *scaleName, Seed: s.Seed,
+			ConfigHash: s.ConfigHash(), Episodes: s.TestEpisodes,
+		})
+		if b.Steps == 0 {
+			log.Fatal("quality baseline: no HEAD decisions profiled")
+		}
+		path := filepath.Join(*qualOut, quality.BaselineFile)
+		if err := b.Write(path); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("quality baseline over %d decisions written to %s", b.Steps, path)
 	}
-	experiments.PrintEndToEnd(os.Stdout, "Table I — End-to-End Performance of Baselines and HEAD", rows)
 }
 
 func scaleByName(name string) (experiments.Scale, error) {

@@ -32,6 +32,7 @@ import (
 	"head/internal/head"
 	"head/internal/nn"
 	"head/internal/obs"
+	"head/internal/obs/quality"
 	"head/internal/parallel"
 	"head/internal/rl"
 )
@@ -52,6 +53,7 @@ func main() {
 		progress  = flag.Bool("progress", false, "print a live heartbeat line per episode/epoch to stderr")
 		traceOut  = flag.String("trace-out", "", "directory to write trace.json (Chrome trace-event JSON) and decisions.jsonl into (empty disables tracing)")
 		traceSmpl = flag.Float64("trace-sample", 1, "fraction of steps traced, deterministic per (lane, episode, step); 0 or 1 traces every step")
+		qualOut   = flag.String("quality-out", "", "directory to (re)write quality_baseline.json into after evaluation (evaluation mode; empty disables)")
 	)
 	flag.Parse()
 
@@ -92,7 +94,7 @@ func main() {
 			log.Fatal(err)
 		}
 	case *load != "":
-		if err := evaluate(s, *load); err != nil {
+		if err := evaluate(s, *load, *scaleName, *qualOut); err != nil {
 			log.Fatal(err)
 		}
 	default:
@@ -144,6 +146,16 @@ func trainRun(s experiments.Scale, dir, scaleName string) error {
 		return err
 	}
 
+	// Profile the trained policy's behavior over the evaluation episodes and
+	// export the behavioral baseline next to the checkpoints, so headserve
+	// -quality-baseline can detect online drift against it.
+	fmt.Printf("profiling decision-quality baseline (%d episodes)...\n", s.TestEpisodes)
+	qb, err := experiments.ExportQualityBaseline(s, dir, "headtrain", scaleName, predictor, agent)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("baseline over %d decisions written to %s\n", qb.Steps, filepath.Join(dir, quality.BaselineFile))
+
 	man := obs.Manifest{
 		Tool:       "headtrain",
 		Scale:      scaleName,
@@ -162,7 +174,7 @@ func trainRun(s experiments.Scale, dir, scaleName string) error {
 	return nil
 }
 
-func evaluate(s experiments.Scale, dir string) error {
+func evaluate(s experiments.Scale, dir, scaleName, qualityOut string) error {
 	predictor, agent, err := experiments.LoadCheckpoint(s, dir)
 	if err != nil {
 		return err
@@ -181,5 +193,15 @@ func evaluate(s experiments.Scale, dir string) error {
 	})
 	fmt.Printf("HEAD over %d episodes: AvgDT-A %.1fs  AvgV-A %.2fm/s  AvgJ-A %.2f  Avg#-CA %.1f  MinTTC-A %.2fs  collisions %d\n",
 		m.Episodes, m.AvgDTA, m.AvgVA, m.AvgJA, m.AvgCA, m.MinTTCA, m.Collisions)
+	if qualityOut != "" {
+		if err := os.MkdirAll(qualityOut, 0o755); err != nil {
+			return err
+		}
+		qb, err := experiments.ExportQualityBaseline(s, qualityOut, "headtrain", scaleName, predictor, agent)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("baseline over %d decisions written to %s\n", qb.Steps, filepath.Join(qualityOut, quality.BaselineFile))
+	}
 	return nil
 }

@@ -1,15 +1,19 @@
 // Command headwatch renders an operator's view of the decision service:
 // SLO objectives with burn rates, the latency distribution and its
-// server-side phase attribution, and the captured tail exemplars — the
-// "why is p99 slow" report, from either a live server or a saved bundle.
+// server-side phase attribution, the captured tail exemplars, and the
+// decision-quality drift status vs the behavioral baseline — the "why is
+// p99 slow / is the model still itself" report, from either a live server
+// or a saved bundle.
 //
 // Live mode polls a running headserve's debug surfaces (/debug/slo,
-// /debug/exemplars, /debug/trace) and re-renders every -interval; -once
-// renders a single report and exits, which is what the CI smoke job runs.
-// Bundle mode reads a directory written by headserve -out on drain
-// (manifest.json with the final SLO state and flushed exemplar ring,
-// trace.json with the request spans) and renders the same report post
-// mortem.
+// /debug/exemplars, /debug/trace, /debug/quality) and re-renders every
+// -interval; -once renders a single report and exits, which is what the
+// CI smoke job runs. Bundle mode reads a directory written by headserve
+// -out on drain (manifest.json with the final SLO state, flushed exemplar
+// ring, and drift status, trace.json with the request spans) and renders
+// the same report post mortem. Sections a bundle predates — older
+// manifests without tail exemplars, SLO state, or quality — render as
+// "n/a" rather than failing the watch.
 //
 // The exit status is non-zero when the service (or bundle) is unreadable
 // or the report would be empty — a watch that sees nothing is a broken
@@ -34,6 +38,7 @@ import (
 	"time"
 
 	"head/internal/obs"
+	"head/internal/obs/quality"
 	"head/internal/obs/span"
 	"head/internal/serve"
 )
@@ -75,12 +80,16 @@ func main() {
 	}
 }
 
-// report is everything one render needs, however it was sourced.
+// report is everything one render needs, however it was sourced. bundled
+// marks post-mortem reports, where missing sections render as "n/a"
+// (older manifests legitimately lack them) instead of being elided.
 type report struct {
 	source    string
+	bundled   bool
 	slo       *obs.SLOStatus
 	exemplars []serve.Exemplar
 	trace     *span.Analysis
+	quality   *quality.Status
 }
 
 // fetchLive polls a running server's debug surfaces. The SLO endpoint is
@@ -105,20 +114,30 @@ func fetchLive(client *http.Client, base string) (report, error) {
 		}
 		resp.Body.Close()
 	}
+	var qs quality.Status
+	if err := getJSON(client, base+"/debug/quality", &qs); err == nil && qs.Status != "" {
+		r.quality = &qs
+	}
 	return r, nil
 }
 
 // bundleManifest is the slice of headserve's drain manifest headwatch
-// reads: the final SLO evaluation and the flushed exemplar ring.
+// reads: the final SLO evaluation, the flushed exemplar ring, and the
+// decision-drift status. Every section is optional — manifests written
+// before a section existed simply lack the key and render as "n/a".
 type bundleManifest struct {
 	Tool      string           `json:"tool"`
 	SLO       *obs.SLOStatus   `json:"slo"`
 	Exemplars []serve.Exemplar `json:"tail_exemplars"`
+	Quality   *quality.Status  `json:"quality"`
 }
 
-// readBundle loads a headserve -out directory written on drain.
+// readBundle loads a headserve -out directory written on drain. A valid
+// manifest with missing telemetry sections is still a readable bundle
+// (older headserve builds wrote fewer sections); only an unreadable or
+// unidentifiable manifest fails the watch.
 func readBundle(dir string) (report, error) {
-	r := report{source: dir}
+	r := report{source: dir, bundled: true}
 	data, err := os.ReadFile(filepath.Join(dir, "manifest.json"))
 	if err != nil {
 		return r, err
@@ -129,12 +148,13 @@ func readBundle(dir string) (report, error) {
 	}
 	r.slo = man.SLO
 	r.exemplars = man.Exemplars
+	r.quality = man.Quality
 	if f, err := os.Open(filepath.Join(dir, "trace.json")); err == nil {
 		r.trace, _ = span.ReadChrome(f)
 		f.Close()
 	}
-	if r.slo == nil && len(r.exemplars) == 0 && r.trace == nil {
-		return r, fmt.Errorf("%s: no SLO state, exemplars, or trace — was headserve run with telemetry on?", dir)
+	if man.Tool == "" && r.slo == nil && len(r.exemplars) == 0 && r.trace == nil && r.quality == nil {
+		return r, fmt.Errorf("%s: manifest carries no tool name and no telemetry — not a headserve drain bundle?", dir)
 	}
 	return r, nil
 }
@@ -153,14 +173,61 @@ func getJSON(client *http.Client, url string, v any) error {
 
 func render(r report) {
 	fmt.Printf("decision service — %s\n", r.source)
-	if r.slo != nil {
+	switch {
+	case r.slo != nil:
 		renderSLO(r.slo)
+	case r.bundled:
+		fmt.Printf("\nSLO: n/a (not in bundle — telemetry off or pre-SLO headserve)\n")
 	}
 	if r.trace != nil {
 		renderAttribution(r.trace)
 	}
-	if len(r.exemplars) > 0 {
+	switch {
+	case len(r.exemplars) > 0:
 		renderExemplars(r.exemplars)
+	case r.bundled:
+		fmt.Printf("\nTail exemplars: n/a (not in bundle)\n")
+	}
+	switch {
+	case r.quality != nil:
+		renderQuality(r.quality)
+	case r.bundled:
+		fmt.Printf("\nDecision quality: n/a (served without -quality-baseline)\n")
+	}
+}
+
+// renderQuality is the "is the model still itself" section: per-metric
+// PSI/KL divergence of the live decision windows vs the training-time
+// behavioral baseline.
+func renderQuality(st *quality.Status) {
+	verdict := "OK"
+	if !st.OK {
+		verdict = "DRIFTING (" + st.Status + ")"
+	}
+	prov := st.BaselineTool
+	if st.BaselineScale != "" {
+		prov += "/" + st.BaselineScale
+	}
+	if prov == "" {
+		prov = "unknown"
+	}
+	fmt.Printf("\nDecision quality (%gs window): %s — %d decisions vs baseline %s, warn PSI %g page %g\n",
+		st.WindowS, verdict, st.Samples, prov, st.WarnPSI, st.PagePSI)
+	if st.Samples == 0 {
+		fmt.Printf("  no decisions in the window yet\n")
+		return
+	}
+	fmt.Printf("  %-14s %8s %8s %10s %8s %8s\n", "metric", "psi", "kl", "baseline", "window", "status")
+	for _, m := range st.Metrics {
+		if m.Error != "" {
+			fmt.Printf("  %-14s %38s  %s\n", m.Name, "", m.Error)
+			continue
+		}
+		fmt.Printf("  %-14s %8.3f %8.3f %10d %8d %8s\n",
+			m.Name, m.PSI, m.KL, m.BaselineTotal, m.WindowTotal, m.Status)
+	}
+	if st.WorstMetric != "" {
+		fmt.Printf("  worst: %s (psi %.3f)\n", st.WorstMetric, st.WorstPSI)
 	}
 }
 

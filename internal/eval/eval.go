@@ -14,8 +14,10 @@ import (
 	"head/internal/batch"
 	"head/internal/head"
 	"head/internal/obs"
+	"head/internal/obs/quality"
 	"head/internal/obs/span"
 	"head/internal/parallel"
+	"head/internal/sensor"
 	"head/internal/world"
 )
 
@@ -192,25 +194,73 @@ func (a *epAccum) finish() episodeTotals {
 
 // runEpisode rolls one evaluation episode and returns its partial sums.
 // A non-nil lane records the episode/step/phase spans and per-step
-// decision records (the environment is attached for the duration).
-func runEpisode(ctrl head.Controller, env *head.Env, eo episodeObs, episode int, lane *span.Lane) episodeTotals {
+// decision records (the environment is attached for the duration). A
+// recorder that profiles this controller additionally receives one
+// quality.Sample per decision — like every other sink here it is
+// write-only, so the returned totals never depend on it.
+func runEpisode(ctrl head.Controller, env *head.Env, eo episodeObs, episode int, lane *span.Lane, rec *quality.Recorder) episodeTotals {
 	er := lane.StartEpisode(episode)
 	defer er.End()
 	env.SetTrace(lane)
 	defer env.SetTrace(nil)
 	env.Reset()
 	ctrl.Reset()
+	profile := rec.Enabled(ctrl.Name())
 	acc := newEpAccum(env, eo)
 	for step := 0; !env.Done(); step++ {
 		sr := lane.StartStep(step)
+		var qs quality.Sample
+		var qok bool
+		if profile {
+			qs, qok = qualitySample(env)
+		}
 		fw := lane.Start("bpdqn_forward")
 		man := ctrl.Decide(env)
 		fw.End()
 		out := env.StepManeuver(man)
 		sr.End()
 		acc.observe(out)
+		if qok {
+			// The decision side of the sample: man.A is the agent's raw
+			// (pre-clamp) output — the same value the decision service
+			// returns as Decision.Accel, so the two sides bin identically.
+			qs.Behavior, qs.Accel = int(man.B), man.A
+			qs.Reward = out.Reward
+			qs.Safety, qs.Efficiency = out.Terms.Safety, out.Terms.Efficiency
+			qs.Comfort, qs.Impact = out.Terms.Comfort, out.Terms.Impact
+			qs.RewardValid = true
+			rec.Observe(qs)
+		}
 	}
 	return acc.finish()
+}
+
+// qualitySample summarizes the pre-decision observation the way the
+// serving path sees it: the latest sensor frame's AV speed and neighbor
+// count, the front-leader TTC from the sensed (not ground-truth) states,
+// and the attention entropy behind the pending decision. Steps whose
+// sensor history is still warming up are skipped — a served request
+// always carries a full z-frame history, and the baseline must describe
+// the same population the monitor measures.
+func qualitySample(env *head.Env) (quality.Sample, bool) {
+	hist := env.SensorHistory()
+	if len(hist) != env.Cfg.Sensor.Z {
+		return quality.Sample{}, false
+	}
+	f := hist[len(hist)-1]
+	s := quality.Sample{Speed: f.AV.V, Neighbors: len(f.Observed)}
+	obsList := make([]sensor.Observation, 0, len(f.Observed))
+	for id, st := range f.Observed {
+		obsList = append(obsList, sensor.Observation{ID: id, State: st})
+	}
+	veh := func(i int) (int, world.State) { return obsList[i].ID, obsList[i].State }
+	if ttc, ok := quality.LeaderTTC(f.AV, len(obsList), veh, env.Cfg.Traffic.World.VehicleLen); ok {
+		s.TTC, s.TTCValid = ttc, true
+	}
+	if ent, ok := quality.MeanAttnEntropy(env.DecisionAttention()); ok {
+		s.AttnEntropy, s.AttnValid = ent, true
+	}
+	return s, true
 }
 
 // reduce folds per-episode totals (in episode order) into Metrics.
@@ -273,7 +323,7 @@ func reduce(method string, w world.Config, parts []episodeTotals) Metrics {
 func RunEpisodes(ctrl head.Controller, env *head.Env, episodes int) Metrics {
 	parts := make([]episodeTotals, 0, episodes)
 	for ep := 0; ep < episodes; ep++ {
-		parts = append(parts, runEpisode(ctrl, env, episodeObs{}, ep, nil))
+		parts = append(parts, runEpisode(ctrl, env, episodeObs{}, ep, nil, nil))
 	}
 	return reduce(ctrl.Name(), env.Cfg.Traffic.World, parts)
 }
@@ -296,6 +346,10 @@ func RunEpisodesParallel(episodes, workers int, setup func(episode int) (head.Co
 // may be nil). Both sinks are write-only, so the returned Metrics stay
 // bit-identical for every worker count with or without them.
 func RunEpisodesObserved(episodes, workers int, reg *obs.Registry, tr *span.Tracer, setup func(episode int) (head.Controller, *head.Env)) Metrics {
+	return runEpisodesObserved(episodes, workers, reg, tr, nil, setup)
+}
+
+func runEpisodesObserved(episodes, workers int, reg *obs.Registry, tr *span.Tracer, rec *quality.Recorder, setup func(episode int) (head.Controller, *head.Env)) Metrics {
 	if episodes <= 0 {
 		return Metrics{}
 	}
@@ -311,7 +365,7 @@ func RunEpisodesObserved(episodes, workers int, reg *obs.Registry, tr *span.Trac
 		// is single-goroutine; a nil tracer yields a nil (silent) lane.
 		lane := tr.Lane(fmt.Sprintf("eval-%03d", ep))
 		return epResult{
-			totals: runEpisode(ctrl, env, eo, ep, lane),
+			totals: runEpisode(ctrl, env, eo, ep, lane, rec),
 			name:   ctrl.Name(),
 			world:  env.Cfg.Traffic.World,
 		}, nil
@@ -321,6 +375,21 @@ func RunEpisodesObserved(episodes, workers int, reg *obs.Registry, tr *span.Trac
 		totals[i] = p.totals
 	}
 	return reduce(parts[0].name, parts[0].world, totals)
+}
+
+// RunEpisodesProfiled is RunEpisodesBatched plus decision-quality
+// profiling: each decision the recorder's method makes streams one
+// quality.Sample into rec. A non-nil recorder forces the serial
+// (non-batched) episode path — the lock-step group runner has no
+// per-decision hook — which is safe because the batched forwards are
+// bit-identical to serial: the returned Metrics are byte-identical for
+// every batch width, recorder or not. rec nil degrades to
+// RunEpisodesBatched unchanged.
+func RunEpisodesProfiled(episodes, batchEnvs, workers int, reg *obs.Registry, tr *span.Tracer, rec *quality.Recorder, setup func(episode int) (head.Controller, *head.Env)) Metrics {
+	if rec == nil {
+		return RunEpisodesBatched(episodes, batchEnvs, workers, reg, tr, setup)
+	}
+	return runEpisodesObserved(episodes, workers, reg, tr, rec, setup)
 }
 
 // RunEpisodesBatched is RunEpisodesObserved on the lock-step runner: the

@@ -12,10 +12,10 @@ import (
 
 // ConfigHash hashes the scale's effective configuration, excluding the
 // attached observability sinks: two runs with the same knobs hash equal
-// whether or not they were observed or traced.
+// whether or not they were observed, traced, or quality-profiled.
 func (s Scale) ConfigHash() string {
 	hs := s
-	hs.Metrics, hs.Progress, hs.Trace = nil, nil, nil
+	hs.Metrics, hs.Progress, hs.Trace, hs.Quality = nil, nil, nil, nil
 	return obs.Hash(hs)
 }
 

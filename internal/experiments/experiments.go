@@ -29,6 +29,7 @@ import (
 	"head/internal/ngsim"
 	"head/internal/nn"
 	"head/internal/obs"
+	"head/internal/obs/quality"
 	"head/internal/obs/span"
 	"head/internal/parallel"
 	"head/internal/policy"
@@ -91,6 +92,13 @@ type Scale struct {
 	// output and checkpoints are bit-identical with tracing on, off, or
 	// sampled, which the determinism tests gate.
 	Trace *span.Tracer
+	// Quality profiles the decisions of its method during evaluation into
+	// behavioral-baseline histograms (internal/obs/quality). Optional (nil
+	// disables) and out of band like the other sinks: the recorder is
+	// write-only and its fold is order-independent, so table metrics stay
+	// bit-identical and the exported baseline is byte-identical for every
+	// Workers/BatchEnvs value.
+	Quality *quality.Recorder
 }
 
 // instrUnit bundles the scale's observability sinks for one rl training
@@ -343,7 +351,7 @@ func (s Scale) trainHEADAgent(v head.Variant, predictor *predict.LSTGAT, unit in
 // trained models must be cloned per call, never shared across episodes.
 func (s Scale) evalController(cfg head.EnvConfig, predictor *predict.LSTGAT, mkCtrl func(episode int) head.Controller) eval.Metrics {
 	evalSeed := s.evalSeed()
-	return eval.RunEpisodesBatched(s.TestEpisodes, s.BatchEnvs, s.Workers, s.Metrics, s.Trace, func(ep int) (head.Controller, *head.Env) {
+	return eval.RunEpisodesProfiled(s.TestEpisodes, s.BatchEnvs, s.Workers, s.Metrics, s.Trace, s.Quality, func(ep int) (head.Controller, *head.Env) {
 		var p predict.Model
 		if predictor != nil {
 			p = predictor.Clone()

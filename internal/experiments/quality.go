@@ -1,0 +1,49 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"path/filepath"
+
+	"head/internal/eval"
+	"head/internal/head"
+	"head/internal/nn"
+	"head/internal/obs/quality"
+	"head/internal/parallel"
+	"head/internal/predict"
+	"head/internal/rl"
+)
+
+// ExportQualityBaseline rolls the trained HEAD policy through the scale's
+// test episodes with decision-quality profiling on and writes the
+// behavioral baseline next to the checkpoints as quality_baseline.json
+// (quality.BaselineFile). The episode stream matches headtrain's
+// evaluation mode — environment ep draws from (Seed+1000, ep) — so the
+// baseline describes exactly the decisions that evaluation reports, and
+// the recorder's order-independent fold makes the written bytes identical
+// for every Workers/BatchEnvs value. The returned baseline is the one
+// written.
+func ExportQualityBaseline(s Scale, dir, tool, scaleName string, predictor *predict.LSTGAT, agent *rl.PDQN) (*quality.Baseline, error) {
+	rec := quality.NewRecorder("HEAD")
+	cfg := s.EnvConfig()
+	rc := s.RLConfig()
+	spec := rl.DefaultStateSpec()
+	aMax := cfg.Traffic.World.AMax
+	eval.RunEpisodesProfiled(s.TestEpisodes, s.BatchEnvs, s.Workers, s.Metrics, s.Trace, rec, func(ep int) (head.Controller, *head.Env) {
+		env := head.NewEnv(cfg, predictor.Clone(), parallel.Rand(s.Seed+1000, int64(ep)))
+		a := rl.NewBPDQN(rc, spec, aMax, s.RLHidden, rand.New(rand.NewSource(0)))
+		nn.CopyParams(a, agent)
+		return &head.AgentController{ControllerName: "HEAD", Agent: a}, env
+	})
+	b := rec.Baseline(quality.Baseline{
+		Tool:       tool,
+		Scale:      scaleName,
+		Seed:       s.Seed,
+		ConfigHash: s.ConfigHash(),
+		Episodes:   s.TestEpisodes,
+	})
+	if b.Steps == 0 {
+		return nil, fmt.Errorf("quality baseline: profiled no decisions over %d episodes", s.TestEpisodes)
+	}
+	return b, b.Write(filepath.Join(dir, quality.BaselineFile))
+}

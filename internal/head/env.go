@@ -168,6 +168,14 @@ func (e *Env) decisionAttention() [][]float64 {
 	return out
 }
 
+// DecisionAttention returns a deep copy of the LST-GAT attention rows
+// behind the next decision (the rows refreshPerception produced for the
+// current perception state), or nil when the environment defers
+// prediction to the batched runner or the predictor reports none. The
+// copy is what quality profiling and decision records consume — the
+// underlying rows alias forward caches the next Predict overwrites.
+func (e *Env) DecisionAttention() [][]float64 { return e.decisionAttention() }
+
 // Reset implements rl.Env: it builds a fresh traffic scene, warms the
 // sensor history with z internally controlled steps, and returns the
 // initial augmented state.

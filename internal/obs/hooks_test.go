@@ -1,0 +1,68 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"testing"
+)
+
+// TestScrapeHooksConcurrentWithScrapes hammers the registry from three
+// sides at once — metric registration, hook registration (each hook
+// itself setting a gauge, the lazy-evaluation pattern the SLO and quality
+// engines use), and expositions via both Snapshot and WritePrometheus.
+// Hooks run outside the registry lock precisely so they may set metrics;
+// this is the -race gate that keeps that contract honest.
+func TestScrapeHooksConcurrentWithScrapes(t *testing.T) {
+	r := NewRegistry()
+	const (
+		goroutines = 8
+		iters      = 50
+	)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				switch g % 4 {
+				case 0: // register + bump metrics
+					r.Counter(fmt.Sprintf("c.%d", g)).Inc()
+					r.Gauge(fmt.Sprintf("g.%d", g)).Set(float64(i))
+				case 1: // register hooks that themselves set metrics
+					gauge := r.Gauge(fmt.Sprintf("lazy.%d", g))
+					r.AddScrapeHook(func() { gauge.Add(1) })
+				case 2: // scrape via Snapshot
+					if snap := r.Snapshot(); snap == nil {
+						t.Error("Snapshot returned nil")
+					}
+				default: // scrape via the Prometheus exposition
+					if err := r.WritePrometheus(io.Discard); err != nil {
+						t.Errorf("WritePrometheus: %v", err)
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	// Every hook registered above must run on the next exposition, so the
+	// lazy gauges advance between two back-to-back snapshots.
+	before := r.Snapshot()["lazy.1"]
+	after := r.Snapshot()["lazy.1"]
+	if after <= before {
+		t.Errorf("lazy gauge did not advance across scrapes: %g then %g", before, after)
+	}
+}
+
+// TestScrapeHookNilSafety pins the no-op paths: nil registry, nil hook.
+func TestScrapeHookNilSafety(t *testing.T) {
+	var r *Registry
+	r.AddScrapeHook(func() {}) // must not panic
+	if got := r.Snapshot(); len(got) != 0 {
+		t.Errorf("nil registry Snapshot = %v, want empty", got)
+	}
+	r2 := NewRegistry()
+	r2.AddScrapeHook(nil) // must not panic on the next scrape
+	r2.Snapshot()
+}

@@ -29,10 +29,13 @@ type Manifest struct {
 	DurationS  float64            `json:"duration_seconds"`
 	Final      map[string]float64 `json:"final_metrics,omitempty"`
 	// SLO is the final rolling-window SLO evaluation of a serving run
-	// (an SLOStatus), and Exemplars the drained tail-exemplar ring —
-	// both typed any so obs stays ignorant of the service wire forms.
+	// (an SLOStatus), Exemplars the drained tail-exemplar ring, and
+	// Quality the final decision-drift status vs the behavioral baseline
+	// (a quality.Status) — all typed any so obs stays ignorant of the
+	// service wire forms.
 	SLO       any `json:"slo,omitempty"`
 	Exemplars any `json:"tail_exemplars,omitempty"`
+	Quality   any `json:"quality,omitempty"`
 }
 
 // Write stores the manifest as dir/manifest.json (indented, trailing

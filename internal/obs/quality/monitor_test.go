@@ -1,0 +1,166 @@
+package quality
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"head/internal/obs"
+)
+
+// testBaseline profiles a synthetic "calm cruising" policy: lane-keep at
+// ~18 m/s with moderate accel, a handful of neighbors, mid-range TTC.
+func testBaseline(t *testing.T) *Baseline {
+	t.Helper()
+	rec := NewRecorder("")
+	for i := 0; i < 600; i++ {
+		rec.Observe(calmSample(i))
+	}
+	return rec.Baseline(Baseline{Tool: "test", Scale: "quick", Seed: 7, ConfigHash: "deadbeef", Episodes: 3})
+}
+
+func calmSample(i int) Sample {
+	return Sample{
+		Behavior: 2, Accel: 0.2 - float64(i%3)*0.2, Speed: 17 + float64(i%5)*0.5,
+		Neighbors: 3 + i%2, TTC: 4 + float64(i%4), TTCValid: true,
+		AttnEntropy: 1.0 + float64(i%3)*0.1, AttnValid: true,
+	}
+}
+
+func shiftedSample(i int) Sample {
+	// Dense, slow, tailgating traffic with erratic accel — every serve
+	// metric moves.
+	return Sample{
+		Behavior: i % 2, Accel: -2.5 + float64(i%2), Speed: 4 + float64(i%3),
+		Neighbors: 10 + i%3, TTC: 0.8, TTCValid: true,
+		AttnEntropy: 0.3, AttnValid: true,
+	}
+}
+
+func TestMonitorMatchedTrafficOK(t *testing.T) {
+	mon := NewMonitor(testBaseline(t), MonitorConfig{})
+	for i := 0; i < 400; i++ {
+		mon.Observe(calmSample(i))
+	}
+	st := mon.Status()
+	if !st.OK || st.Status != "ok" {
+		t.Fatalf("matched traffic: status=%q ok=%v worst=%g(%s)", st.Status, st.OK, st.WorstPSI, st.WorstMetric)
+	}
+	if st.Samples != 400 {
+		t.Fatalf("samples = %d, want 400", st.Samples)
+	}
+	if st.WorstPSI >= st.WarnPSI {
+		t.Fatalf("matched traffic: worst PSI %g crossed warn %g", st.WorstPSI, st.WarnPSI)
+	}
+	if len(st.Metrics) != len(ServeMetrics) {
+		t.Fatalf("tracked %d metrics, want %d", len(st.Metrics), len(ServeMetrics))
+	}
+	if st.BaselineTool != "test" || st.BaselineHash != "deadbeef" {
+		t.Fatalf("baseline provenance lost: %+v", st)
+	}
+}
+
+func TestMonitorShiftedTrafficPages(t *testing.T) {
+	mon := NewMonitor(testBaseline(t), MonitorConfig{})
+	for i := 0; i < 400; i++ {
+		mon.Observe(shiftedSample(i))
+	}
+	st := mon.Status()
+	if st.OK || st.Status == "ok" {
+		t.Fatalf("shifted traffic must not report ok: %+v", st)
+	}
+	if st.WorstPSI < st.WarnPSI {
+		t.Fatalf("shifted traffic: worst PSI %g under warn %g", st.WorstPSI, st.WarnPSI)
+	}
+}
+
+func TestMonitorEmptyWindowOK(t *testing.T) {
+	st := NewMonitor(testBaseline(t), MonitorConfig{}).Status()
+	if !st.OK || st.Samples != 0 {
+		t.Fatalf("empty window: %+v, want ok with 0 samples", st)
+	}
+}
+
+func TestMonitorWindowAgesOut(t *testing.T) {
+	now := time.Unix(1000, 0)
+	clock := func() time.Time { return now }
+	mon := NewMonitor(testBaseline(t), MonitorConfig{Window: time.Minute, Clock: clock})
+	for i := 0; i < 200; i++ {
+		mon.Observe(shiftedSample(i))
+	}
+	if st := mon.Status(); st.OK {
+		t.Fatalf("shifted window must warn, got %+v", st)
+	}
+	// Two full windows later the drifted samples have aged out...
+	now = now.Add(2 * time.Minute)
+	if st := mon.Status(); !st.OK || st.Samples != 0 {
+		t.Fatalf("aged-out window: %+v, want empty ok", st)
+	}
+	// ...and fresh matched traffic scores clean.
+	for i := 0; i < 200; i++ {
+		mon.Observe(calmSample(i))
+	}
+	if st := mon.Status(); !st.OK {
+		t.Fatalf("recovered traffic: %+v, want ok", st)
+	}
+}
+
+func TestMonitorNilSafe(t *testing.T) {
+	var mon *Monitor
+	mon.Observe(calmSample(0))
+	if st := mon.Status(); !st.OK || st.Status != "ok" {
+		t.Fatalf("nil monitor status = %+v, want ok", st)
+	}
+	mon.Bind(obs.NewRegistry(), "quality")
+	if mon.Baseline() != nil {
+		t.Fatal("nil monitor must have nil baseline")
+	}
+}
+
+func TestMonitorBindGauges(t *testing.T) {
+	reg := obs.NewRegistry()
+	mon := NewMonitor(testBaseline(t), MonitorConfig{})
+	mon.Bind(reg, "quality")
+	for i := 0; i < 100; i++ {
+		mon.Observe(shiftedSample(i))
+	}
+	snap := reg.Snapshot() // runs the scrape hook
+	if snap["quality.samples"] != 100 {
+		t.Fatalf("quality.samples = %g, want 100", snap["quality.samples"])
+	}
+	if snap["quality.psi_worst"] <= 0 {
+		t.Fatalf("quality.psi_worst = %g, want > 0", snap["quality.psi_worst"])
+	}
+	if snap["quality.status"] < 1 {
+		t.Fatalf("quality.status = %g, want warn/page level", snap["quality.status"])
+	}
+	found := false
+	for name := range snap {
+		if strings.HasPrefix(name, "quality.psi.") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("no per-metric quality.psi.* gauges in snapshot")
+	}
+}
+
+// TestMonitorToleratesPartialBaseline pins the compatibility contract: a
+// baseline missing some serve-side metrics (older exporter) still yields
+// a working monitor over the intersection.
+func TestMonitorToleratesPartialBaseline(t *testing.T) {
+	b := testBaseline(t)
+	delete(b.Metrics, MetricAttnEntropy)
+	delete(b.Metrics, MetricNeighbors)
+	mon := NewMonitor(b, MonitorConfig{})
+	for i := 0; i < 100; i++ {
+		mon.Observe(calmSample(i))
+	}
+	st := mon.Status()
+	if !st.OK {
+		t.Fatalf("partial baseline on matched traffic: %+v", st)
+	}
+	if len(st.Metrics) != len(ServeMetrics)-2 {
+		t.Fatalf("tracked %d metrics, want %d", len(st.Metrics), len(ServeMetrics)-2)
+	}
+}

@@ -66,7 +66,8 @@ type errorResponse struct {
 // obs.Mount, so one listener serves decisions and their live metrics.
 // tel (nil disables) attaches request telemetry and its debug surfaces:
 // /debug/slo (rolling SLO evaluation), /debug/trace (request span dump,
-// Chrome trace JSON), and /debug/exemplars (current tail captures).
+// Chrome trace JSON), /debug/exemplars (current tail captures), and
+// /debug/quality (decision-drift status vs the behavioral baseline).
 // z is the observation history length requests must carry.
 func NewMux(b *Batcher, z int, reg *obs.Registry, tel *Telemetry) *http.ServeMux {
 	mux := http.NewServeMux()
@@ -103,6 +104,11 @@ func NewMux(b *Batcher, z int, reg *obs.Registry, tel *Telemetry) *http.ServeMux
 				exs = []Exemplar{}
 			}
 			writeJSON(w, http.StatusOK, exs)
+		})
+	}
+	if qf := tel.Quality(); qf != nil && qf.Monitor != nil {
+		mux.HandleFunc("GET /debug/quality", func(w http.ResponseWriter, _ *http.Request) {
+			writeJSON(w, http.StatusOK, qf.Monitor.Status())
 		})
 	}
 	return mux

@@ -14,6 +14,7 @@ import (
 
 	"head/internal/head"
 	"head/internal/obs"
+	"head/internal/obs/quality"
 	"head/internal/obs/span"
 	"head/internal/predict"
 	"head/internal/rl"
@@ -224,6 +225,22 @@ func TestServedDecisionBitIdentityTelemetry(t *testing.T) {
 				Tracer: span.New(span.Config{}),
 				Sample: 0.5,
 				SLO:    obs.NewSLO(obs.SLOConfig{}),
+			})
+		}},
+		{"quality", func() *Telemetry {
+			// Drift monitoring on: every served decision feeds the monitor,
+			// which must not leak back into the decision path.
+			rec := quality.NewRecorder("")
+			for i := 0; i < 200; i++ {
+				rec.Observe(quality.Sample{
+					Behavior: i % 3, Accel: float64(i%5) - 2, Speed: 15, Neighbors: 3,
+					TTC: 4, TTCValid: true, AttnEntropy: 1, AttnValid: true,
+				})
+			}
+			mon := quality.NewMonitor(rec.Baseline(quality.Baseline{Tool: "test"}), quality.MonitorConfig{})
+			return NewTelemetry(TelemetryConfig{
+				SLO:     obs.NewSLO(obs.SLOConfig{}),
+				Quality: &QualityFeed{Monitor: mon, VehicleLen: cfg.Traffic.World.VehicleLen},
 			})
 		}},
 	}

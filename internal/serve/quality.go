@@ -1,0 +1,46 @@
+package serve
+
+import (
+	"head/internal/obs/quality"
+	"head/internal/world"
+)
+
+// QualityFeed folds served decisions into the online drift monitor: each
+// successful request contributes one quality.Sample summarizing what the
+// vehicle saw (latest-frame speed, neighbor count, front-leader TTC) and
+// what the model decided (behavior, raw acceleration, attention entropy).
+// The feed is strictly out of band — it runs after the response is
+// written, touches only its own histograms, and a nil feed (or nil
+// monitor) observes nothing — so served decisions are bit-identical with
+// quality monitoring off or on.
+type QualityFeed struct {
+	// Monitor receives the samples and scores them against the loaded
+	// behavioral baseline.
+	Monitor *quality.Monitor
+	// VehicleLen is the world's vehicle length, needed to turn bumper
+	// positions into the leader gap behind the TTC summary.
+	VehicleLen float64
+}
+
+// Observe folds one served decision. Nil-safe on every level: a nil feed,
+// nil monitor, or nil observation is a no-op.
+func (f *QualityFeed) Observe(o *Observation, d Decision) {
+	if f == nil || f.Monitor == nil || o == nil || len(o.Frames) == 0 {
+		return
+	}
+	fr := o.Frames[len(o.Frames)-1]
+	s := quality.Sample{
+		Behavior:  d.Behavior,
+		Accel:     d.Accel,
+		Speed:     fr.AV.V,
+		Neighbors: len(fr.Vehicles),
+	}
+	veh := func(i int) (int, world.State) { return fr.Vehicles[i].ID, fr.Vehicles[i].State }
+	if ttc, ok := quality.LeaderTTC(fr.AV, len(fr.Vehicles), veh, f.VehicleLen); ok {
+		s.TTC, s.TTCValid = ttc, true
+	}
+	if d.attnValid {
+		s.AttnEntropy, s.AttnValid = d.AttnEntropy, true
+	}
+	f.Monitor.Observe(s)
+}

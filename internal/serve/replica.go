@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"head/internal/head"
+	"head/internal/obs/quality"
 	"head/internal/phantom"
 	"head/internal/predict"
 	"head/internal/rl"
@@ -166,12 +167,17 @@ func (r *Replica) DecideBatch(obs []*Observation, out []Decision) error {
 			Accel:        a.A,
 			Params:       append([]float64(nil), a.Raw...),
 		}
-		if lo, hi := i*phantom.NumSlots, (i+1)*phantom.NumSlots; obs[i].ReturnAttention && hi <= len(attn) {
-			rows := make([][]float64, phantom.NumSlots)
-			for k, row := range attn[lo:hi] {
-				rows[k] = append([]float64(nil), row...)
+		if lo, hi := i*phantom.NumSlots, (i+1)*phantom.NumSlots; hi <= len(attn) {
+			if ent, ok := quality.MeanAttnEntropy(attn[lo:hi]); ok {
+				d.AttnEntropy, d.attnValid = ent, true
 			}
-			d.Attention = rows
+			if obs[i].ReturnAttention {
+				rows := make([][]float64, phantom.NumSlots)
+				for k, row := range attn[lo:hi] {
+					rows[k] = append([]float64(nil), row...)
+				}
+				d.Attention = rows
+			}
 		}
 		out[i] = d
 	}

@@ -176,6 +176,9 @@ type TelemetryConfig struct {
 	SLO *obs.SLO
 	// Exemplars receives tail-capture candidates.
 	Exemplars *ExemplarRing
+	// Quality receives every successful decision for online drift
+	// detection against the loaded behavioral baseline.
+	Quality *QualityFeed
 }
 
 // Telemetry is the request-scoped telemetry layer of the decision
@@ -235,6 +238,14 @@ func (t *Telemetry) Exemplars() *ExemplarRing {
 		return nil
 	}
 	return t.cfg.Exemplars
+}
+
+// Quality returns the attached decision-quality feed (nil when absent).
+func (t *Telemetry) Quality() *QualityFeed {
+	if t == nil {
+		return nil
+	}
+	return t.cfg.Quality
 }
 
 // Started counts requests that entered the layer (Begin calls); Finished
@@ -318,6 +329,12 @@ func (rt *ReqTrace) Finish(o *Observation, res Result, status int, reqErr error)
 
 	isErr := reqErr != nil || status >= 400
 	t.cfg.SLO.Observe(e2e, isErr)
+
+	if !isErr && status == 200 {
+		// Only decisions actually delivered shape the behavior-drift
+		// windows; failed or rejected requests carry no decision.
+		t.cfg.Quality.Observe(o, res.Decision)
+	}
 
 	if t.cfg.Exemplars != nil {
 		ex := Exemplar{

@@ -94,15 +94,24 @@ func (o *Observation) Validate(z int) error {
 
 // Decision is the served maneuver: the discrete behavior, the executed
 // acceleration, the full parameterized-action vector (one acceleration per
-// behavior, world.Behavior order), and the LST-GAT attention rows of the
-// decision step (one row per target slot, one weight per attended
-// neighbor).
+// behavior, world.Behavior order), the mean attention entropy of the
+// decision step, and the full LST-GAT attention rows (one row per target
+// slot, one weight per attended neighbor) when the request opted in.
 type Decision struct {
-	Behavior     int         `json:"behavior"`
-	BehaviorName string      `json:"behavior_name"`
-	Accel        float64     `json:"accel"`
-	Params       []float64   `json:"params"`
-	Attention    [][]float64 `json:"attention,omitempty"`
+	Behavior     int       `json:"behavior"`
+	BehaviorName string    `json:"behavior_name"`
+	Accel        float64   `json:"accel"`
+	Params       []float64 `json:"params"`
+	// AttnEntropy is the mean renormalized Shannon entropy (nats) of the
+	// decision's LST-GAT attention rows — how spread the model's focus was.
+	// Always computed (a scalar per row, no full-row copies), so quality
+	// monitoring never needs ReturnAttention.
+	AttnEntropy float64     `json:"attn_entropy"`
+	Attention   [][]float64 `json:"attention,omitempty"`
+
+	// attnValid distinguishes a true zero entropy (one-hot attention) from
+	// rows with no positive mass. Server-internal, never on the wire.
+	attnValid bool
 }
 
 // Maneuver converts the decision into the simulator's maneuver form.
