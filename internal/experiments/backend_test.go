@@ -1,0 +1,169 @@
+package experiments
+
+import (
+	"math"
+	"math/rand"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"head/internal/predict"
+	"head/internal/rl"
+)
+
+// TestBackendF64BitIdentity pins the backend seam's golden path: selecting
+// the f64 backend explicitly must reproduce byte-for-byte the Table I and
+// trained-checkpoint output of the default (empty) backend — which
+// TestGoldenBitIdentity in turn pins to the pre-refactor bytes. Together
+// they prove the Backend indirection added zero numerical drift.
+func TestBackendF64BitIdentity(t *testing.T) {
+	wantTable, wantCkpt := goldenState(t, micro())
+	s := micro()
+	s.Backend = "f64"
+	gotTable, gotCkpt := goldenState(t, s)
+	if gotTable != wantTable {
+		t.Errorf("Backend=f64 Table I bytes diverged from the default path:\n  got  %s\n  want %s", gotTable, wantTable)
+	}
+	if gotCkpt != wantCkpt {
+		t.Errorf("Backend=f64 checkpoint bytes diverged from the default path:\n  got  %s\n  want %s", gotCkpt, wantCkpt)
+	}
+}
+
+// relErr is the symmetric relative error with an absolute floor so
+// metrics that are legitimately zero under both backends compare equal.
+func relErr(a, b float64) float64 {
+	d := math.Abs(a - b)
+	if d == 0 {
+		return 0
+	}
+	m := math.Max(math.Abs(a), math.Abs(b))
+	if m < 1e-9 {
+		return 0
+	}
+	return d / m
+}
+
+// TestBackendF32PredictionTolerance is the Table III fence: the four state
+// predictors trained and evaluated under the f32 backend must land within
+// a per-metric relative tolerance of the f64 run. Prediction is a pure
+// regression pipeline — continuous in the weights — so the fence is tight;
+// it also asserts the runs are NOT identical, catching a regression where
+// the f32 path silently stops being engaged.
+func TestBackendF32PredictionTolerance(t *testing.T) {
+	rows64, err := TableIIIIV(micro())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := micro()
+	s.Backend = "f32"
+	rows32, err := TableIIIIV(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows64) != len(rows32) {
+		t.Fatalf("row count: f64 %d, f32 %d", len(rows64), len(rows32))
+	}
+	const fence = 0.05
+	engaged := false
+	for i, r64 := range rows64 {
+		r32 := rows32[i]
+		if r64.Name != r32.Name {
+			t.Fatalf("row %d: f64 %q vs f32 %q", i, r64.Name, r32.Name)
+		}
+		for _, m := range []struct {
+			name     string
+			a64, a32 float64
+		}{
+			{"MAE", r64.Model.MAE, r32.Model.MAE},
+			{"RMSE", r64.Model.RMSE, r32.Model.RMSE},
+		} {
+			re := relErr(m.a64, m.a32)
+			t.Logf("%s %s: f64=%.6g f32=%.6g rel=%.3g", r64.Name, m.name, m.a64, m.a32, re)
+			if re > fence {
+				t.Errorf("%s %s: f32 %.6g vs f64 %.6g, relative error %.3g > %g",
+					r64.Name, m.name, m.a32, m.a64, re, fence)
+			}
+			if re > 0 {
+				engaged = true
+			}
+		}
+	}
+	if !engaged {
+		t.Error("f32 run bit-identical to f64 across every Table III metric: the f32 backend is not engaged")
+	}
+}
+
+// TestBackendF32EndToEndTolerance is the Table I fence: the end-to-end
+// evaluation under the f32 backend must stay within per-metric relative
+// tolerance of the f64 run. The fence is looser than Table III's because
+// the decision loop quantizes forwards through argmax behavior selection —
+// a one-ULP flip can reroute a trajectory — but at the pinned micro scale
+// and seed the run is deterministic, so the fence is a stable regression
+// gate rather than a statistical one.
+func TestBackendF32EndToEndTolerance(t *testing.T) {
+	rows64, err := TableI(micro())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := micro()
+	s.Backend = "f32"
+	rows32, err := TableI(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows64) != len(rows32) {
+		t.Fatalf("row count: f64 %d, f32 %d", len(rows64), len(rows32))
+	}
+	const fence = 0.35
+	for i, r64 := range rows64 {
+		r32 := rows32[i]
+		if r64.Method != r32.Method {
+			t.Fatalf("row %d: f64 %q vs f32 %q", i, r64.Method, r32.Method)
+		}
+		for _, m := range []struct {
+			name     string
+			a64, a32 float64
+		}{
+			{"AvgDT-A", r64.AvgDTA, r32.AvgDTA},
+			{"AvgDT-C", r64.AvgDTC, r32.AvgDTC},
+			{"AvgCA", r64.AvgCA, r32.AvgCA},
+			{"MinTTC-A", r64.MinTTCA, r32.MinTTCA},
+			{"AvgV-A", r64.AvgVA, r32.AvgVA},
+		} {
+			re := relErr(m.a64, m.a32)
+			t.Logf("%s %s: f64=%.6g f32=%.6g rel=%.3g", r64.Method, m.name, m.a64, m.a32, re)
+			if re > fence {
+				t.Errorf("%s %s: f32 %.6g vs f64 %.6g, relative error %.3g > %g",
+					r64.Method, m.name, m.a32, m.a64, re, fence)
+			}
+		}
+	}
+}
+
+// TestBackendCheckpointTagged pins the on-disk contract at the experiments
+// layer: an f32-scale checkpoint refuses to load under the default (f64)
+// scale with an error naming both backends, and loads cleanly under a
+// matching f32 scale.
+func TestBackendCheckpointTagged(t *testing.T) {
+	dir := t.TempDir()
+	s := micro()
+	s.Backend = "f32"
+	rng := rand.New(rand.NewSource(s.Seed))
+	predictor := predict.NewLSTGAT(s.PredictorConfig(), rng)
+	cfg := s.EnvConfig()
+	agent := rl.NewBPDQN(s.RLConfig(), rl.DefaultStateSpec(), cfg.Traffic.World.AMax, s.RLHidden, rng)
+	if err := SaveModule(filepath.Join(dir, CkptLSTGAT), predictor, s.Backend); err != nil {
+		t.Fatal(err)
+	}
+	if err := SaveModule(filepath.Join(dir, CkptBPDQN), agent, s.Backend); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := LoadCheckpoint(micro(), dir); err == nil {
+		t.Fatal("loading an f32 checkpoint under the default f64 scale succeeded; want a backend-mismatch error")
+	} else if got := err.Error(); !strings.Contains(got, "f32") || !strings.Contains(got, "f64") {
+		t.Fatalf("mismatch error %q does not name both backends", got)
+	}
+	if _, _, err := LoadCheckpoint(s, dir); err != nil {
+		t.Fatalf("reloading under the matching f32 scale: %v", err)
+	}
+}

@@ -28,6 +28,7 @@ type BenchSnapshot struct {
 	Scale      string  `json:"scale"`
 	Seed       int64   `json:"seed"`
 	Workers    int     `json:"workers"`
+	Backend    string  `json:"backend,omitempty"`
 	ConfigHash string  `json:"config_hash"`
 	GoVersion  string  `json:"go_version"`
 	DurationS  float64 `json:"duration_s"`
@@ -44,6 +45,7 @@ func WriteBenchJSON(path, tool, scaleName string, s Scale, start time.Time, rows
 		Scale:      scaleName,
 		Seed:       s.Seed,
 		Workers:    s.Workers,
+		Backend:    s.Backend,
 		ConfigHash: s.ConfigHash(),
 		GoVersion:  runtime.Version(),
 		DurationS:  time.Since(start).Seconds(),

@@ -32,16 +32,19 @@ func (s Scale) PredictorConfig() predict.LSTGATConfig {
 	cfg := predict.DefaultLSTGATConfig()
 	cfg.AttnDim, cfg.GATOut, cfg.HiddenDim = s.PredHidden, s.PredGATOut, s.PredHidden
 	cfg.LR = s.PredLR
+	cfg.Backend = s.Backend
 	return cfg
 }
 
-// SaveModule checkpoints one module to path.
-func SaveModule(path string, m nn.Module) error {
+// SaveModule checkpoints one module to path, tagged with the tensor
+// backend it was trained under ("" or "f64" keeps the legacy untagged
+// byte format, so f64 checkpoints stay byte-identical).
+func SaveModule(path string, m nn.Module, backend string) error {
 	f, err := os.Create(path)
 	if err != nil {
 		return err
 	}
-	if err := nn.Save(f, m); err != nil {
+	if err := nn.SaveTagged(f, m, backend); err != nil {
 		f.Close()
 		return err
 	}
@@ -49,14 +52,15 @@ func SaveModule(path string, m nn.Module) error {
 }
 
 // LoadModule restores a checkpoint written by SaveModule into an
-// identically constructed module.
-func LoadModule(path string, m nn.Module) error {
+// identically constructed module running under the same backend; a
+// mismatch refuses with an error naming both backends.
+func LoadModule(path string, m nn.Module, backend string) error {
 	f, err := os.Open(path)
 	if err != nil {
 		return err
 	}
 	defer f.Close()
-	return nn.Load(f, m)
+	return nn.LoadTagged(f, m, backend)
 }
 
 // LoadCheckpoint reconstructs the trained LST-GAT + BP-DQN pair from a
@@ -66,12 +70,12 @@ func LoadModule(path string, m nn.Module) error {
 func LoadCheckpoint(s Scale, dir string) (*predict.LSTGAT, *rl.PDQN, error) {
 	rng := rand.New(rand.NewSource(s.Seed))
 	predictor := predict.NewLSTGAT(s.PredictorConfig(), rng)
-	if err := LoadModule(filepath.Join(dir, CkptLSTGAT), predictor); err != nil {
+	if err := LoadModule(filepath.Join(dir, CkptLSTGAT), predictor, s.Backend); err != nil {
 		return nil, nil, err
 	}
 	cfg := s.EnvConfig()
 	agent := rl.NewBPDQN(s.RLConfig(), rl.DefaultStateSpec(), cfg.Traffic.World.AMax, s.RLHidden, rng)
-	if err := LoadModule(filepath.Join(dir, CkptBPDQN), agent); err != nil {
+	if err := LoadModule(filepath.Join(dir, CkptBPDQN), agent, s.Backend); err != nil {
 		return nil, nil, err
 	}
 	return predictor, agent, nil

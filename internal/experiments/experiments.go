@@ -78,6 +78,13 @@ type Scale struct {
 	// only — table bytes and checkpoints are bit-identical for every
 	// value, which the golden test gates.
 	BatchEnvs int
+	// Backend names the tensor backend the model forwards run on: "" or
+	// "f64" is the float64 golden path (table bytes and checkpoints
+	// bit-identical to the pre-backend kernels), "f32" the float32 fast
+	// path (Table I/III metrics within tolerance fences, gated by the
+	// backend tests). Unlike Workers/BatchEnvs this knob DOES change
+	// numerics, so it participates in ConfigHash.
+	Backend string
 
 	// Metrics and Progress attach run observability to every training and
 	// evaluation loop the suite executes; both are optional (nil disables)
@@ -288,6 +295,7 @@ func (s Scale) rlConfig() rl.PDQNConfig {
 	cfg := rl.DefaultPDQNConfig()
 	cfg.Warmup = s.RLWarmup
 	cfg.Eps.DecaySteps = s.EpsDecay
+	cfg.Backend = s.Backend
 	return cfg
 }
 
@@ -318,10 +326,7 @@ func TrainedPredictorObserved(s Scale, rng *rand.Rand, epochSink func(epoch int,
 	}
 	ds.Shuffle(rng)
 	train, _ := ds.Split(0.8)
-	cfg := predict.DefaultLSTGATConfig()
-	cfg.AttnDim, cfg.GATOut, cfg.HiddenDim = s.PredHidden, s.PredGATOut, s.PredHidden
-	cfg.LR = s.PredLR
-	model := predict.NewLSTGAT(cfg, rng)
+	model := predict.NewLSTGAT(s.PredictorConfig(), rng)
 	predict.Train(model, train, predict.TrainConfig{
 		Epochs: s.PredEpochs, BatchSize: s.PredBatch, Workers: s.Workers,
 		Metrics: s.Metrics, Progress: s.Progress, EpochSink: epochSink,
@@ -471,10 +476,8 @@ func TableIIIIV(s Scale) ([]PredRow, error) {
 	}
 	ds.Shuffle(rng)
 	train, test := ds.Split(0.8)
-	bc := predict.BaselineConfig{HiddenDim: s.PredHidden, LR: s.PredLR, Z: 5}
-	gc := predict.DefaultLSTGATConfig()
-	gc.AttnDim, gc.GATOut, gc.HiddenDim = s.PredHidden, s.PredGATOut, s.PredHidden
-	gc.LR = s.PredLR
+	bc := predict.BaselineConfig{HiddenDim: s.PredHidden, LR: s.PredLR, Z: 5, Backend: s.Backend}
+	gc := s.PredictorConfig()
 	builders := []func(r *rand.Rand) predict.Model{
 		func(r *rand.Rand) predict.Model { return predict.NewLSTMMLP(bc, r) },
 		func(r *rand.Rand) predict.Model { return predict.NewEDLSTM(bc, r) },

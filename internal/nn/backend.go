@@ -1,0 +1,43 @@
+package nn
+
+import "head/internal/tensor"
+
+// This file is the nn side of the tensor backend seam. Layers whose
+// forward products route through a tensor.Backend (Linear, LSTM, GAT,
+// Tanh, and Sequential as a container) implement backendSettable; the
+// SetBackend walker assigns a backend across whole models at construction
+// time. A nil or never-set backend means tensor.F64 — the golden path —
+// so existing construction sites keep their exact behavior.
+//
+// Only forward products are backend-dispatched. Backward passes, gradient
+// accumulation, optimizer state, and checkpoint bytes stay float64 for
+// every backend: the f32 backend is a forward-only fast path whose
+// numerics are fenced by the Table I/III tolerance tests, not bit-identity.
+
+// backendSettable is implemented by layers and composite modules whose
+// forward products route through a tensor.Backend.
+type backendSettable interface {
+	SetBackend(tensor.Backend)
+}
+
+// SetBackend assigns be to every module in ms that supports backend
+// selection, recursing through containers (Sequential walks its layers;
+// composite nets forward to their children). Modules without a backend
+// seam — element-wise activations, mask layers — are skipped: they are
+// exact on widened f32 values, so they belong to every backend. A nil be
+// resets to the default f64 backend.
+func SetBackend(be tensor.Backend, ms ...Module) {
+	for _, m := range ms {
+		if s, ok := m.(backendSettable); ok {
+			s.SetBackend(be)
+		}
+	}
+}
+
+// backendOr resolves a layer's stored backend, defaulting to f64.
+func backendOr(be tensor.Backend) tensor.Backend {
+	if be == nil {
+		return tensor.F64
+	}
+	return be
+}

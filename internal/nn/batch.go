@@ -36,11 +36,11 @@ func (l *Linear) ForwardBatch(x *tensor.Matrix) *tensor.Matrix {
 	l.lastX = x
 	l.ws.Reset()
 	y := l.ws.Get(x.Rows, l.Out)
-	// Transpose the weight per call (the optimizer mutates it between
-	// calls) so the product runs on the contiguous-stream dot kernel.
-	wT := l.ws.Get(l.Weight.W.Cols, l.Weight.W.Rows)
-	tensor.TransposeInto(wT, l.Weight.W)
-	tensor.MatMulAddBiasDotInto(y, x, wT, l.Bias.W)
+	// The backend's batch product runs on the contiguous-stream dot kernel
+	// against the Weights handle's cached transpose (or f32 mirror); the
+	// cache is invalidated by Touch whenever the optimizer mutates the
+	// weight, so no per-call relayout is needed.
+	backendOr(l.be).BatchMatMulAddBias(&l.ws, y, x, l.Weight.H(), l.Bias.H())
 	return y
 }
 
@@ -75,19 +75,15 @@ func (l *LSTM) ForwardBatch(seq []*tensor.Matrix) []*tensor.Matrix {
 	}
 	batch := seq[0].Rows
 	H := l.Hidden
-	// Transpose the weights once per call so every step's pre-activation
-	// runs on the contiguous-stream dot kernel. The relayout costs ~2µs and
-	// is amortized over the whole sequence; it cannot be cached across
-	// calls because the optimizer updates the weights between forwards.
-	wxT := l.ws.Get(l.Wx.W.Cols, l.Wx.W.Rows)
-	tensor.TransposeInto(wxT, l.Wx.W)
-	whT := l.ws.Get(l.Wh.W.Cols, l.Wh.W.Rows)
-	tensor.TransposeInto(whT, l.Wh.W)
+	be := backendOr(l.be)
 	hPrev := l.ws.GetZero(batch, H)
 	cPrev := l.ws.GetZero(batch, H)
 	for t, x := range seq {
 		z := l.ws.Get(batch, 4*H)
-		tensor.MatMulDualAddBiasDotInto(z, x, wxT, hPrev, whT, l.B.W)
+		// The fused pre-activation runs on the dot kernel against the
+		// Weights handles' cached transposes (or f32 mirrors), refreshed
+		// lazily after each optimizer Touch instead of per call.
+		be.BatchLSTMPreact(&l.ws, z, x, l.Wx.H(), hPrev, l.Wh.H(), l.B.H())
 		c := l.ws.Get(batch, H)
 		h := l.ws.Get(batch, H)
 		for r := 0; r < batch; r++ {

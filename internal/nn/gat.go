@@ -48,6 +48,7 @@ type GAT struct {
 	dAlpha    []float64
 	ws        tensor.Workspace
 	params    []*Param
+	be        tensor.Backend // nil means tensor.F64
 }
 
 // NewGAT returns a Xavier-initialized graph attention layer mapping In-dim
@@ -80,10 +81,16 @@ func (g *GAT) Params() []*Param { return g.params }
 // spatial-temporal graph.
 func (g *GAT) Share() *GAT {
 	s := &GAT{In: g.In, AttnDim: g.AttnDim, Out: g.Out, Residual: g.Residual,
-		Uniform: g.Uniform, Workers: g.Workers, Phi1: g.Phi1, Phi2: g.Phi2, Phi3: g.Phi3}
+		Uniform: g.Uniform, Workers: g.Workers, Phi1: g.Phi1, Phi2: g.Phi2, Phi3: g.Phi3,
+		be: g.be}
 	s.params = []*Param{s.Phi1, s.Phi2, s.Phi3}
 	return s
 }
+
+// SetBackend routes the node feature transforms (nodes·φ1, nodes·φ3)
+// through be (nil restores the default f64 backend). The per-target
+// attention loop and Backward stay float64.
+func (g *GAT) SetBackend(be tensor.Backend) { g.be = be }
 
 // Alphas returns the normalized attention weights of the most recent
 // Forward: one row per target, one weight per neighbor (uniform 1/|N(i)|
@@ -120,21 +127,18 @@ func (g *GAT) forward(nodes *tensor.Matrix, targets []int, neighbors [][]int, bl
 	g.ws.Reset()
 	g.u = g.ws.Get(nodes.Rows, g.AttnDim)
 	g.w = g.ws.Get(nodes.Rows, g.Out)
+	be := backendOr(g.be)
 	if blocked && g.Workers > 1 {
-		tensor.MatMulParallelInto(g.u, nodes, g.Phi1.W, g.Workers)
-		tensor.MatMulParallelInto(g.w, nodes, g.Phi3.W, g.Workers)
+		be.MatMulParallel(&g.ws, g.u, nodes, g.Phi1.H(), g.Workers)
+		be.MatMulParallel(&g.ws, g.w, nodes, g.Phi3.H(), g.Workers)
 	} else if blocked {
-		// Per-call weight transposes put the batched products on the
-		// contiguous-stream dot kernel; see Linear.ForwardBatch.
-		p1T := g.ws.Get(g.Phi1.W.Cols, g.Phi1.W.Rows)
-		tensor.TransposeInto(p1T, g.Phi1.W)
-		tensor.MatMulDotInto(g.u, nodes, p1T)
-		p3T := g.ws.Get(g.Phi3.W.Cols, g.Phi3.W.Rows)
-		tensor.TransposeInto(p3T, g.Phi3.W)
-		tensor.MatMulDotInto(g.w, nodes, p3T)
+		// The batched products run on the contiguous-stream dot kernel
+		// against cached weight views; see Linear.ForwardBatch.
+		be.BatchMatMul(&g.ws, g.u, nodes, g.Phi1.H())
+		be.BatchMatMul(&g.ws, g.w, nodes, g.Phi3.H())
 	} else {
-		tensor.MatMulInto(g.u, nodes, g.Phi1.W)
-		tensor.MatMulInto(g.w, nodes, g.Phi3.W)
+		be.MatMul(&g.ws, g.u, nodes, g.Phi1.H())
+		be.MatMul(&g.ws, g.w, nodes, g.Phi3.H())
 	}
 	D := g.AttnDim
 	phi2a := g.Phi2.W.Data[:D]

@@ -26,6 +26,7 @@ type LSTM struct {
 	bhs                    []*tensor.Matrix // ForwardBatch hidden states
 	ws                     tensor.Workspace
 	params                 []*Param
+	be                     tensor.Backend // nil means tensor.F64
 }
 
 // NewLSTM returns a Xavier-initialized LSTM with the given input and hidden
@@ -44,6 +45,7 @@ func NewLSTM(name string, in, hidden int, rng *rand.Rand) *LSTM {
 	for j := hidden; j < 2*hidden; j++ {
 		l.B.W.Data[j] = 1 // forget gate bias
 	}
+	l.B.Touch()
 	l.params = []*Param{l.Wx, l.Wh, l.B}
 	return l
 }
@@ -52,11 +54,16 @@ func NewLSTM(name string, in, hidden int, rng *rand.Rand) *LSTM {
 // per-step parameter walks allocate nothing.
 func (l *LSTM) Params() []*Param { return l.params }
 
-// Share returns a new LSTM that shares l's parameters but has independent
-// forward caches, so the same recurrent weights can encode several
-// sequences within one backward pass.
+// SetBackend routes the per-step pre-activation products through be (nil
+// restores the default f64 backend). The gate nonlinearities and Backward
+// stay float64.
+func (l *LSTM) SetBackend(be tensor.Backend) { l.be = be }
+
+// Share returns a new LSTM that shares l's parameters (and backend) but
+// has independent forward caches, so the same recurrent weights can encode
+// several sequences within one backward pass.
 func (l *LSTM) Share() *LSTM {
-	s := &LSTM{In: l.In, Hidden: l.Hidden, Wx: l.Wx, Wh: l.Wh, B: l.B}
+	s := &LSTM{In: l.In, Hidden: l.Hidden, Wx: l.Wx, Wh: l.Wh, B: l.B, be: l.be}
 	s.params = []*Param{s.Wx, s.Wh, s.B}
 	return s
 }
@@ -83,20 +90,12 @@ func (l *LSTM) Forward(seq []*tensor.Matrix) []*tensor.Matrix {
 	}
 	batch := seq[0].Rows
 	H := l.Hidden
+	be := backendOr(l.be)
 	hPrev := l.ws.GetZero(batch, H)
 	cPrev := l.ws.GetZero(batch, H)
 	for t, x := range seq {
 		z := l.ws.Get(batch, 4*H)
-		zh := l.ws.Get(batch, 4*H)
-		tensor.MatMulInto(z, x, l.Wx.W)
-		tensor.MatMulInto(zh, hPrev, l.Wh.W)
-		tensor.AddInPlace(z, zh)
-		for r := 0; r < batch; r++ {
-			row := z.Row(r)
-			for j, b := range l.B.W.Data {
-				row[j] += b
-			}
-		}
+		be.LSTMPreact(&l.ws, z, x, l.Wx.H(), hPrev, l.Wh.H(), l.B.H())
 		i := l.ws.Get(batch, H)
 		f := l.ws.Get(batch, H)
 		g := l.ws.Get(batch, H)

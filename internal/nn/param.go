@@ -23,6 +23,7 @@ type Param struct {
 	Name string
 	W    *tensor.Matrix
 	Grad *tensor.Matrix
+	h    *tensor.Weights // lazy generation-counted view cache over W
 }
 
 // NewParam allocates a named rows×cols parameter with a zero gradient.
@@ -32,6 +33,27 @@ func NewParam(name string, rows, cols int) *Param {
 
 // ZeroGrad resets the accumulated gradient.
 func (p *Param) ZeroGrad() { p.Grad.Zero() }
+
+// H returns the parameter's tensor.Weights handle: the generation-counted
+// cache of derived views (f64 transpose, f32 mirrors) the backend kernels
+// compute against. Created on first use, so params built by struct literal
+// work too.
+func (p *Param) H() *tensor.Weights {
+	if p.h == nil {
+		p.h = tensor.NewWeights(p.W)
+	}
+	return p.h
+}
+
+// Touch invalidates the cached views after a mutation of W.Data. Every
+// weight-mutation site in this package (optimizer steps, CopyParams,
+// SoftUpdate, Load, init) calls it; code that writes W.Data directly must
+// do the same before the next backend forward.
+func (p *Param) Touch() {
+	if p.h != nil {
+		p.h.Touch()
+	}
+}
 
 // Module is anything that exposes trainable parameters.
 type Module interface {
@@ -118,6 +140,7 @@ func CopyParams(dst, src Module) {
 			panic(fmt.Sprintf("nn: CopyParams shape mismatch at %d (%s)", i, sp[i].Name))
 		}
 		copy(dp[i].W.Data, sp[i].W.Data)
+		dp[i].Touch()
 	}
 }
 
@@ -133,10 +156,12 @@ func SoftUpdate(dst, src Module, tau float64) {
 		for j := range d {
 			d[j] = tau*s[j] + (1-tau)*d[j]
 		}
+		dp[i].Touch()
 	}
 }
 
 // xavier initializes p for a layer with the given fan-in/out.
 func xavier(p *Param, rng *rand.Rand, fanIn, fanOut int) {
 	p.W.XavierInit(rng, fanIn, fanOut)
+	p.Touch()
 }

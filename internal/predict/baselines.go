@@ -14,6 +14,9 @@ type BaselineConfig struct {
 	HiddenDim int
 	LR        float64
 	Z         int
+	// Backend names the tensor backend the forward products run on; see
+	// LSTGATConfig.Backend.
+	Backend string
 }
 
 // DefaultBaselineConfig matches the paper's 64-dim hidden layers. The
@@ -37,12 +40,14 @@ type LSTMMLP struct {
 
 // NewLSTMMLP builds the LSTM-MLP baseline.
 func NewLSTMMLP(cfg BaselineConfig, rng *rand.Rand) *LSTMMLP {
-	return &LSTMMLP{
+	m := &LSTMMLP{
 		lstm:  nn.NewLSTM("lstmmlp.lstm", phantom.FeatureDim, cfg.HiddenDim, rng),
 		mlp:   nn.NewMLP("lstmmlp.mlp", []int{cfg.HiddenDim, cfg.HiddenDim, OutputDim}, rng),
 		opt:   nn.NewAdam(cfg.LR),
 		scale: defaultScaler(),
 	}
+	nn.SetBackend(tensor.MustLookup(cfg.Backend), m.lstm, m.mlp)
+	return m
 }
 
 // Name implements Model.
@@ -116,13 +121,15 @@ type EDLSTM struct {
 
 // NewEDLSTM builds the ED-LSTM baseline.
 func NewEDLSTM(cfg BaselineConfig, rng *rand.Rand) *EDLSTM {
-	return &EDLSTM{
+	m := &EDLSTM{
 		enc:   nn.NewLSTM("edlstm.enc", phantom.FeatureDim, cfg.HiddenDim, rng),
 		dec:   nn.NewLSTM("edlstm.dec", cfg.HiddenDim, cfg.HiddenDim, rng),
 		out:   nn.NewLinear("edlstm.out", cfg.HiddenDim, OutputDim, rng),
 		opt:   nn.NewAdam(cfg.LR),
 		scale: defaultScaler(),
 	}
+	nn.SetBackend(tensor.MustLookup(cfg.Backend), m.enc, m.dec, m.out)
+	return m
 }
 
 // Name implements Model.
@@ -208,13 +215,17 @@ type GASLED struct {
 func NewGASLED(cfg BaselineConfig, rng *rand.Rand) *GASLED {
 	attn := nn.NewGAT("gasled.attn", cfg.HiddenDim, cfg.HiddenDim, cfg.HiddenDim, rng)
 	attn.Residual = true
-	return &GASLED{
+	m := &GASLED{
 		enc:   nn.NewLSTM("gasled.enc", phantom.FeatureDim, cfg.HiddenDim, rng),
 		attn:  attn,
 		out:   nn.NewLinear("gasled.out", cfg.HiddenDim, OutputDim, rng),
 		opt:   nn.NewAdam(cfg.LR),
 		scale: defaultScaler(),
 	}
+	// The per-target encoders in encodeAll are Share views of enc, so they
+	// inherit the backend set here.
+	nn.SetBackend(tensor.MustLookup(cfg.Backend), m.enc, m.attn, m.out)
+	return m
 }
 
 // Name implements Model.

@@ -69,6 +69,8 @@ func newBranch(name string, in, hidden int, rng *rand.Rand) *branch {
 
 func (b *branch) Params() []*nn.Param { return b.seq.Params() }
 
+func (b *branch) setBackend(be tensor.Backend) { b.seq.SetBackend(be) }
+
 // concatParams flattens parameter groups into one exact-capacity slice, so
 // Params() can return a construction-time cache that per-step parameter
 // walks read without allocating (and that caller appends always copy).
@@ -130,6 +132,15 @@ func NewBranchedX(spec StateSpec, d int, aMax float64, rng *rand.Rand) *Branched
 // branch, merge — the serialization order) so parameter walks allocate
 // nothing.
 func (x *BranchedX) Params() []*nn.Param { return x.params }
+
+// SetBackend routes the forward products of both branches, the merge head,
+// and the bounding Tanh through be. Backward stays float64.
+func (x *BranchedX) SetBackend(be tensor.Backend) {
+	x.hBranch.setBackend(be)
+	x.fBranch.setBackend(be)
+	x.merge.SetBackend(be)
+	x.tanh.SetBackend(be)
+}
 
 // Forward implements XNet. The returned matrix lives in the network's
 // workspace and is valid until the next Forward.
@@ -196,6 +207,15 @@ func NewBranchedQ(spec StateSpec, d int, rng *rand.Rand) *BranchedQ {
 // allocate nothing.
 func (q *BranchedQ) Params() []*nn.Param { return q.params }
 
+// SetBackend routes the forward products of all three branches and the
+// merge head through be. Backward stays float64.
+func (q *BranchedQ) SetBackend(be tensor.Backend) {
+	q.hBranch.setBackend(be)
+	q.fBranch.setBackend(be)
+	q.xBranch.SetBackend(be)
+	q.merge.SetBackend(be)
+}
+
 // Forward implements QNet. The returned matrix lives in the merge layer's
 // workspace and is valid until the next Forward.
 func (q *BranchedQ) Forward(state []float64, xout *tensor.Matrix) *tensor.Matrix {
@@ -256,6 +276,12 @@ func NewSharedX(spec StateSpec, h int, aMax float64, rng *rand.Rand) *SharedX {
 // Params implements nn.Module.
 func (x *SharedX) Params() []*nn.Param { return x.mlp.Params() }
 
+// SetBackend routes the MLP products and the bounding Tanh through be.
+func (x *SharedX) SetBackend(be tensor.Backend) {
+	x.mlp.SetBackend(be)
+	x.tanh.SetBackend(be)
+}
+
 // Forward implements XNet. The returned matrix lives in the network's
 // workspace and is valid until the next Forward.
 func (x *SharedX) Forward(state []float64) *tensor.Matrix {
@@ -298,6 +324,9 @@ func NewSharedQ(spec StateSpec, h int, rng *rand.Rand) *SharedQ {
 
 // Params implements nn.Module.
 func (q *SharedQ) Params() []*nn.Param { return q.mlp.Params() }
+
+// SetBackend routes the MLP products through be.
+func (q *SharedQ) SetBackend(be tensor.Backend) { q.mlp.SetBackend(be) }
 
 // Forward implements QNet. The returned matrix lives in the final layer's
 // workspace and is valid until the next Forward.

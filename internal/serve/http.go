@@ -51,6 +51,7 @@ type healthResponse struct {
 	MaxWaitS float64 `json:"max_wait_s"`
 	Replicas int     `json:"replicas"`
 	Frames   int     `json:"frames"`
+	Backend  string  `json:"backend"`
 }
 
 // errorResponse is every non-200 body. RequestID lets a fleet client tie
@@ -68,8 +69,12 @@ type errorResponse struct {
 // /debug/slo (rolling SLO evaluation), /debug/trace (request span dump,
 // Chrome trace JSON), /debug/exemplars (current tail captures), and
 // /debug/quality (decision-drift status vs the behavioral baseline).
-// z is the observation history length requests must carry.
-func NewMux(b *Batcher, z int, reg *obs.Registry, tel *Telemetry) *http.ServeMux {
+// z is the observation history length requests must carry; backend is the
+// replicas' tensor backend name ("" reports the default "f64").
+func NewMux(b *Batcher, z int, backend string, reg *obs.Registry, tel *Telemetry) *http.ServeMux {
+	if backend == "" {
+		backend = "f64"
+	}
 	mux := http.NewServeMux()
 	start := time.Now()
 	mux.HandleFunc("POST /v1/decide", func(w http.ResponseWriter, r *http.Request) {
@@ -84,6 +89,7 @@ func NewMux(b *Batcher, z int, reg *obs.Registry, tel *Telemetry) *http.ServeMux
 			MaxWaitS: cfg.MaxWait.Seconds(),
 			Replicas: cfg.Replicas,
 			Frames:   z,
+			Backend:  backend,
 		})
 	})
 	if reg != nil {

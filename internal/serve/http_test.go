@@ -32,7 +32,7 @@ func TestHTTPDecide(t *testing.T) {
 	reg := obs.NewRegistry()
 	b := NewBatcher(BatcherConfig{MaxBatch: 4, MaxWait: time.Millisecond, Metrics: reg},
 		func() Decider { return &echoDecider{} })
-	srv := httptest.NewServer(NewMux(b, 1, reg, nil))
+	srv := httptest.NewServer(NewMux(b, 1, "f64", reg, nil))
 	defer srv.Close()
 	defer b.Close()
 
@@ -154,7 +154,7 @@ func TestHTTPDecide(t *testing.T) {
 func TestHTTPBodyLimit(t *testing.T) {
 	b := NewBatcher(BatcherConfig{MaxBatch: 1, MaxWait: time.Millisecond},
 		func() Decider { return &echoDecider{} })
-	srv := httptest.NewServer(NewMux(b, 1, nil, nil))
+	srv := httptest.NewServer(NewMux(b, 1, "f64", nil, nil))
 	defer srv.Close()
 	defer b.Close()
 
@@ -184,7 +184,7 @@ func TestHTTPTelemetry(t *testing.T) {
 	})
 	b := NewBatcher(BatcherConfig{MaxBatch: 2, MaxWait: time.Millisecond},
 		func() Decider { return &echoDecider{} })
-	srv := httptest.NewServer(NewMux(b, 1, nil, tel))
+	srv := httptest.NewServer(NewMux(b, 1, "f64", nil, tel))
 	defer srv.Close()
 	defer b.Close()
 

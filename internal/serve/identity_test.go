@@ -248,7 +248,7 @@ func TestServedDecisionBitIdentityTelemetry(t *testing.T) {
 	for _, mode := range modes {
 		b := NewBatcher(BatcherConfig{MaxBatch: 2, MaxWait: time.Millisecond},
 			func() Decider { return NewReplica(rcfg, base.Clone(), tinyServeAgent(env)) })
-		srv := httptest.NewServer(NewMux(b, cfg.Sensor.Z, nil, mode.tel()))
+		srv := httptest.NewServer(NewMux(b, cfg.Sensor.Z, "f64", nil, mode.tel()))
 		// Several requests per mode so the sampled mode exercises both the
 		// traced and untraced branches.
 		var first []byte

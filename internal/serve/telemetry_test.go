@@ -191,7 +191,7 @@ func TestDrainTelemetryFlush(t *testing.T) {
 	d := &echoDecider{delay: 300 * time.Microsecond}
 	b := NewBatcher(BatcherConfig{MaxBatch: 4, MaxWait: 200 * time.Microsecond, Queue: 8, Replicas: 2},
 		func() Decider { return d })
-	srv := httptest.NewServer(NewMux(b, 1, nil, tel))
+	srv := httptest.NewServer(NewMux(b, 1, "f64", nil, tel))
 
 	body, _ := json.Marshal(mark(3))
 	const goroutines, perG = 8, 30

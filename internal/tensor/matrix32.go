@@ -1,0 +1,90 @@
+package tensor
+
+import "fmt"
+
+// Matrix32 is a dense row-major matrix of float32 — the storage type of
+// the f32 tensor backend. The float64 Matrix remains the interchange type
+// between layers (and the golden/bit-identity reference); Matrix32 values
+// exist only inside backend kernels and workspace arenas, staged from and
+// widened back to float64 at the kernel boundary.
+type Matrix32 struct {
+	Rows, Cols int
+	Data       []float32
+}
+
+// New32 returns a zeroed rows×cols float32 matrix.
+func New32(rows, cols int) *Matrix32 {
+	if rows < 0 || cols < 0 {
+		panic(fmt.Sprintf("tensor: negative dimensions %dx%d", rows, cols))
+	}
+	return &Matrix32{Rows: rows, Cols: cols, Data: make([]float32, rows*cols)}
+}
+
+// At returns the element at (i, j).
+func (m *Matrix32) At(i, j int) float32 { return m.Data[i*m.Cols+j] }
+
+// Set assigns the element at (i, j).
+func (m *Matrix32) Set(i, j int, v float32) { m.Data[i*m.Cols+j] = v }
+
+// Row returns the i-th row as a shared slice.
+func (m *Matrix32) Row(i int) []float32 { return m.Data[i*m.Cols : (i+1)*m.Cols] }
+
+// Zero resets all elements to 0 in place.
+func (m *Matrix32) Zero() {
+	for i := range m.Data {
+		m.Data[i] = 0
+	}
+}
+
+// Stage32 rounds the float64 matrix src into dst element-wise — the
+// narrowing conversion at the f32 backend's kernel boundary. Shapes must
+// match exactly.
+func Stage32(dst *Matrix32, src *Matrix) {
+	if dst.Rows != src.Rows || dst.Cols != src.Cols {
+		panic(fmt.Sprintf("tensor: Stage32 shape mismatch %dx%d vs %dx%d", dst.Rows, dst.Cols, src.Rows, src.Cols))
+	}
+	for i, v := range src.Data {
+		dst.Data[i] = float32(v)
+	}
+}
+
+// Widen converts the float32 matrix src into dst element-wise. Every
+// float32 is exactly representable as a float64, so widening is lossless:
+// a stage/widen round trip through the f32 backend loses precision only in
+// Stage32 and the f32 arithmetic itself, never on the way back out.
+func Widen(dst *Matrix, src *Matrix32) {
+	if dst.Rows != src.Rows || dst.Cols != src.Cols {
+		panic(fmt.Sprintf("tensor: Widen shape mismatch %dx%d vs %dx%d", dst.Rows, dst.Cols, src.Rows, src.Cols))
+	}
+	for i, v := range src.Data {
+		dst.Data[i] = float64(v)
+	}
+}
+
+// Transpose32Into writes aᵀ into dst (dst is a.Cols×a.Rows). dst must not
+// alias a.
+func Transpose32Into(dst, a *Matrix32) {
+	checkShape32("Transpose32Into", dst, a.Cols, a.Rows)
+	noAlias32("Transpose32Into", dst, a)
+	for i := 0; i < a.Rows; i++ {
+		for j := 0; j < a.Cols; j++ {
+			dst.Set(j, i, a.At(i, j))
+		}
+	}
+}
+
+// checkShape32 panics unless m has exactly the given shape.
+func checkShape32(op string, m *Matrix32, rows, cols int) {
+	if m.Rows != rows || m.Cols != cols {
+		panic(fmt.Sprintf("tensor: %s dst shape %dx%d, want %dx%d", op, m.Rows, m.Cols, rows, cols))
+	}
+}
+
+// noAlias32 panics when dst demonstrably shares backing storage with src.
+// Only full aliasing (same first element) is detectable, exactly like the
+// float64 noAlias check.
+func noAlias32(op string, dst, src *Matrix32) {
+	if len(dst.Data) > 0 && len(src.Data) > 0 && &dst.Data[0] == &src.Data[0] {
+		panic("tensor: " + op + " dst aliases an input")
+	}
+}
