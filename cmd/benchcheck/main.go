@@ -31,14 +31,17 @@
 //
 //	benchcheck -serve BENCH_serve.json [-serve-row b8] [-serve-p99 150] [-min-rps 500] \
 //	    [-serve-base b1 -serve-cand b8 -min-serve-speedup 1.2] \
-//	    [-overhead-base notel -overhead-cand tel -max-overhead 0.05]
+//	    [-overhead-base notel -overhead-cand tel -max-overhead 0.05] \
+//	    [-wire-base b8 -wire-cand b8-delta -min-wire-gain 0.15]
 //
 // -serve reads a cmd/headload snapshot and enforces a p99 latency ceiling
 // (milliseconds), a throughput floor, zero request errors, a
 // micro-batching throughput win between two named rows (candidate rps ÷
-// base rps), and a feature-overhead ceiling between two named rows (the
+// base rps), a feature-overhead ceiling between two named rows (the
 // candidate's p99 at most (1+max-overhead)× the base's — the telemetry
-// tax fence). No bench output is read in this mode.
+// tax fence), and a wire-pair gain floor between a JSON row and a
+// binary/delta row (the candidate must improve rps or p99 by
+// -min-wire-gain). No bench output is read in this mode.
 package main
 
 import (
@@ -235,6 +238,9 @@ func main() {
 	ovBase := flag.String("overhead-base", "", "feature-off serve row for the overhead gate ('' disables)")
 	ovCand := flag.String("overhead-cand", "", "feature-on serve row for the overhead gate")
 	maxOverhead := flag.Float64("max-overhead", 0.05, "allowed fractional p99 increase of overhead-cand over overhead-base")
+	wireBase := flag.String("wire-base", "", "JSON-wire serve row for the wire-pair gate ('' disables)")
+	wireCand := flag.String("wire-cand", "", "binary/delta-wire serve row for the wire-pair gate")
+	minWireGain := flag.Float64("min-wire-gain", 0.15, "wire-cand must beat wire-base by this fraction on rps OR p99")
 	flag.Parse()
 
 	if *servePath != "" {
@@ -242,6 +248,7 @@ func main() {
 			Row: *serveRow, MaxP99Ms: *serveP99, MinRPS: *minRPS,
 			Base: *serveBase, Cand: *serveCand, MinSpeedup: *minServeSp,
 			OverheadBase: *ovBase, OverheadCand: *ovCand, MaxOverhead: *maxOverhead,
+			WireBase: *wireBase, WireCand: *wireCand, MinWireGain: *minWireGain,
 		}))
 	}
 
@@ -398,6 +405,10 @@ func checkServe(path string, gate serve.ServeGate) int {
 	for _, r := range f.Rows {
 		fmt.Printf("benchcheck: serve %-10s %4d sessions %8d req %8.0f rps  p50 %7.2fms p90 %7.2fms p99 %7.2fms  avg batch %.2f  errors %d\n",
 			r.Name, r.Sessions, r.Requests, r.RPS, r.P50Ms, r.P90Ms, r.P99Ms, r.AvgBatch, r.Errors)
+		if r.Wire != "" && r.Wire != "json" {
+			fmt.Printf("benchcheck: serve %-10s wire %s: bytes/req p50 %.0f p99 %.0f, %d resyncs (%.4f/req)\n",
+				r.Name, r.Wire, r.BytesP50, r.BytesP99, r.Resyncs, r.ResyncRate)
+		}
 	}
 	if gate.Base != "" && gate.Cand != "" {
 		if base, ok := f.FindRow(gate.Base); ok {
@@ -412,6 +423,15 @@ func checkServe(path string, gate serve.ServeGate) int {
 			if cand, ok := f.FindRow(gate.OverheadCand); ok && base.P99Ms > 0 {
 				fmt.Printf("benchcheck: serve %s vs %s p99 overhead %+.1f%% (ceiling +%.0f%%)\n",
 					gate.OverheadCand, gate.OverheadBase, (cand.P99Ms/base.P99Ms-1)*100, gate.MaxOverhead*100)
+			}
+		}
+	}
+	if gate.WireBase != "" && gate.WireCand != "" {
+		if base, ok := f.FindRow(gate.WireBase); ok {
+			if cand, ok := f.FindRow(gate.WireCand); ok && base.RPS > 0 && base.P99Ms > 0 {
+				fmt.Printf("benchcheck: serve %s vs %s wire gain: %.2fx rps, %+.1f%% p99 (need ≥%.2fx rps or ≤−%.0f%% p99)\n",
+					gate.WireCand, gate.WireBase, cand.RPS/base.RPS,
+					(cand.P99Ms/base.P99Ms-1)*100, 1+gate.MinWireGain, gate.MinWireGain*100)
 			}
 		}
 	}

@@ -6,8 +6,17 @@
 //
 // After a warm-up phase it measures a fixed window and appends one row —
 // throughput, error count, exact latency percentiles, mean micro-batch
-// occupancy — to a BENCH_serve.json snapshot, which cmd/benchcheck gates
-// in CI (p99 ceiling, RPS floor, micro-batch speedup, telemetry overhead).
+// occupancy, bytes-per-request percentiles, delta resync counts — to a
+// BENCH_serve.json snapshot, which cmd/benchcheck gates in CI (p99
+// ceiling, RPS floor, micro-batch speedup, telemetry overhead, wire-pair
+// gain).
+//
+// -wire selects the request encoding: json (the default), binary (the
+// application/x-head-obs full-snapshot form with binary responses), or
+// delta (session-affine: each session registers a full snapshot once,
+// then sends only its newest frame plus the base-snapshot hash; on a 409
+// resend-full — cache eviction, server restart, episode reset — the
+// client transparently retries with a full snapshot and counts a resync).
 //
 // Every request carries an X-Request-ID; the server echoes it and reports
 // its phase timestamps in the response envelope, so the client can separate
@@ -19,24 +28,22 @@
 // from the server envelope plus the network remainder) that headtrace
 // analyzes and -check verifies.
 //
-// Usage:
-//
 // Two modes: -mode closed (default) runs the full closed loop — each
 // session steps its own simulator between requests, so the measured rate
 // includes client-side sensing and physics and the request stream has the
-// think-time of a real fleet. -mode replay pre-captures a pool of servable
-// observations and fires them back-to-back with no simulation in between,
-// which saturates the service and isolates ITS capacity — the mode the
-// micro-batching throughput gate uses, since in closed-loop mode the
-// client-side simulator (sharing the machine) is the bottleneck, not the
-// server.
+// think-time of a real fleet. -mode replay pre-captures a chain of
+// consecutive servable observations and fires them back-to-back with no
+// simulation in between, which saturates the service and isolates ITS
+// capacity — the mode the micro-batching throughput gate uses, since in
+// closed-loop mode the client-side simulator (sharing the machine) is the
+// bottleneck, not the server.
 //
 // Usage:
 //
 //	headload -url http://localhost:8100 [-sessions 64] [-duration 5s] [-warmup 1s]
-//	headload ... [-mode closed|replay] [-scale quick|record|paper] [-seed N]
-//	headload ... -bench-out BENCH_serve.json -run-name b8     # append a gated row
-//	headload ... -trace-out trace.json                        # joined client+server trace
+//	headload ... [-mode closed|replay] [-wire json|binary|delta] [-scale quick|record|paper] [-seed N]
+//	headload ... -bench-out BENCH_serve.json -run-name b8       # append a gated row
+//	headload ... -trace-out trace.json                          # joined client+server trace
 package main
 
 import (
@@ -44,10 +51,12 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"math/rand"
 	"net/http"
 	"os"
+	"reflect"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -72,6 +81,7 @@ func main() {
 		warmup    = flag.Duration("warmup", time.Second, "unmeasured warm-up before the window")
 		timeout   = flag.Duration("timeout", 5*time.Second, "per-request timeout")
 		mode      = flag.String("mode", "closed", "closed = full sense/decide/act loop per session; replay = fire pre-captured observations back-to-back (server capacity)")
+		wire      = flag.String("wire", "json", "request encoding: json, binary (full binary snapshots), or delta (session-affine newest-frame deltas with 409 resend-full recovery)")
 		scaleName = flag.String("scale", "quick", "fleet environment scale: quick, record or paper")
 		seed      = flag.Int64("seed", 1, "base seed for the session environments")
 		density   = flag.Float64("density", 0, "override the fleet environments' traffic density (0 keeps the scale's value) — shifts the observation distribution, e.g. to exercise the server's drift detection")
@@ -96,6 +106,11 @@ func main() {
 		s.Density = *density
 	}
 	cfg := s.EnvConfig()
+	switch *wire {
+	case "json", "binary", "delta":
+	default:
+		log.Fatalf("unknown wire %q (want json, binary or delta)", *wire)
+	}
 
 	client := &http.Client{
 		Timeout: *timeout,
@@ -113,7 +128,7 @@ func main() {
 	latHist := reg.Histogram("load.latency_s",
 		0.0005, 0.001, 0.002, 0.005, 0.01, 0.02, 0.05, 0.1, 0.25, 0.5, 1, 2.5)
 
-	var pool [][]byte
+	var pool []serve.Observation
 	switch *mode {
 	case "closed":
 	case "replay":
@@ -132,11 +147,15 @@ func main() {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
+			lc := &loadClient{
+				client: client, base: *url, wire: *wire,
+				session: fmt.Sprintf("ld-%03d", i),
+			}
 			if pool != nil {
-				results[i] = runReplaySession(client, *url, pool, i, keepRecords, &recording, &stop, latHist)
+				results[i] = runReplaySession(lc, pool, i, keepRecords, &recording, &stop, latHist)
 				return
 			}
-			results[i] = runSession(client, *url, cfg, i, keepRecords,
+			results[i] = runSession(lc, cfg, i, keepRecords,
 				parallel.Rand(*seed, int64(i)), &recording, &stop, latHist)
 		}(i)
 	}
@@ -150,16 +169,18 @@ func main() {
 	stop.Store(true)
 	wg.Wait()
 
-	var lats, queues, infers, nets []float64
-	var requests, errs int64
+	var lats, queues, infers, nets, sizes []float64
+	var requests, errs, resyncs int64
 	var batchSum float64
 	for _, r := range results {
 		lats = append(lats, r.latenciesMs...)
 		queues = append(queues, r.queueMs...)
 		infers = append(infers, r.inferMs...)
 		nets = append(nets, r.netMs...)
+		sizes = append(sizes, r.bytes...)
 		requests += r.requests
 		errs += r.errors
+		resyncs += r.resyncs
 		batchSum += r.batchSum
 	}
 	if requests == 0 {
@@ -169,6 +190,7 @@ func main() {
 	sort.Float64s(queues)
 	sort.Float64s(infers)
 	sort.Float64s(nets)
+	sort.Float64s(sizes)
 	row := serve.Row{
 		Name:       *runName,
 		Sessions:   *sessions,
@@ -187,6 +209,11 @@ func main() {
 		NetP50Ms:   pct(nets, 0.50),
 		NetP99Ms:   pct(nets, 0.99),
 		AvgBatch:   batchSum / float64(requests),
+		Wire:       *wire,
+		BytesP50:   pct(sizes, 0.50),
+		BytesP99:   pct(sizes, 0.99),
+		Resyncs:    resyncs,
+		ResyncRate: float64(resyncs) / float64(requests),
 	}
 	fmt.Printf("%s: %d sessions, %d requests in %.2fs = %.0f rps, p50 %.2fms p90 %.2fms p99 %.2fms max %.2fms, avg batch %.2f, %d errors (hist p99 %.2fms)\n",
 		row.Name, row.Sessions, row.Requests, row.DurationS, row.RPS,
@@ -194,6 +221,8 @@ func main() {
 		latHist.Quantile(0.99)*1e3)
 	fmt.Printf("  breakdown: queue p50 %.2fms p99 %.2fms | infer p50 %.2fms p99 %.2fms | net p50 %.2fms p99 %.2fms\n",
 		row.QueueP50Ms, row.QueueP99Ms, row.InferP50Ms, row.InferP99Ms, row.NetP50Ms, row.NetP99Ms)
+	fmt.Printf("  wire %s: bytes/req p50 %.0f p99 %.0f, %d resyncs (%.4f/req)\n",
+		row.Wire, row.BytesP50, row.BytesP99, row.Resyncs, row.ResyncRate)
 	if *benchOut != "" {
 		if err := serve.AppendRow(*benchOut, row); err != nil {
 			log.Fatal(err)
@@ -214,12 +243,16 @@ type sessionResult struct {
 	// server-reported batch wait, inferMs the seal + batched forwards, and
 	// netMs what the server never saw — network, serialization, and client
 	// overhead (end-to-end minus the server-accounted phases).
-	queueMs  []float64
-	inferMs  []float64
-	netMs    []float64
+	queueMs []float64
+	inferMs []float64
+	netMs   []float64
+	// bytes is the request-body size of every measured request (including
+	// any full resend a resync forced — the retry cost is real traffic).
+	bytes    []float64
 	records  []reqRecord
 	requests int64
 	errors   int64
+	resyncs  int64
 	batchSum float64
 }
 
@@ -238,10 +271,11 @@ type reqRecord struct {
 
 // account records one measured request into the session's distributions.
 func (r *sessionResult) account(dr serve.DecideResponse, id string, t0 time.Time,
-	lat time.Duration, keepRecords bool, latHist *obs.Histogram) {
+	lat time.Duration, sent int, keepRecords bool, latHist *obs.Histogram) {
 	latMs := lat.Seconds() * 1e3
 	r.requests++
 	r.latenciesMs = append(r.latenciesMs, latMs)
+	r.bytes = append(r.bytes, float64(sent))
 	r.batchSum += float64(dr.BatchSize)
 	latHist.Observe(lat.Seconds())
 	serverMs := float64(dr.QueueMicros+dr.SealMicros+dr.InferMicros+dr.ReplyMicros) / 1e3
@@ -257,11 +291,112 @@ func (r *sessionResult) account(dr serve.DecideResponse, id string, t0 time.Time
 	}
 }
 
+// loadClient is one session's view of the wire protocol: it encodes
+// snapshots in the selected form, tracks the delta base, and transparently
+// recovers from 409 resend-full responses.
+type loadClient struct {
+	client  *http.Client
+	base    string
+	wire    string
+	session string
+	// prev is the full snapshot the server's session cache should hold
+	// after the last successful request (delta mode only).
+	prev    []serve.Frame
+	scratch []byte
+}
+
+// errResync marks a 409 "resend full" response internally.
+var errResync = fmt.Errorf("resend full")
+
+// decide sends one snapshot in the client's wire form and returns the
+// decision, the request-body bytes actually sent (summed across a resync
+// retry), and how many 409 resyncs the exchange hit.
+func (c *loadClient) decide(id string, frames []serve.Frame) (serve.DecideResponse, int, int64, error) {
+	switch c.wire {
+	case "json":
+		body, err := json.Marshal(serve.Observation{Frames: frames})
+		if err != nil {
+			return serve.DecideResponse{}, 0, 0, err
+		}
+		dr, err := c.post(id, "application/json", body)
+		return dr, len(body), 0, err
+	case "binary":
+		c.scratch = serve.AppendFull(c.scratch[:0], nil, frames)
+		dr, err := c.post(id, serve.WireContentType, c.scratch)
+		return dr, len(c.scratch), 0, err
+	case "delta":
+		sent := 0
+		if c.prev != nil && len(c.prev) == len(frames) {
+			c.scratch = serve.AppendDelta(c.scratch[:0], []byte(c.session), serve.HashFrames(c.prev), frames[len(frames)-1:])
+			sent += len(c.scratch)
+			dr, err := c.post(id, serve.WireContentType, c.scratch)
+			if err == nil {
+				c.prev = frames
+				return dr, sent, 0, nil
+			}
+			if err != errResync {
+				return dr, sent, 0, err
+			}
+			// Base diverged (eviction, restart, or an episode reset broke
+			// the one-step chain): fall through to a full resend.
+		}
+		c.scratch = serve.AppendFull(c.scratch[:0], []byte(c.session), frames)
+		sent += len(c.scratch)
+		dr, err := c.post(id, serve.WireContentType, c.scratch)
+		var resyncs int64
+		if sent > len(c.scratch) {
+			resyncs = 1
+		}
+		if err == nil {
+			c.prev = frames
+		} else {
+			c.prev = nil
+		}
+		return dr, sent, resyncs, err
+	default:
+		return serve.DecideResponse{}, 0, 0, fmt.Errorf("unknown wire %q", c.wire)
+	}
+}
+
+func (c *loadClient) post(id, contentType string, body []byte) (serve.DecideResponse, error) {
+	var dr serve.DecideResponse
+	req, err := http.NewRequest("POST", c.base+"/v1/decide", bytes.NewReader(body))
+	if err != nil {
+		return dr, err
+	}
+	req.Header.Set("Content-Type", contentType)
+	req.Header.Set(serve.RequestIDHeader, id)
+	binaryReply := contentType == serve.WireContentType
+	if binaryReply {
+		req.Header.Set("Accept", serve.WireContentType)
+	}
+	resp, err := c.client.Do(req)
+	if err != nil {
+		return dr, err
+	}
+	defer resp.Body.Close()
+	switch {
+	case resp.StatusCode == http.StatusConflict:
+		io.Copy(io.Discard, resp.Body)
+		return dr, errResync
+	case resp.StatusCode != http.StatusOK:
+		return dr, fmt.Errorf("decide: status %d", resp.StatusCode)
+	}
+	if binaryReply {
+		data, err := io.ReadAll(resp.Body)
+		if err != nil {
+			return dr, err
+		}
+		return dr, serve.DecodeResponse(data, &dr)
+	}
+	return dr, json.NewDecoder(resp.Body).Decode(&dr)
+}
+
 // runSession closes the loop for one synthetic vehicle: sense locally,
 // decide remotely, execute the served maneuver, repeat across episodes
 // until stop. The environment has no local predictor — perception
 // enhancement happens server-side, which is the point of the service.
-func runSession(client *http.Client, base string, cfg head.EnvConfig, si int, keepRecords bool,
+func runSession(lc *loadClient, cfg head.EnvConfig, si int, keepRecords bool,
 	rng *rand.Rand, recording, stop *atomic.Bool, latHist *obs.Histogram) sessionResult {
 	var res sessionResult
 	env := head.NewEnv(cfg, nil, rng)
@@ -278,13 +413,9 @@ func runSession(client *http.Client, base string, cfg head.EnvConfig, si int, ke
 			env.StepManeuver(coast)
 			continue
 		}
-		body, err := json.Marshal(o)
-		if err != nil {
-			log.Fatal(err)
-		}
 		id := fmt.Sprintf("ld-%03d-%06d", si, n)
 		t0 := time.Now()
-		dr, err := postDecide(client, base, id, body)
+		dr, sent, resyncs, err := lc.decide(id, o.Frames)
 		lat := time.Since(t0)
 		if rec := recording.Load(); err != nil {
 			if rec {
@@ -293,7 +424,8 @@ func runSession(client *http.Client, base string, cfg head.EnvConfig, si int, ke
 			env.StepManeuver(coast)
 			continue
 		} else if rec {
-			res.account(dr, id, t0, lat, keepRecords, latHist)
+			res.resyncs += resyncs
+			res.account(dr, id, t0, lat, sent, keepRecords, latHist)
 		}
 		env.StepManeuver(dr.Maneuver())
 	}
@@ -301,24 +433,30 @@ func runSession(client *http.Client, base string, cfg head.EnvConfig, si int, ke
 }
 
 // captureObservations rolls one offline environment (coasting; no server
-// involved) and collects n distinct servable sensor snapshots, pre-marshaled
-// to wire bytes for the replay sessions.
-func captureObservations(cfg head.EnvConfig, seed int64, n int) ([][]byte, error) {
+// involved) and collects a chain of n consecutive servable sensor
+// snapshots — each exactly one simulator step after the previous, so
+// replay delta sessions can walk the chain with newest-frame deltas. A
+// servability gap (episode end, sensor warm-up) restarts the chain.
+func captureObservations(cfg head.EnvConfig, seed int64, n int) ([]serve.Observation, error) {
 	env := head.NewEnv(cfg, nil, rand.New(rand.NewSource(seed)))
 	env.Reset()
 	coast := world.Maneuver{B: world.LaneKeep, A: 0}
-	var pool [][]byte
+	var pool []serve.Observation
 	for len(pool) < n {
 		if env.Done() {
 			env.Reset()
+			pool = pool[:0]
 		}
 		o := serve.Snapshot(env.SensorHistory())
 		if o.Validate(cfg.Sensor.Z) == nil {
-			body, err := json.Marshal(o)
-			if err != nil {
-				return nil, err
+			if k := len(pool); k > 0 &&
+				!reflect.DeepEqual(pool[k-1].Frames[1:], o.Frames[:len(o.Frames)-1]) {
+				// Not one step after the previous capture: restart the chain.
+				pool = pool[:0]
 			}
-			pool = append(pool, body)
+			pool = append(pool, o)
+		} else if len(pool) > 0 {
+			pool = pool[:0]
 		}
 		env.StepManeuver(coast)
 	}
@@ -327,43 +465,38 @@ func captureObservations(cfg head.EnvConfig, seed int64, n int) ([][]byte, error
 
 // runReplaySession fires pool observations back-to-back with no simulation
 // between requests, measuring the service's capacity rather than the
-// closed loop's.
-func runReplaySession(client *http.Client, base string, pool [][]byte, offset int, keepRecords bool,
+// closed loop's. In delta mode the session walks the pool chain in order —
+// full snapshot at each wrap, newest-frame deltas in between.
+func runReplaySession(lc *loadClient, pool []serve.Observation, offset int, keepRecords bool,
 	recording, stop *atomic.Bool, latHist *obs.Histogram) sessionResult {
 	var res sessionResult
-	for i := offset; !stop.Load(); i++ {
-		id := fmt.Sprintf("ld-%03d-%06d", offset, i-offset)
+	// Delta sessions must walk the chain from its head; stateless wire
+	// forms stagger their start across the pool instead.
+	start := offset
+	if lc.wire == "delta" {
+		start = 0
+	}
+	for i := 0; !stop.Load(); i++ {
+		idx := (start + i) % len(pool)
+		if lc.wire == "delta" && idx == 0 {
+			// Deliberate re-base at every wrap: the chain relation does not
+			// hold from the last pool entry back to the first.
+			lc.prev = nil
+		}
+		id := fmt.Sprintf("ld-%03d-%06d", offset, i)
 		t0 := time.Now()
-		dr, err := postDecide(client, base, id, pool[i%len(pool)])
+		dr, sent, resyncs, err := lc.decide(id, pool[idx].Frames)
 		lat := time.Since(t0)
 		if rec := recording.Load(); err != nil {
 			if rec {
 				res.errors++
 			}
 		} else if rec {
-			res.account(dr, id, t0, lat, keepRecords, latHist)
+			res.resyncs += resyncs
+			res.account(dr, id, t0, lat, sent, keepRecords, latHist)
 		}
 	}
 	return res
-}
-
-func postDecide(client *http.Client, base, id string, body []byte) (serve.DecideResponse, error) {
-	var dr serve.DecideResponse
-	req, err := http.NewRequest("POST", base+"/v1/decide", bytes.NewReader(body))
-	if err != nil {
-		return dr, err
-	}
-	req.Header.Set("Content-Type", "application/json")
-	req.Header.Set(serve.RequestIDHeader, id)
-	resp, err := client.Do(req)
-	if err != nil {
-		return dr, err
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		return dr, fmt.Errorf("decide: status %d", resp.StatusCode)
-	}
-	return dr, json.NewDecoder(resp.Body).Decode(&dr)
 }
 
 // writeJoinedTrace joins the client and server views of every measured

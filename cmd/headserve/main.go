@@ -22,6 +22,7 @@
 //
 //	headserve -load dir [-scale quick|record|paper] [-seed N]       # must match training
 //	headserve ... [-addr :8100] [-batch 8] [-max-wait 2ms] [-replicas N] [-queue N]
+//	headserve ... [-session-cache 4096]                             # binary-wire delta sessions retained (LRU)
 //	headserve ... [-out dir]                                        # manifest.json + trace.json on shutdown
 //	headserve ... [-telemetry=false] [-trace-sample 0.1]            # request tracing off / sampled
 //	headserve ... [-slo-p50 10ms] [-slo-p99 50ms] [-slo-errors 0.01] [-slo-window 60s]
@@ -67,6 +68,7 @@ func main() {
 		maxWait   = flag.Duration("max-wait", 2*time.Millisecond, "flush deadline: maximum time a request waits for batch mates")
 		replicas  = flag.Int("replicas", 1, "model replicas answering batches concurrently")
 		queue     = flag.Int("queue", 0, "submit queue bound (0 = 4x batch)")
+		sessCap   = flag.Int("session-cache", serve.DefaultSessionCap, "binary-wire delta sessions retained (LRU; evicted sessions force a full resend)")
 		out       = flag.String("out", "", "directory to write manifest.json (and trace.json) into on shutdown (empty disables)")
 
 		telemetry = flag.Bool("telemetry", true, "request telemetry: span recording, SLO evaluation, tail exemplars")
@@ -183,7 +185,8 @@ func main() {
 		tel = serve.NewTelemetry(tcfg)
 	}
 
-	srv := obs.NewHTTPServer(serve.NewMux(b, cfg.Sensor.Z, be.Name(), reg, tel))
+	sessions := serve.NewSessionCache(*sessCap)
+	srv := obs.NewHTTPServer(serve.NewMux(b, cfg.Sensor.Z, be.Name(), sessions, reg, tel))
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		log.Fatal(err)
@@ -231,6 +234,9 @@ func main() {
 		}
 		if monitor != nil {
 			man.Quality = monitor.Status()
+		}
+		if st := sessions.Stats(); st != nil && st.Stores > 0 {
+			man.Sessions = st
 		}
 		if err := os.MkdirAll(*out, 0o755); err != nil {
 			log.Fatal(err)

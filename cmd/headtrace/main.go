@@ -4,8 +4,8 @@
 // accounting, and a summary of the per-step decision records. Traces with
 // request telemetry (headserve's /debug/trace dump, headload's joined
 // client+server trace) additionally get per-request latency attribution:
-// queue / batch_seal / replica_infer / reply (/ network) percentiles and
-// the slowest requests.
+// decode / queue / batch_seal / replica_infer / reply / encode (/ network)
+// percentiles and the slowest requests.
 //
 // Usage:
 //
@@ -143,7 +143,7 @@ func printRequests(a *span.Analysis, top int) bool {
 	fmt.Printf("  accounting: requests %s  phases %s  self %s  error %.3f%%\n",
 		us(total), us(phases), us(self), relErr*100)
 
-	names := []string{"queue", "batch_seal", "replica_infer", "reply", "network"}
+	names := []string{"decode", "queue", "batch_seal", "replica_infer", "reply", "encode", "network"}
 	byPhase := map[string][]float64{}
 	var durs []float64
 	for _, r := range reqs {

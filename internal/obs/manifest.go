@@ -37,6 +37,9 @@ type Manifest struct {
 	SLO       any `json:"slo,omitempty"`
 	Exemplars any `json:"tail_exemplars,omitempty"`
 	Quality   any `json:"quality,omitempty"`
+	// Sessions is the binary-wire delta session cache's final counters
+	// (a serve.SessionStats), present when any session registered.
+	Sessions any `json:"session_cache,omitempty"`
 }
 
 // Write stores the manifest as dir/manifest.json (indented, trailing

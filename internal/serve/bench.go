@@ -42,6 +42,19 @@ type Row struct {
 	NetP99Ms   float64 `json:"net_p99_ms,omitempty"`
 	// AvgBatch is the mean micro-batch occupancy the server reported.
 	AvgBatch float64 `json:"avg_batch"`
+	// Wire names the request encoding the row was measured under (json,
+	// binary, or delta); empty means json (pre-wire rows).
+	Wire string `json:"wire,omitempty"`
+	// Request-body size percentiles (bytes on the wire, exact like the
+	// latency percentiles) — the payload win delta encoding buys.
+	BytesP50 float64 `json:"bytes_p50,omitempty"`
+	BytesP99 float64 `json:"bytes_p99,omitempty"`
+	// Resyncs counts delta requests refused with 409 resend-full during
+	// the measured window; ResyncRate is Resyncs over all measured
+	// requests. Structurally nonzero in delta mode (every episode restart
+	// re-bases), so the gate is on throughput, not on zero resyncs.
+	Resyncs    int64   `json:"resyncs,omitempty"`
+	ResyncRate float64 `json:"resync_rate,omitempty"`
 }
 
 // BenchFile is the BENCH_serve.json schema: the usual snapshot framing
@@ -98,6 +111,14 @@ type ServeGate struct {
 	// tail.
 	OverheadBase, OverheadCand string
 	MaxOverhead                float64
+	// WireBase and WireCand name two rows measuring the same serving
+	// configuration under different wire encodings (typically JSON vs
+	// binary delta). The candidate must beat the base by MinWireGain on
+	// either axis: RPS ≥ base × (1+MinWireGain) OR p99 ≤ base ×
+	// (1−MinWireGain) — a cheaper wire may cash out as throughput or as
+	// tail latency depending on where the bottleneck sits.
+	WireBase, WireCand string
+	MinWireGain        float64
 }
 
 // Check evaluates the gates against a snapshot and returns one message per
@@ -147,6 +168,21 @@ func (g ServeGate) Check(f BenchFile) []string {
 		case cand.P99Ms > base.P99Ms*(1+g.MaxOverhead):
 			failures = append(failures, fmt.Sprintf("%s p99 %.2fms is +%.1f%% over %s p99 %.2fms, beyond the %.0f%% overhead ceiling",
 				g.OverheadCand, cand.P99Ms, (cand.P99Ms/base.P99Ms-1)*100, g.OverheadBase, base.P99Ms, g.MaxOverhead*100))
+		}
+	}
+	if g.WireBase != "" || g.WireCand != "" {
+		base, okB := f.FindRow(g.WireBase)
+		cand, okC := f.FindRow(g.WireCand)
+		switch {
+		case !okB || !okC:
+			failures = append(failures, fmt.Sprintf("wire rows %q/%q not both in snapshot", g.WireBase, g.WireCand))
+		case base.RPS <= 0 || base.P99Ms <= 0:
+			failures = append(failures, fmt.Sprintf("row %q: non-positive rps or p99", g.WireBase))
+		case cand.RPS < base.RPS*(1+g.MinWireGain) && cand.P99Ms > base.P99Ms*(1-g.MinWireGain):
+			failures = append(failures, fmt.Sprintf(
+				"%s vs %s: %.2fx rps and %+.1f%% p99 — needs ≥%.2fx rps or ≤−%.0f%% p99",
+				g.WireCand, g.WireBase, cand.RPS/base.RPS, (cand.P99Ms/base.P99Ms-1)*100,
+				1+g.MinWireGain, g.MinWireGain*100))
 		}
 	}
 	return failures

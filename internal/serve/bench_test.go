@@ -91,3 +91,30 @@ func TestServeGateOverhead(t *testing.T) {
 		t.Errorf("zero-p99 base: %v", fails)
 	}
 }
+
+// TestServeGateWire: the wire-pair gate passes when the binary/delta row
+// beats the JSON row on either axis — throughput up OR tail latency down
+// by the configured gain — and fails when it improves neither enough.
+func TestServeGateWire(t *testing.T) {
+	f := BenchFile{Rows: []Row{
+		{Name: "b8", RPS: 1000, P99Ms: 40, Wire: "json"},
+		{Name: "b8-delta-fast", RPS: 1300, P99Ms: 40, Wire: "delta"}, // rps axis
+		{Name: "b8-delta-tail", RPS: 1000, P99Ms: 30, Wire: "delta"}, // p99 axis
+		{Name: "b8-delta-flat", RPS: 1050, P99Ms: 38, Wire: "delta"}, // neither
+	}}
+	for _, cand := range []string{"b8-delta-fast", "b8-delta-tail"} {
+		if fails := (ServeGate{WireBase: "b8", WireCand: cand, MinWireGain: 0.15}).Check(f); len(fails) != 0 {
+			t.Errorf("%s should pass the 15%% wire gate: %v", cand, fails)
+		}
+	}
+	if fails := (ServeGate{WireBase: "b8", WireCand: "b8-delta-flat", MinWireGain: 0.15}).Check(f); len(fails) != 1 || !strings.Contains(fails[0], "needs") {
+		t.Errorf("flat candidate passed the wire gate: %v", fails)
+	}
+	if fails := (ServeGate{WireBase: "b8", WireCand: "missing", MinWireGain: 0.15}).Check(f); len(fails) != 1 {
+		t.Errorf("missing wire row: %v", fails)
+	}
+	zero := BenchFile{Rows: []Row{{Name: "a"}, {Name: "b", RPS: 1, P99Ms: 1}}}
+	if fails := (ServeGate{WireBase: "a", WireCand: "b", MinWireGain: 0.15}).Check(zero); len(fails) != 1 {
+		t.Errorf("zero base: %v", fails)
+	}
+}

@@ -1,0 +1,487 @@
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"head/internal/world"
+)
+
+func f64bits(v float64) uint64     { return math.Float64bits(v) }
+func f64frombits(b uint64) float64 { return math.Float64frombits(b) }
+
+// Binary wire protocol of POST /v1/decide (Content-Type
+// "application/x-head-obs"): a versioned, length-prefixed little-endian
+// encoding of the sensor-history snapshot, built for the record-scale hot
+// path where JSON decoding is ~15% of server CPU. Everything is
+// zero-reflection — fixed-width fields appended to and read from byte
+// slices the callers pool — and every decode path bounds-checks before it
+// reads, so corrupt, truncated, or oversized payloads come back as errors,
+// never panics.
+//
+// Two request kinds share the framing. A full request carries the whole
+// z-frame snapshot (and may register it under a client-minted session id).
+// A delta request carries only the newest frame(s) plus the FNV-1a hash of
+// the full snapshot the client last had acknowledged; the server
+// reconstitutes the full snapshot from its per-session cache and refuses
+// with a 409-style "resend full" when the hashes disagree or the session
+// was evicted. Because the delta payload scales with the number of NEW
+// frames — not the history depth Z — a closed-loop session's steady-state
+// request shrinks by roughly a factor of Z.
+//
+// Layout (all integers little-endian):
+//
+//	request := version:u8 kind:u8 slen:u8 session:[slen]byte
+//	           (kind=delta: baseHash:u64)
+//	           flen:u32 frames
+//	frames  := count:u16 frame*
+//	frame   := lat:i32 lon:f64 v:f64 vcount:u16 vehicle*
+//	vehicle := id:i32 lat:i32 lon:f64 v:f64
+//
+//	response := version:u8 kind:u8 idlen:u8 id:[idlen]byte
+//	            behavior:i32 accel:f64 nparams:u16 params:[nparams]f64
+//	            attnEntropy:f64 nrows:u16 (rowlen:u16 row:[rowlen]f64)*
+//	            batch:u32 queue:i64 seal:i64 infer:i64 reply:i64 decide:i64
+//
+// flen length-prefixes the frames section so truncation is detected before
+// any frame is parsed, and a decode consuming fewer bytes than flen (or
+// leaving trailing bytes) is rejected — the payload must be exactly its
+// declared shape.
+
+// WireContentType negotiates the binary wire form: requests carry it as
+// Content-Type, and clients that also want a binary response send it as
+// Accept. Error responses are always JSON regardless.
+const WireContentType = "application/x-head-obs"
+
+const (
+	wireVersion byte = 1
+
+	// WireFull is a request carrying the complete z-frame snapshot;
+	// WireDelta carries only the newest frame(s) against a session base.
+	WireFull  byte = 1
+	WireDelta byte = 2
+	// wireResponse tags an encoded DecideResponse.
+	wireResponse byte = 3
+
+	// maxWireFrames bounds the per-request frame count at decode time,
+	// before any allocation scales with attacker-controlled input. Honest
+	// snapshots carry z frames (single digits).
+	maxWireFrames = 255
+	// maxWireSession bounds the session id length (one length byte).
+	maxWireSession = 255
+)
+
+// ErrResync asks the client to resend a full snapshot: the delta's base
+// hash did not match the server's cached session state (or the session was
+// never seen / already evicted). The HTTP layer maps it to 409 Conflict.
+var ErrResync = errors.New("serve: session base mismatch, resend full snapshot")
+
+// WireRequest is a decoded binary request. Session aliases the input
+// buffer (convert to string only when registering it in the cache, so the
+// hot kernel stays allocation-free); Frames is the full snapshot for a
+// WireFull request and the new frames of a WireDelta request.
+type WireRequest struct {
+	Kind     byte
+	Session  []byte
+	BaseHash uint64
+	Frames   []Frame
+}
+
+func appendU16(dst []byte, v uint16) []byte {
+	return append(dst, byte(v), byte(v>>8))
+}
+
+func appendU32(dst []byte, v uint32) []byte {
+	return append(dst, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+}
+
+func appendU64(dst []byte, v uint64) []byte {
+	return append(dst, byte(v), byte(v>>8), byte(v>>16), byte(v>>24),
+		byte(v>>32), byte(v>>40), byte(v>>48), byte(v>>56))
+}
+
+func appendF64(dst []byte, v float64) []byte {
+	return appendU64(dst, f64bits(v))
+}
+
+// appendFrames encodes the frames section (count + frames).
+func appendFrames(dst []byte, frames []Frame) []byte {
+	dst = appendU16(dst, uint16(len(frames)))
+	for _, f := range frames {
+		dst = appendU32(dst, uint32(int32(f.AV.Lat)))
+		dst = appendF64(dst, f.AV.Lon)
+		dst = appendF64(dst, f.AV.V)
+		dst = appendU16(dst, uint16(len(f.Vehicles)))
+		for _, v := range f.Vehicles {
+			dst = appendU32(dst, uint32(int32(v.ID)))
+			dst = appendU32(dst, uint32(int32(v.State.Lat)))
+			dst = appendF64(dst, v.State.Lon)
+			dst = appendF64(dst, v.State.V)
+		}
+	}
+	return dst
+}
+
+// appendRequestHeader emits the shared request prefix and returns the
+// offset of the flen length prefix, which the caller backpatches once the
+// frames section is written.
+func appendRequestHeader(dst []byte, kind byte, session []byte) []byte {
+	dst = append(dst, wireVersion, kind, byte(len(session)))
+	return append(dst, session...)
+}
+
+// backpatchLen writes the byte length of dst[at+4:] into dst[at:at+4].
+func backpatchLen(dst []byte, at int) {
+	n := uint32(len(dst) - at - 4)
+	dst[at] = byte(n)
+	dst[at+1] = byte(n >> 8)
+	dst[at+2] = byte(n >> 16)
+	dst[at+3] = byte(n >> 24)
+}
+
+// AppendFull encodes a full-snapshot request onto dst and returns the
+// extended slice. A non-empty session registers the snapshot server-side
+// as the base for subsequent AppendDelta requests. Allocation-free when
+// dst has capacity.
+func AppendFull(dst []byte, session []byte, frames []Frame) []byte {
+	dst = appendRequestHeader(dst, WireFull, session)
+	at := len(dst)
+	dst = appendU32(dst, 0)
+	dst = appendFrames(dst, frames)
+	backpatchLen(dst, at)
+	return dst
+}
+
+// AppendDelta encodes a delta request onto dst: only newFrames travel,
+// plus the HashFrames value of the full base snapshot the client believes
+// the server holds for session. Allocation-free when dst has capacity.
+func AppendDelta(dst []byte, session []byte, baseHash uint64, newFrames []Frame) []byte {
+	dst = appendRequestHeader(dst, WireDelta, session)
+	dst = appendU64(dst, baseHash)
+	at := len(dst)
+	dst = appendU32(dst, 0)
+	dst = appendFrames(dst, newFrames)
+	backpatchLen(dst, at)
+	return dst
+}
+
+// wireReader is a bounds-checked little-endian cursor: every read checks
+// remaining length and latches an error instead of slicing past the end,
+// so arbitrary input can never panic a decode.
+type wireReader struct {
+	data []byte
+	off  int
+	err  error
+}
+
+func (r *wireReader) fail(format string, args ...any) {
+	if r.err == nil {
+		r.err = fmt.Errorf(format, args...)
+	}
+}
+
+func (r *wireReader) take(n int) []byte {
+	if r.err != nil {
+		return nil
+	}
+	if len(r.data)-r.off < n {
+		r.fail("serve: wire payload truncated at offset %d (need %d more bytes)", r.off, n)
+		return nil
+	}
+	b := r.data[r.off : r.off+n]
+	r.off += n
+	return b
+}
+
+func (r *wireReader) u8() byte {
+	b := r.take(1)
+	if b == nil {
+		return 0
+	}
+	return b[0]
+}
+
+func (r *wireReader) u16() uint16 {
+	b := r.take(2)
+	if b == nil {
+		return 0
+	}
+	return uint16(b[0]) | uint16(b[1])<<8
+}
+
+func (r *wireReader) u32() uint32 {
+	b := r.take(4)
+	if b == nil {
+		return 0
+	}
+	return uint32(b[0]) | uint32(b[1])<<8 | uint32(b[2])<<16 | uint32(b[3])<<24
+}
+
+func (r *wireReader) u64() uint64 {
+	b := r.take(8)
+	if b == nil {
+		return 0
+	}
+	return uint64(b[0]) | uint64(b[1])<<8 | uint64(b[2])<<16 | uint64(b[3])<<24 |
+		uint64(b[4])<<32 | uint64(b[5])<<40 | uint64(b[6])<<48 | uint64(b[7])<<56
+}
+
+func (r *wireReader) f64() float64 { return f64frombits(r.u64()) }
+
+// decodeFrames parses a frames section, reusing into's backing storage
+// (including each frame's vehicle slice) when capacities allow — the
+// steady-state decode of a warmed server allocates nothing.
+func (r *wireReader) decodeFrames(into []Frame) []Frame {
+	count := int(r.u16())
+	if r.err != nil {
+		return nil
+	}
+	if count > maxWireFrames {
+		r.fail("serve: wire payload declares %d frames (max %d)", count, maxWireFrames)
+		return nil
+	}
+	if cap(into) < count {
+		grown := make([]Frame, count)
+		copy(grown, into[:cap(into)])
+		into = grown
+	}
+	into = into[:count]
+	for i := 0; i < count; i++ {
+		f := &into[i]
+		f.AV.Lat = int(int32(r.u32()))
+		f.AV.Lon = r.f64()
+		f.AV.V = r.f64()
+		vcount := int(r.u16())
+		if r.err != nil {
+			return nil
+		}
+		if vcount > MaxVehiclesPerFrame {
+			r.fail("serve: wire frame %d declares %d vehicles (max %d)", i, vcount, MaxVehiclesPerFrame)
+			return nil
+		}
+		if vcount == 0 {
+			// Match the JSON wire form: an empty frame round-trips to a nil
+			// vehicle slice ("vehicles" is omitempty), keeping the two paths
+			// structurally identical. The capacity is kept via f.Vehicles
+			// only when one existed; nil stays nil.
+			f.Vehicles = f.Vehicles[:0]
+			if len(f.Vehicles) == 0 && cap(f.Vehicles) == 0 {
+				f.Vehicles = nil
+			}
+			continue
+		}
+		if cap(f.Vehicles) < vcount {
+			f.Vehicles = make([]Vehicle, vcount)
+		}
+		f.Vehicles = f.Vehicles[:vcount]
+		for j := 0; j < vcount; j++ {
+			v := &f.Vehicles[j]
+			v.ID = int(int32(r.u32()))
+			v.State.Lat = int(int32(r.u32()))
+			v.State.Lon = r.f64()
+			v.State.V = r.f64()
+		}
+		if r.err != nil {
+			return nil
+		}
+	}
+	return into
+}
+
+// DecodeRequest parses a binary request. into donates frame/vehicle
+// storage for reuse (pass the previous decode's Frames on a hot path, nil
+// otherwise); the returned WireRequest's Session aliases data. Every
+// malformed input — wrong version, unknown kind, truncation, oversized
+// counts, trailing bytes, length-prefix mismatch — returns an error.
+func DecodeRequest(data []byte, into []Frame) (WireRequest, error) {
+	var req WireRequest
+	r := &wireReader{data: data}
+	if v := r.u8(); r.err == nil && v != wireVersion {
+		return req, fmt.Errorf("serve: wire version %d not supported (want %d)", v, wireVersion)
+	}
+	req.Kind = r.u8()
+	if r.err == nil && req.Kind != WireFull && req.Kind != WireDelta {
+		return req, fmt.Errorf("serve: unknown wire request kind %d", req.Kind)
+	}
+	slen := int(r.u8())
+	req.Session = r.take(slen)
+	if req.Kind == WireDelta {
+		req.BaseHash = r.u64()
+		if r.err == nil && len(req.Session) == 0 {
+			return req, errors.New("serve: delta request without a session id")
+		}
+	}
+	flen := int(r.u32())
+	if r.err == nil && flen != len(data)-r.off {
+		r.fail("serve: frames section declares %d bytes, %d present", flen, len(data)-r.off)
+	}
+	req.Frames = r.decodeFrames(into)
+	if r.err == nil && r.off != len(data) {
+		r.fail("serve: %d trailing bytes after frames section", len(data)-r.off)
+	}
+	if r.err == nil && len(req.Frames) == 0 {
+		r.fail("serve: wire request carries no frames")
+	}
+	if r.err != nil {
+		return WireRequest{}, r.err
+	}
+	return req, nil
+}
+
+// fnv-1a 64-bit, folded field by field so hashing a []Frame allocates
+// nothing and needs no intermediate encoding.
+const (
+	fnvOffset = 14695981039346656037
+	fnvPrime  = 1099511628211
+)
+
+func fnvU16(h uint64, v uint16) uint64 {
+	h = (h ^ uint64(v&0xff)) * fnvPrime
+	return (h ^ uint64(v>>8)) * fnvPrime
+}
+
+func fnvU64(h uint64, v uint64) uint64 {
+	for i := 0; i < 8; i++ {
+		h = (h ^ (v & 0xff)) * fnvPrime
+		v >>= 8
+	}
+	return h
+}
+
+// HashFrames is the canonical snapshot digest of the delta protocol:
+// FNV-1a 64 over the frames' fields in wire order. Client and server both
+// hash the full snapshot they hold; a delta is applied only when the two
+// digests agree, so a divergence of any field of any frame forces a full
+// resend rather than a silently wrong reconstruction.
+func HashFrames(frames []Frame) uint64 {
+	h := uint64(fnvOffset)
+	h = fnvU16(h, uint16(len(frames)))
+	for _, f := range frames {
+		h = fnvU64(h, uint64(uint32(int32(f.AV.Lat))))
+		h = fnvU64(h, f64bits(f.AV.Lon))
+		h = fnvU64(h, f64bits(f.AV.V))
+		h = fnvU16(h, uint16(len(f.Vehicles)))
+		for _, v := range f.Vehicles {
+			h = fnvU64(h, uint64(uint32(int32(v.ID))))
+			h = fnvU64(h, uint64(uint32(int32(v.State.Lat))))
+			h = fnvU64(h, f64bits(v.State.Lon))
+			h = fnvU64(h, f64bits(v.State.V))
+		}
+	}
+	return h
+}
+
+// AppendResponse encodes a DecideResponse onto dst (the Accept-negotiated
+// binary reply). BehaviorName never travels — it is derived from Behavior
+// at decode time, exactly as the server derives it. Allocation-free when
+// dst has capacity.
+func AppendResponse(dst []byte, dr *DecideResponse) []byte {
+	dst = append(dst, wireVersion, wireResponse, byte(len(dr.RequestID)))
+	dst = append(dst, dr.RequestID...)
+	dst = appendU32(dst, uint32(int32(dr.Behavior)))
+	dst = appendF64(dst, dr.Accel)
+	dst = appendU16(dst, uint16(len(dr.Params)))
+	for _, p := range dr.Params {
+		dst = appendF64(dst, p)
+	}
+	dst = appendF64(dst, dr.AttnEntropy)
+	dst = appendU16(dst, uint16(len(dr.Attention)))
+	for _, row := range dr.Attention {
+		dst = appendU16(dst, uint16(len(row)))
+		for _, w := range row {
+			dst = appendF64(dst, w)
+		}
+	}
+	dst = appendU32(dst, uint32(dr.BatchSize))
+	dst = appendU64(dst, uint64(dr.QueueMicros))
+	dst = appendU64(dst, uint64(dr.SealMicros))
+	dst = appendU64(dst, uint64(dr.InferMicros))
+	dst = appendU64(dst, uint64(dr.ReplyMicros))
+	dst = appendU64(dst, uint64(dr.DecideMicros))
+	return dst
+}
+
+// maxWireRows bounds the attention row/param counts a response decode will
+// allocate for.
+const maxWireRows = 4096
+
+// DecodeResponse parses a binary DecideResponse into dr, reusing its
+// Params and Attention storage when capacities allow. Like DecodeRequest
+// it rejects malformed input with an error, never a panic.
+func DecodeResponse(data []byte, dr *DecideResponse) error {
+	r := &wireReader{data: data}
+	if v := r.u8(); r.err == nil && v != wireVersion {
+		return fmt.Errorf("serve: wire version %d not supported (want %d)", v, wireVersion)
+	}
+	if k := r.u8(); r.err == nil && k != wireResponse {
+		return fmt.Errorf("serve: wire kind %d is not a response", k)
+	}
+	idlen := int(r.u8())
+	id := r.take(idlen)
+	if r.err != nil {
+		return r.err
+	}
+	dr.RequestID = string(id)
+	dr.Behavior = int(int32(r.u32()))
+	dr.BehaviorName = world.Behavior(dr.Behavior).String()
+	dr.Accel = r.f64()
+	nparams := int(r.u16())
+	if r.err != nil {
+		return r.err
+	}
+	if nparams > maxWireRows {
+		return fmt.Errorf("serve: wire response declares %d params (max %d)", nparams, maxWireRows)
+	}
+	if cap(dr.Params) < nparams {
+		dr.Params = make([]float64, nparams)
+	}
+	dr.Params = dr.Params[:nparams]
+	for i := range dr.Params {
+		dr.Params[i] = r.f64()
+	}
+	dr.AttnEntropy = r.f64()
+	nrows := int(r.u16())
+	if r.err != nil {
+		return r.err
+	}
+	if nrows > maxWireRows {
+		return fmt.Errorf("serve: wire response declares %d attention rows (max %d)", nrows, maxWireRows)
+	}
+	if nrows == 0 {
+		dr.Attention = nil
+	} else {
+		if cap(dr.Attention) < nrows {
+			dr.Attention = make([][]float64, nrows)
+		}
+		dr.Attention = dr.Attention[:nrows]
+		for i := range dr.Attention {
+			rowlen := int(r.u16())
+			if r.err != nil {
+				return r.err
+			}
+			if rowlen > maxWireRows {
+				return fmt.Errorf("serve: wire response declares a %d-wide attention row (max %d)", rowlen, maxWireRows)
+			}
+			row := dr.Attention[i]
+			if cap(row) < rowlen {
+				row = make([]float64, rowlen)
+			}
+			row = row[:rowlen]
+			for j := range row {
+				row[j] = r.f64()
+			}
+			dr.Attention[i] = row
+		}
+	}
+	dr.BatchSize = int(int32(r.u32()))
+	dr.QueueMicros = int64(r.u64())
+	dr.SealMicros = int64(r.u64())
+	dr.InferMicros = int64(r.u64())
+	dr.ReplyMicros = int64(r.u64())
+	dr.DecideMicros = int64(r.u64())
+	if r.err == nil && r.off != len(data) {
+		r.fail("serve: %d trailing bytes after response", len(data)-r.off)
+	}
+	return r.err
+}

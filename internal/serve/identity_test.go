@@ -248,7 +248,7 @@ func TestServedDecisionBitIdentityTelemetry(t *testing.T) {
 	for _, mode := range modes {
 		b := NewBatcher(BatcherConfig{MaxBatch: 2, MaxWait: time.Millisecond},
 			func() Decider { return NewReplica(rcfg, base.Clone(), tinyServeAgent(env)) })
-		srv := httptest.NewServer(NewMux(b, cfg.Sensor.Z, "f64", nil, mode.tel()))
+		srv := httptest.NewServer(NewMux(b, cfg.Sensor.Z, "f64", NewSessionCache(0), nil, mode.tel()))
 		// Several requests per mode so the sampled mode exercises both the
 		// traced and untraced branches.
 		var first []byte
@@ -313,4 +313,129 @@ func TestSnapshotStableBytes(t *testing.T) {
 			t.Fatalf("snapshot bytes unstable:\n%s\nvs\n%s", first, again)
 		}
 	}
+}
+
+// TestServedDecisionBitIdentityWire extends the determinism contract
+// across wire forms: the same env trajectory served over HTTP as JSON,
+// binary full snapshots, and session-affine deltas must return
+// byte-identical decisions at every step. The delta client behaves like a
+// real one — full snapshot first, newest-frame deltas after, transparent
+// full resend on 409.
+func TestServedDecisionBitIdentityWire(t *testing.T) {
+	cfg := tinyEnvConfig()
+	base := tinyServePredictor()
+	env := head.NewEnv(cfg, base.Clone(), rand.New(rand.NewSource(21)))
+	ctrl := &head.AgentController{ControllerName: "HEAD", Agent: tinyServeAgent(env)}
+	rcfg := ConfigFor(cfg)
+
+	b := NewBatcher(BatcherConfig{MaxBatch: 4, MaxWait: time.Millisecond},
+		func() Decider { return NewReplica(rcfg, base.Clone(), tinyServeAgent(env)) })
+	defer b.Close()
+	srv := httptest.NewServer(NewMux(b, cfg.Sensor.Z, "f64", NewSessionCache(0), nil, nil))
+	defer srv.Close()
+
+	decide := func(contentType string, body []byte, acceptWire bool) (*http.Response, []byte) {
+		t.Helper()
+		req, err := http.NewRequest("POST", srv.URL+"/v1/decide?attention=1", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		req.Header.Set("Content-Type", contentType)
+		if acceptWire {
+			req.Header.Set("Accept", WireContentType)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var buf bytes.Buffer
+		buf.ReadFrom(resp.Body)
+		return resp, buf.Bytes()
+	}
+
+	// The delta client's view of its session base.
+	var prev []Frame
+	session := []byte("identity-delta")
+	deltaDecide := func(frames []Frame) Decision {
+		t.Helper()
+		if prev != nil {
+			enc := AppendDelta(nil, session, HashFrames(prev), frames[len(frames)-1:])
+			resp, out := decide(WireContentType, enc, true)
+			if resp.StatusCode == http.StatusOK {
+				prev = frames
+				var dr DecideResponse
+				if err := DecodeResponse(out, &dr); err != nil {
+					t.Fatalf("delta response: %v", err)
+				}
+				return dr.Decision
+			}
+			if resp.StatusCode != http.StatusConflict {
+				t.Fatalf("delta: status %d, body %s", resp.StatusCode, out)
+			}
+		}
+		resp, out := decide(WireContentType, AppendFull(nil, session, frames), true)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("full resend: status %d, body %s", resp.StatusCode, out)
+		}
+		prev = frames
+		var dr DecideResponse
+		if err := DecodeResponse(out, &dr); err != nil {
+			t.Fatalf("full response: %v", err)
+		}
+		return dr.Decision
+	}
+
+	env.Reset()
+	checked, resyncs := 0, 0
+	for !env.Done() && env.Steps() < 30 {
+		m := ctrl.Decide(env)
+		snap := Snapshot(env.SensorHistory())
+		if snap.Validate(cfg.Sensor.Z) == nil {
+			jsonBody, err := json.Marshal(snap)
+			if err != nil {
+				t.Fatal(err)
+			}
+			resp, out := decide("application/json", jsonBody, false)
+			if resp.StatusCode != http.StatusOK {
+				t.Fatalf("json: status %d, body %s", resp.StatusCode, out)
+			}
+			var jdr DecideResponse
+			if err := json.Unmarshal(out, &jdr); err != nil {
+				t.Fatal(err)
+			}
+
+			resp, out = decide(WireContentType, AppendFull(nil, nil, snap.Frames), false)
+			if resp.StatusCode != http.StatusOK {
+				t.Fatalf("binary: status %d, body %s", resp.StatusCode, out)
+			}
+			var bdr DecideResponse
+			if err := json.Unmarshal(out, &bdr); err != nil {
+				t.Fatal(err)
+			}
+
+			hadBase := prev != nil
+			ddec := deltaDecide(snap.Frames)
+			if hadBase && prev != nil {
+				checked++
+			}
+
+			jb, _ := json.Marshal(jdr.Decision)
+			bb, _ := json.Marshal(bdr.Decision)
+			db, _ := json.Marshal(ddec)
+			if !bytes.Equal(jb, bb) || !bytes.Equal(jb, db) {
+				t.Fatalf("step %d: decisions diverge across wire forms:\njson   %s\nbinary %s\ndelta  %s",
+					env.Steps(), jb, bb, db)
+			}
+			if jdr.Behavior != int(m.B) || math.Float64bits(jdr.Accel) != math.Float64bits(m.A) {
+				t.Fatalf("step %d: served (%d, %x) != serial (%d, %x)", env.Steps(),
+					jdr.Behavior, math.Float64bits(jdr.Accel), int(m.B), math.Float64bits(m.A))
+			}
+		}
+		env.StepManeuver(m)
+	}
+	if checked == 0 {
+		t.Fatal("no delta-served steps: the history never advanced a session")
+	}
+	t.Logf("verified %d steps bit-identical across json/binary/delta (%d resyncs)", checked, resyncs)
 }

@@ -91,7 +91,7 @@ func TestQualityEndpointHTTP(t *testing.T) {
 	b := NewBatcher(BatcherConfig{MaxBatch: 2, MaxWait: time.Millisecond},
 		func() Decider { return NewReplica(rcfg, base.Clone(), tinyServeAgent(env)) })
 	defer b.Close()
-	srv := httptest.NewServer(NewMux(b, cfg.Sensor.Z, "f64", nil, tel))
+	srv := httptest.NewServer(NewMux(b, cfg.Sensor.Z, "f64", NewSessionCache(0), nil, tel))
 	defer srv.Close()
 
 	const n = 5

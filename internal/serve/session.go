@@ -1,0 +1,168 @@
+package serve
+
+import (
+	"container/list"
+	"fmt"
+	"sync"
+)
+
+// SessionCache is the server half of the delta protocol: a bounded LRU of
+// each session's last full snapshot (frames + HashFrames digest). A full
+// request with a session id Stores its snapshot; a delta request Advances
+// the session — the cached tail frames plus the request's new frames
+// become the reconstituted full snapshot, which is stored back as the new
+// base. Entries are immutable once stored (Advance builds a fresh slice),
+// so a reconstituted snapshot can be read by batcher replicas while later
+// requests advance the same session.
+//
+// The cache is deliberately forgetful: beyond Cap sessions the least
+// recently used is evicted, and a delta against an evicted (or never seen,
+// or diverged) session fails with ErrResync — the client resends a full
+// snapshot and the session re-registers. Nothing served ever depends on
+// cache state being right: a hash mismatch can only force a resync, never
+// a wrong reconstruction.
+type SessionCache struct {
+	mu      sync.Mutex
+	cap     int
+	entries map[string]*list.Element
+	lru     *list.List // front = most recently used
+
+	hits      uint64
+	resyncs   uint64
+	evictions uint64
+	stores    uint64
+}
+
+type sessionEntry struct {
+	id     string
+	frames []Frame
+	hash   uint64
+}
+
+// DefaultSessionCap bounds the session cache when the configured capacity
+// is unset: enough for a large fleet per process, small enough that the
+// retained snapshots (a few KB each) stay negligible.
+const DefaultSessionCap = 4096
+
+// NewSessionCache returns a cache bounded at capacity sessions (<= 0 means
+// DefaultSessionCap).
+func NewSessionCache(capacity int) *SessionCache {
+	if capacity <= 0 {
+		capacity = DefaultSessionCap
+	}
+	return &SessionCache{
+		cap:     capacity,
+		entries: make(map[string]*list.Element),
+		lru:     list.New(),
+	}
+}
+
+// SessionStats is the cache's observable state, reported in /healthz and
+// the drain manifest.
+type SessionStats struct {
+	Cap       int    `json:"cap"`
+	Sessions  int    `json:"sessions"`
+	Hits      uint64 `json:"hits"`
+	Resyncs   uint64 `json:"resyncs"`
+	Evictions uint64 `json:"evictions"`
+	Stores    uint64 `json:"stores"`
+}
+
+// Stats snapshots the cache counters. Nil-safe (a service without a cache
+// reports nothing).
+func (c *SessionCache) Stats() *SessionStats {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return &SessionStats{
+		Cap: c.cap, Sessions: len(c.entries),
+		Hits: c.hits, Resyncs: c.resyncs, Evictions: c.evictions, Stores: c.stores,
+	}
+}
+
+// store inserts or replaces a session's base snapshot. Callers hold mu.
+func (c *SessionCache) store(session string, frames []Frame, hash uint64) {
+	c.stores++
+	if el, ok := c.entries[session]; ok {
+		e := el.Value.(*sessionEntry)
+		e.frames, e.hash = frames, hash
+		c.lru.MoveToFront(el)
+		return
+	}
+	for len(c.entries) >= c.cap {
+		oldest := c.lru.Back()
+		if oldest == nil {
+			break
+		}
+		delete(c.entries, oldest.Value.(*sessionEntry).id)
+		c.lru.Remove(oldest)
+		c.evictions++
+	}
+	c.entries[session] = c.lru.PushFront(&sessionEntry{id: session, frames: frames, hash: hash})
+}
+
+// Store registers frames as session's base snapshot for subsequent delta
+// requests. The cache takes (shared, read-only) ownership of the slice:
+// callers must not mutate it afterwards. Nil-safe no-op without a cache or
+// without a session id.
+func (c *SessionCache) Store(session string, frames []Frame) {
+	if c == nil || session == "" || len(frames) == 0 {
+		return
+	}
+	h := HashFrames(frames)
+	c.mu.Lock()
+	c.store(session, frames, h)
+	c.mu.Unlock()
+}
+
+// Advance applies a delta atomically: it validates baseHash against the
+// session's cached digest, reconstitutes the full snapshot (cached frames
+// shifted left by len(newFrames), new frames appended), stores it as the
+// session's new base, and returns it. The returned slice is cache-owned
+// and immutable — safe to hand to the batcher while later deltas advance
+// the session. Every failure path wraps ErrResync, telling the client the
+// one recovery that always works: resend a full snapshot.
+func (c *SessionCache) Advance(session string, baseHash uint64, newFrames []Frame) ([]Frame, error) {
+	if c == nil {
+		return nil, fmt.Errorf("%w (no session cache on this server)", ErrResync)
+	}
+	if session == "" || len(newFrames) == 0 {
+		return nil, fmt.Errorf("%w (empty session or delta)", ErrResync)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[session]
+	if !ok {
+		c.resyncs++
+		return nil, fmt.Errorf("%w (session %q unknown or evicted)", ErrResync, session)
+	}
+	e := el.Value.(*sessionEntry)
+	if e.hash != baseHash {
+		c.resyncs++
+		return nil, fmt.Errorf("%w (session %q base digest %016x != client %016x)",
+			ErrResync, session, e.hash, baseHash)
+	}
+	k := len(newFrames)
+	if k > len(e.frames) {
+		c.resyncs++
+		return nil, fmt.Errorf("%w (delta carries %d frames, base holds %d)", ErrResync, k, len(e.frames))
+	}
+	merged := make([]Frame, 0, len(e.frames))
+	merged = append(merged, e.frames[k:]...)
+	merged = append(merged, newFrames...)
+	c.hits++
+	c.store(session, merged, HashFrames(merged))
+	return merged, nil
+}
+
+// Len reports the current session count. Nil-safe.
+func (c *SessionCache) Len() int {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}

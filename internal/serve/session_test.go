@@ -1,0 +1,155 @@
+package serve
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+)
+
+func TestSessionCacheAdvance(t *testing.T) {
+	c := NewSessionCache(8)
+	base := wireTestFrames(4)
+	c.Store("s1", base)
+
+	// One simulated step: history shifts left, one new frame arrives.
+	next := wireTestFrames(5)[4:]
+	want := append(append([]Frame(nil), base[1:]...), next...)
+
+	got, err := c.Advance("s1", HashFrames(base), next)
+	if err != nil {
+		t.Fatalf("Advance: %v", err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("merged snapshot mismatch:\n got %+v\nwant %+v", got, want)
+	}
+
+	// The merged snapshot is now the base; a second step advances from it.
+	next2 := []Frame{{AV: want[0].AV}}
+	got2, err := c.Advance("s1", HashFrames(want), next2)
+	if err != nil {
+		t.Fatalf("second Advance: %v", err)
+	}
+	want2 := append(append([]Frame(nil), want[1:]...), next2...)
+	if !reflect.DeepEqual(got2, want2) {
+		t.Fatalf("second merge mismatch")
+	}
+
+	st := c.Stats()
+	if st.Hits != 2 || st.Stores != 3 || st.Resyncs != 0 || st.Sessions != 1 {
+		t.Fatalf("stats = %+v, want 2 hits / 3 stores / 0 resyncs / 1 session", st)
+	}
+}
+
+func TestSessionCacheResyncPaths(t *testing.T) {
+	c := NewSessionCache(8)
+	base := wireTestFrames(3)
+	c.Store("s1", base)
+	delta := base[:1]
+
+	cases := []struct {
+		name    string
+		session string
+		hash    uint64
+		frames  []Frame
+	}{
+		{"unknown session", "never-seen", HashFrames(base), delta},
+		{"hash mismatch", "s1", HashFrames(base) + 1, delta},
+		{"delta longer than base", "s1", HashFrames(base), wireTestFrames(4)},
+		{"empty delta", "s1", HashFrames(base), nil},
+		{"empty session", "", HashFrames(base), delta},
+	}
+	for _, tc := range cases {
+		if _, err := c.Advance(tc.session, tc.hash, tc.frames); !errors.Is(err, ErrResync) {
+			t.Errorf("%s: err = %v, want ErrResync", tc.name, err)
+		}
+	}
+	if st := c.Stats(); st.Resyncs != 3 {
+		// Only the three cache-state failures count as resyncs; the two
+		// malformed-argument cases never reach the cache line.
+		t.Fatalf("resyncs = %d, want 3", st.Resyncs)
+	}
+
+	// A resync does not corrupt the stored base: the correct hash still
+	// advances.
+	if _, err := c.Advance("s1", HashFrames(base), delta); err != nil {
+		t.Fatalf("Advance after resyncs: %v", err)
+	}
+}
+
+func TestSessionCacheEviction(t *testing.T) {
+	c := NewSessionCache(2)
+	a, b, d := wireTestFrames(2), wireTestFrames(3), wireTestFrames(4)
+	c.Store("a", a)
+	c.Store("b", b)
+	// Touch "a" so "b" is the LRU victim when "d" arrives.
+	if _, err := c.Advance("a", HashFrames(a), a[:1]); err != nil {
+		t.Fatalf("touch a: %v", err)
+	}
+	c.Store("d", d)
+
+	if _, err := c.Advance("b", HashFrames(b), b[:1]); !errors.Is(err, ErrResync) {
+		t.Fatalf("evicted session advanced: %v", err)
+	}
+	if _, err := c.Advance("d", HashFrames(d), d[:1]); err != nil {
+		t.Fatalf("resident session d: %v", err)
+	}
+	st := c.Stats()
+	if st.Evictions != 1 || st.Sessions != 2 || st.Cap != 2 {
+		t.Fatalf("stats = %+v, want 1 eviction, 2 sessions, cap 2", st)
+	}
+	if c.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", c.Len())
+	}
+}
+
+func TestSessionCacheStoreReplaces(t *testing.T) {
+	c := NewSessionCache(4)
+	old := wireTestFrames(3)
+	c.Store("s", old)
+	fresh := wireTestFrames(5)
+	c.Store("s", fresh)
+	if _, err := c.Advance("s", HashFrames(old), old[:1]); !errors.Is(err, ErrResync) {
+		t.Fatal("stale base hash accepted after re-store")
+	}
+	if _, err := c.Advance("s", HashFrames(fresh), fresh[:1]); err != nil {
+		t.Fatalf("fresh base: %v", err)
+	}
+}
+
+func TestSessionCacheNilSafe(t *testing.T) {
+	var c *SessionCache
+	c.Store("s", wireTestFrames(1))
+	if _, err := c.Advance("s", 0, wireTestFrames(1)); !errors.Is(err, ErrResync) {
+		t.Fatal("nil cache must refuse deltas with ErrResync")
+	}
+	if c.Stats() != nil || c.Len() != 0 {
+		t.Fatal("nil cache stats/len not empty")
+	}
+}
+
+func TestSessionCacheConcurrentAdvance(t *testing.T) {
+	// Concurrent deltas against one session: exactly the winners whose hash
+	// matched the then-current base advance; every loser gets ErrResync,
+	// never a corrupt merge. Run with -race this pins the locking.
+	c := NewSessionCache(8)
+	base := wireTestFrames(4)
+	c.Store("s", base)
+	done := make(chan error, 8)
+	for i := 0; i < 8; i++ {
+		go func() {
+			_, err := c.Advance("s", HashFrames(base), base[:1])
+			done <- err
+		}()
+	}
+	wins := 0
+	for i := 0; i < 8; i++ {
+		if err := <-done; err == nil {
+			wins++
+		} else if !errors.Is(err, ErrResync) {
+			t.Errorf("non-resync error: %v", err)
+		}
+	}
+	if wins != 1 {
+		t.Fatalf("%d concurrent advances won, want exactly 1", wins)
+	}
+}

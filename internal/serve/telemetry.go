@@ -2,6 +2,7 @@ package serve
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
@@ -159,8 +160,8 @@ func (r *ExemplarRing) Drain() []Exemplar {
 // nil Exemplars captures nothing — and a nil *Telemetry disables the
 // whole layer while request ids keep working.
 type TelemetryConfig struct {
-	// Tracer receives the per-request span trees (request → queue /
-	// batch_seal / replica_infer / reply), sharing the flight recorder's
+	// Tracer receives the per-request span trees (request → decode /
+	// queue / batch_seal / replica_infer / reply / encode), sharing the flight recorder's
 	// ring, Chrome export, and /debug/trace machinery.
 	Tracer *span.Tracer
 	// Sample is the fraction of requests whose spans are recorded; 0 as
@@ -288,7 +289,30 @@ type ReqTrace struct {
 	ID    string
 	seq   uint64
 	start time.Time
-	done  bool
+	// decoded marks the end of request-body wire decode (MarkDecoded);
+	// encoding marks the start of response serialization (MarkEncoding).
+	// Either may stay zero — failed requests never reach them — and the
+	// span emitter skips the corresponding phase.
+	decoded  time.Time
+	encoding time.Time
+	done     bool
+}
+
+// MarkDecoded stamps the end of the request's wire-decode phase (body read
+// + JSON or binary decode + delta reconstruction). Nil-safe.
+func (rt *ReqTrace) MarkDecoded() {
+	if rt != nil {
+		rt.decoded = time.Now()
+	}
+}
+
+// MarkEncoding stamps the start of response serialization, splitting the
+// tail of the request into reply (batcher handoff) and encode (wire
+// marshal + write). Nil-safe.
+func (rt *ReqTrace) MarkEncoding() {
+	if rt != nil {
+		rt.encoding = time.Now()
+	}
 }
 
 // Begin opens a request trace. id is the client-propagated request id
@@ -328,6 +352,13 @@ func (rt *ReqTrace) Finish(o *Observation, res Result, status int, reqErr error)
 	t.finished.Add(1)
 
 	isErr := reqErr != nil || status >= 400
+	if errors.Is(reqErr, ErrResync) {
+		// A 409 resend-full is delta-protocol flow control, not a service
+		// failure: the client heals it with one full retry, which is
+		// observed as its own request. Deliberate cache pressure (a
+		// squeezed -session-cache) must not burn the error budget.
+		isErr = false
+	}
 	t.cfg.SLO.Observe(e2e, isErr)
 
 	if !isErr && status == 200 {
@@ -380,11 +411,21 @@ func (rt *ReqTrace) Finish(o *Observation, res Result, status int, reqErr error)
 			Start: tr.Since(from), Dur: int64(d), Ep: -1, Step: -1,
 		})
 	}
+	if !rt.decoded.IsZero() {
+		emit("decode", rt.start, rt.decoded)
+	}
 	if !res.Enqueued.IsZero() {
 		emit("queue", res.Enqueued, res.Flushed)
 		emit("batch_seal", res.Flushed, res.InferStart)
 		emit("replica_infer", res.InferStart, res.InferDone)
-		emit("reply", res.InferDone, end)
+		replyEnd := end
+		if !rt.encoding.IsZero() {
+			replyEnd = rt.encoding
+		}
+		emit("reply", res.InferDone, replyEnd)
+	}
+	if !rt.encoding.IsZero() {
+		emit("encode", rt.encoding, end)
 	}
 	tr.Record(span.Span{
 		Name: "request", Parent: "", Req: rt.ID, Lane: lane,

@@ -191,7 +191,7 @@ func TestDrainTelemetryFlush(t *testing.T) {
 	d := &echoDecider{delay: 300 * time.Microsecond}
 	b := NewBatcher(BatcherConfig{MaxBatch: 4, MaxWait: 200 * time.Microsecond, Queue: 8, Replicas: 2},
 		func() Decider { return d })
-	srv := httptest.NewServer(NewMux(b, 1, "f64", nil, tel))
+	srv := httptest.NewServer(NewMux(b, 1, "f64", NewSessionCache(0), nil, tel))
 
 	body, _ := json.Marshal(mark(3))
 	const goroutines, perG = 8, 30
@@ -272,5 +272,23 @@ func TestDrainTelemetryFlush(t *testing.T) {
 	}
 	if again := ring.Drain(); again != nil {
 		t.Errorf("second drain returned %d exemplars, want nil", len(again))
+	}
+}
+
+// TestFinishResyncNotSLOError: a 409 resend-full is delta-protocol flow
+// control — the client heals it with one retried full request — so it
+// must count toward the SLO window's total but not its error budget,
+// unlike a genuine 4xx/5xx. Otherwise deliberate cache pressure (a
+// squeezed -session-cache) reads as a burning error-rate objective.
+func TestFinishResyncNotSLOError(t *testing.T) {
+	slo := obs.NewSLO(obs.SLOConfig{})
+	tel := NewTelemetry(TelemetryConfig{SLO: slo})
+
+	tel.Begin("rs-1").Finish(nil, Result{}, 409, fmt.Errorf("session: %w", ErrResync))
+	tel.Begin("rs-2").Finish(nil, Result{}, 400, fmt.Errorf("malformed"))
+	tel.Begin("rs-3").Finish(nil, Result{}, 200, nil)
+
+	if st := slo.Status(); st.Total != 3 || st.Errors != 1 {
+		t.Errorf("SLO saw total %d errors %d, want 3 total with only the 400 counted", st.Total, st.Errors)
 	}
 }
